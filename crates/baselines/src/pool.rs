@@ -1,0 +1,847 @@
+//! The capacity-model simulator shared by every baseline platform.
+//!
+//! A deliberately protocol-free model: hosts × GPUs, a job queue, placement
+//! under a [`PlatformPolicy`], churn reactions, and reclaim probes. GPUnion
+//! itself runs as a full protocol stack in `gpunion-core`; this pool model
+//! exists so manual coordination, a Kubernetes-like orchestrator, and a
+//! Slurm-like reservation system can replay identical traces for Fig. 2 and
+//! Table 1. A `PlatformPolicy::gpunion` variant runs here too, used to
+//! sanity-check the full stack against the capacity abstraction.
+
+use crate::model::{CampusShape, ChurnReaction, Outcome, PlatformPolicy, Visibility};
+use gpunion_des::{chance, log_normal, RngPool, Sim, SimDuration, SimTime, TimeWeighted};
+use gpunion_workload::{InterruptionEvent, LabId, Request, TraceEvent};
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// Reference device speed used to normalize work (RTX 3090 TFLOPS).
+const REF_TFLOPS: f64 = 35.6;
+
+#[derive(Debug, Clone)]
+struct Unit {
+    id: u64,
+    /// Placement incarnation: bumped on every (re)placement so stale
+    /// completion events for earlier placements of the same id are ignored.
+    incarnation: u64,
+    lab: LabId,
+    /// Remaining work in reference-seconds (training) or wall seconds
+    /// (session).
+    kind: UnitKind,
+    host: usize,
+    gpu: usize,
+    /// For training: reference-seconds at the last durable checkpoint.
+    checkpointed_ref: f64,
+    /// Work done so far in reference-seconds.
+    done_ref: f64,
+    started_at: SimTime,
+    /// When the GPU is actually released (reservation padding).
+    release_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // ends_at documents the session contract
+enum UnitKind {
+    Training {
+        total_ref: f64,
+        ckpt_interval: SimDuration,
+        mem: u64,
+    },
+    Session {
+        ends_at: SimTime,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    id: u64,
+    lab: LabId,
+    total_ref: f64,
+    done_ref: f64,
+    ckpt_interval: SimDuration,
+    mem: u64,
+    queued_at: SimTime,
+    #[allow(dead_code)] // kept for wait-time breakdowns in future reports
+    first_queued_at: SimTime,
+    /// Only place on these hosts (None = policy default visibility).
+    borrow_unlocked: bool,
+}
+
+#[derive(Debug, Clone)]
+struct QueuedSession {
+    id: u64,
+    lab: LabId,
+    mem: u64,
+    duration: SimDuration,
+    deadline: SimTime,
+}
+
+struct HostState {
+    owner: LabId,
+    up: bool,
+    usable_at: SimTime,
+    /// Occupancy per GPU: unit id or free.
+    gpus: Vec<Option<u64>>,
+    /// Which GPUs are actively computing (vs reserved-idle).
+    working: Vec<bool>,
+    tflops: Vec<f64>,
+    vram: Vec<u64>,
+    util: TimeWeighted,
+}
+
+impl HostState {
+    fn update_util(&mut self, now: SimTime) {
+        let total = self.gpus.len().max(1) as f64;
+        let working = self.working.iter().filter(|w| **w).count() as f64;
+        self.util.set(now, working / total);
+    }
+
+    fn free_gpu(&self, mem: u64) -> Option<usize> {
+        self.gpus
+            .iter()
+            .enumerate()
+            .find(|(i, g)| g.is_none() && self.vram[*i] >= mem)
+            .map(|(i, _)| i)
+    }
+}
+
+struct PoolWorld {
+    policy: PlatformPolicy,
+    hosts: Vec<HostState>,
+    units: std::collections::HashMap<u64, Unit>,
+    job_queue: VecDeque<QueuedJob>,
+    session_queue: VecDeque<QueuedSession>,
+    outcome: Outcome,
+    rng: SmallRng,
+    next_id: u64,
+    next_incarnation: u64,
+    #[allow(dead_code)] // reserved for horizon-aware admission policies
+    horizon_end: SimTime,
+}
+
+impl PoolWorld {
+    fn visible_hosts(&self, lab: LabId, borrow_unlocked: bool) -> Vec<usize> {
+        match self.policy.visibility {
+            Visibility::Global => (0..self.hosts.len()).collect(),
+            Visibility::OwnLabOnly { .. } => {
+                if borrow_unlocked {
+                    (0..self.hosts.len()).collect()
+                } else {
+                    self.hosts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, h)| h.owner == lab)
+                        .map(|(i, _)| i)
+                        .collect()
+                }
+            }
+        }
+    }
+
+    fn find_slot(&self, lab: LabId, mem: u64, borrow_unlocked: bool, now: SimTime) -> Option<(usize, usize)> {
+        for h in self.visible_hosts(lab, borrow_unlocked) {
+            let host = &self.hosts[h];
+            if !host.up || now < host.usable_at {
+                continue;
+            }
+            if let Some(g) = host.free_gpu(mem) {
+                return Some((h, g));
+            }
+        }
+        None
+    }
+}
+
+/// Run the capacity model for one platform over a trace.
+#[allow(clippy::too_many_arguments)]
+pub fn run_capacity_model(
+    platform: &str,
+    campus: &CampusShape,
+    trace: &[TraceEvent],
+    churn: &[InterruptionEvent],
+    churn_hosts: &[usize],
+    reclaim_probes: &[(SimTime, usize)],
+    policy: PlatformPolicy,
+    horizon: SimDuration,
+    pool_seed: &RngPool,
+) -> Outcome {
+    let mut sim: Sim<PoolWorld> = Sim::new();
+    let hosts = campus
+        .hosts
+        .iter()
+        .map(|h| {
+            let mut hs = HostState {
+                owner: h.owner,
+                up: true,
+                usable_at: SimTime::ZERO,
+                gpus: vec![None; h.gpus.len()],
+                working: vec![false; h.gpus.len()],
+                tflops: h.gpus.iter().map(|g| g.fp32_tflops).collect(),
+                vram: h.gpus.iter().map(|g| g.vram_bytes).collect(),
+                util: TimeWeighted::new(),
+            };
+            hs.util.set(SimTime::ZERO, 0.0);
+            hs
+        })
+        .collect();
+    let mut world = PoolWorld {
+        policy,
+        hosts,
+        units: Default::default(),
+        job_queue: VecDeque::new(),
+        session_queue: VecDeque::new(),
+        outcome: Outcome {
+            platform: platform.to_string(),
+            ..Default::default()
+        },
+        rng: pool_seed.stream("capacity-model"),
+        next_id: 0,
+        next_incarnation: 0,
+        horizon_end: SimTime::ZERO + horizon,
+    };
+
+    // Schedule trace arrivals.
+    for ev in trace {
+        let ev = ev.clone();
+        sim.schedule_at(ev.at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+            arrival(w, sim, &ev);
+        });
+    }
+    // Schedule churn.
+    for ev in churn {
+        let Some(&host) = churn_hosts.get(ev.node_index) else {
+            continue;
+        };
+        let returns = ev.returns_at;
+        sim.schedule_at(ev.at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+            host_down(w, sim, host);
+        });
+        sim.schedule_at(returns, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+            host_up(w, sim, host);
+        });
+    }
+    // Schedule reclaim probes.
+    for (at, host) in reclaim_probes.iter().copied() {
+        sim.schedule_at(at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+            probe_reclaim(w, sim.now(), host);
+        });
+    }
+
+    sim.run_until(&mut world, SimTime::ZERO + horizon);
+
+    // Close books.
+    let end = SimTime::ZERO + horizon;
+    let mut per_host = Vec::new();
+    for h in &mut world.hosts {
+        h.util.finish(end);
+        per_host.push(h.util.mean().unwrap_or(0.0));
+    }
+    // Weight by GPU count for the campus mean.
+    let total_gpus: usize = world.hosts.iter().map(|h| h.gpus.len()).sum();
+    let mean = world
+        .hosts
+        .iter()
+        .zip(&per_host)
+        .map(|(h, u)| u * h.gpus.len() as f64)
+        .sum::<f64>()
+        / total_gpus.max(1) as f64;
+    world.outcome.per_host_utilization = per_host;
+    world.outcome.mean_utilization = mean;
+    world.outcome.jobs_unfinished =
+        world.job_queue.len() as u64 + world.units.len() as u64;
+    world.outcome
+}
+
+fn arrival(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, ev: &TraceEvent) {
+    match &ev.request {
+        Request::Training(spec) => {
+            let total_ref = spec.expected_duration(REF_TFLOPS).as_secs_f64();
+            let id = w.next_id;
+            w.next_id += 1;
+            let job = QueuedJob {
+                id,
+                lab: ev.lab,
+                total_ref,
+                done_ref: 0.0,
+                ckpt_interval: spec.checkpoint_interval,
+                mem: spec.model.profile().gpu_mem_bytes,
+                queued_at: sim.now(),
+                first_queued_at: sim.now(),
+                borrow_unlocked: false,
+            };
+            enqueue_job(w, sim, job);
+        }
+        Request::Interactive(spec) => {
+            let id = w.next_id;
+            w.next_id += 1;
+            let qs = QueuedSession {
+                id,
+                lab: ev.lab,
+                mem: spec.gpu_mem_bytes,
+                duration: spec.duration,
+                deadline: sim.now() + spec.patience,
+            };
+            if try_place_session(w, sim, &qs) {
+                return;
+            }
+            // Manual coordination: interactive users often borrow informally
+            // (walking to the lab next door beats emailing about batch jobs).
+            if matches!(w.policy.visibility, Visibility::OwnLabOnly { .. })
+                && chance(&mut w.rng, 0.5)
+                && try_place_session_anywhere(w, sim, &qs)
+            {
+                return;
+            }
+            w.session_queue.push_back(qs);
+            // Give-up timer.
+            sim.schedule_at(
+                sim.now() + spec.patience,
+                move |w: &mut PoolWorld, _sim: &mut Sim<PoolWorld>| {
+                    let before = w.session_queue.len();
+                    w.session_queue.retain(|s| s.id != id);
+                    if w.session_queue.len() < before {
+                        w.outcome.sessions_abandoned += 1;
+                    }
+                },
+            );
+        }
+    }
+}
+
+fn enqueue_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob) {
+    // Manual coordination: a lab without capacity may try to borrow.
+    if let Visibility::OwnLabOnly {
+        borrow_success,
+        negotiation_median,
+    } = w.policy.visibility
+    {
+        if !job.borrow_unlocked
+            && w.find_slot(job.lab, job.mem, false, sim.now()).is_none()
+            && chance(&mut w.rng, borrow_success)
+        {
+            let delay = log_normal(
+                &mut w.rng,
+                negotiation_median.as_secs_f64(),
+                0.5,
+            );
+            let mut unlocked = job.clone();
+            unlocked.borrow_unlocked = true;
+            sim.schedule_in(
+                SimDuration::from_secs_f64(delay),
+                move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+                    enqueue_job(w, sim, unlocked.clone());
+                },
+            );
+            // The original stays in the own-lab queue too; whichever copy
+            // places first wins (the other is deduplicated at placement).
+        }
+    }
+    w.job_queue.push_back(job);
+    drain_queues(w, sim);
+}
+
+fn try_place_session(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, qs: &QueuedSession) -> bool {
+    let Some((h, g)) = w.find_slot(qs.lab, qs.mem, false, sim.now()) else {
+        return false;
+    };
+    place_session(w, sim, qs, h, g);
+    true
+}
+
+/// Informal borrowing path: any host, bypassing visibility.
+fn try_place_session_anywhere(
+    w: &mut PoolWorld,
+    sim: &mut Sim<PoolWorld>,
+    qs: &QueuedSession,
+) -> bool {
+    let Some((h, g)) = w.find_slot(qs.lab, qs.mem, true, sim.now()) else {
+        return false;
+    };
+    place_session(w, sim, qs, h, g);
+    true
+}
+
+fn place_session(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, qs: &QueuedSession, h: usize, g: usize) {
+    let id = qs.id;
+    let ends_at = sim.now() + qs.duration;
+    w.hosts[h].gpus[g] = Some(id);
+    w.hosts[h].working[g] = true;
+    w.hosts[h].update_util(sim.now());
+    let incarnation = w.next_incarnation;
+    w.next_incarnation += 1;
+    w.units.insert(
+        id,
+        Unit {
+            id,
+            incarnation,
+            lab: qs.lab,
+            kind: UnitKind::Session { ends_at },
+            host: h,
+            gpu: g,
+            checkpointed_ref: 0.0,
+            done_ref: 0.0,
+            started_at: sim.now(),
+            release_at: ends_at,
+        },
+    );
+    w.outcome.sessions_served += 1;
+    sim.schedule_at(ends_at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+        if w.units.get(&id).map(|u| u.incarnation) == Some(incarnation) {
+            let u = w.units.remove(&id).expect("checked");
+            free_slot(w, sim, u.host, u.gpu);
+        }
+    });
+}
+
+fn drain_queues(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>) {
+    // Humans waiting beat batch jobs.
+    let mut i = 0;
+    while i < w.session_queue.len() {
+        let qs = w.session_queue[i].clone();
+        if sim.now() <= qs.deadline && try_place_session(w, sim, &qs) {
+            w.session_queue.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    // Jobs: strict FIFO for reservation systems (no backfill), first-fit
+    // scan otherwise.
+    let strict_fifo = w.policy.reservation_padding > 1.0;
+    let mut i = 0;
+    while i < w.job_queue.len() {
+        let job = w.job_queue[i].clone();
+        // Deduplicate borrow copies that already placed/finished.
+        if w.units.values().any(|u| u.id == job.id) {
+            w.job_queue.remove(i);
+            continue;
+        }
+        match w.find_slot(job.lab, job.mem, job.borrow_unlocked, sim.now()) {
+            Some((h, g)) => {
+                w.job_queue.remove(i);
+                place_job(w, sim, job, h, g);
+            }
+            None => {
+                if strict_fifo {
+                    break; // head-of-line blocking
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+fn place_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob, h: usize, g: usize) {
+    let now = sim.now();
+    w.outcome
+        .job_wait
+        .record(now.since(job.queued_at).as_secs_f64());
+    let rate = w.hosts[h].tflops[g] / REF_TFLOPS;
+    let remaining_wall = (job.total_ref - job.done_ref).max(0.0) / rate;
+    let finish_at = now + SimDuration::from_secs_f64(remaining_wall);
+    let release_at = now
+        + SimDuration::from_secs_f64(remaining_wall * w.policy.reservation_padding);
+    let id = job.id;
+    let incarnation = w.next_incarnation;
+    w.next_incarnation += 1;
+    w.hosts[h].gpus[g] = Some(id);
+    w.hosts[h].working[g] = true;
+    w.hosts[h].update_util(now);
+    w.units.insert(
+        id,
+        Unit {
+            id,
+            incarnation,
+            lab: job.lab,
+            kind: UnitKind::Training {
+                total_ref: job.total_ref,
+                ckpt_interval: job.ckpt_interval,
+                mem: job.mem,
+            },
+            host: h,
+            gpu: g,
+            checkpointed_ref: job.done_ref,
+            done_ref: job.done_ref,
+            started_at: now,
+            release_at,
+        },
+    );
+    // Completion (guarded by incarnation: a displaced-and-replaced unit
+    // must not be completed by this placement's stale event).
+    sim.schedule_at(finish_at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+        let Some(u) = w.units.get(&id) else { return };
+        if u.incarnation != incarnation {
+            return;
+        }
+        let (host, gpu, release_at) = (u.host, u.gpu, u.release_at);
+        w.units.remove(&id);
+        w.outcome.jobs_completed += 1;
+        if release_at > sim.now() {
+            // Reservation padding: GPU stays blocked (reserved-idle).
+            w.hosts[host].working[gpu] = false;
+            w.hosts[host].update_util(sim.now());
+            sim.schedule_at(release_at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+                free_slot(w, sim, host, gpu);
+            });
+        } else {
+            free_slot(w, sim, host, gpu);
+        }
+    });
+}
+
+fn free_slot(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize, g: usize) {
+    w.hosts[h].gpus[g] = None;
+    w.hosts[h].working[g] = false;
+    w.hosts[h].update_util(sim.now());
+    drain_queues(w, sim);
+}
+
+fn host_down(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
+    if !w.hosts[h].up {
+        return;
+    }
+    w.hosts[h].up = false;
+    // Kill/displace every unit on the host.
+    let victims: Vec<u64> = w
+        .units
+        .values()
+        .filter(|u| u.host == h)
+        .map(|u| u.id)
+        .collect();
+    let now = sim.now();
+    for id in victims {
+        let u = w.units.remove(&id).expect("listed");
+        w.hosts[h].gpus[u.gpu] = None;
+        w.hosts[h].working[u.gpu] = false;
+        w.outcome.disruptions += 1;
+        match u.kind {
+            UnitKind::Session { .. } => {
+                // The human lost their session; they do not re-queue.
+            }
+            UnitKind::Training {
+                total_ref,
+                ckpt_interval,
+                mem,
+            } => {
+                let rate = w.hosts[h].tflops[u.gpu] / REF_TFLOPS;
+                let ran_ref = now.since(u.started_at).as_secs_f64() * rate;
+                let done_now = (u.done_ref + ran_ref).min(total_ref);
+                let requeue = |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, done: f64, delay: SimDuration| {
+                    let job = QueuedJob {
+                        id,
+                        lab: u.lab,
+                        total_ref,
+                        done_ref: done,
+                        ckpt_interval,
+                        mem,
+                        queued_at: sim.now() + delay,
+                        first_queued_at: u.started_at,
+                        borrow_unlocked: false,
+                    };
+                    if delay.is_zero() {
+                        w.job_queue.push_back(job);
+                    } else {
+                        sim.schedule_in(delay, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+                            w.job_queue.push_back(job.clone());
+                            drain_queues(w, sim);
+                        });
+                    }
+                };
+                match w.policy.churn {
+                    ChurnReaction::RestartFromScratch => {
+                        requeue(w, sim, 0.0, SimDuration::ZERO);
+                    }
+                    ChurnReaction::CheckpointRestore { interval } => {
+                        let ckpt_ref = interval.as_secs_f64() * rate;
+                        let checkpointed = if ckpt_ref > 0.0 {
+                            (done_now / ckpt_ref).floor() * ckpt_ref
+                        } else {
+                            0.0
+                        }
+                        .max(u.checkpointed_ref);
+                        requeue(w, sim, checkpointed.min(done_now), SimDuration::ZERO);
+                    }
+                    ChurnReaction::ManualResubmit { median_delay } => {
+                        let delay = log_normal(
+                            &mut w.rng,
+                            median_delay.as_secs_f64(),
+                            0.6,
+                        );
+                        requeue(w, sim, 0.0, SimDuration::from_secs_f64(delay));
+                    }
+                }
+            }
+        }
+    }
+    w.hosts[h].update_util(now);
+    drain_queues(w, sim);
+}
+
+fn host_up(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
+    if w.hosts[h].up {
+        return;
+    }
+    w.hosts[h].up = true;
+    let overhead = w.policy.join_overhead;
+    w.hosts[h].usable_at = sim.now() + overhead;
+    w.outcome.join_turnaround.record(overhead.as_secs_f64());
+    sim.schedule_in(overhead, |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+        drain_queues(w, sim);
+    });
+}
+
+/// Measure how long the owner of host `h` would wait to get it back.
+fn probe_reclaim(w: &mut PoolWorld, now: SimTime, h: usize) {
+    if w.policy.instant_reclaim {
+        // Kill-switch: container teardown, seconds.
+        w.outcome.reclaim_latency.record(5.0);
+        return;
+    }
+    // Drain: the owner waits for the last release on the host.
+    let worst = w
+        .units
+        .values()
+        .filter(|u| u.host == h)
+        .map(|u| u.release_at.since(now).as_secs_f64())
+        .fold(0.0, f64::max);
+    w.outcome.reclaim_latency.record(worst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GpuShape, HostShape};
+    use gpunion_workload::{InteractiveSpec, ModelClass, TrainingJobSpec};
+
+    fn campus(n_hosts: usize) -> CampusShape {
+        CampusShape {
+            hosts: (0..n_hosts)
+                .map(|i| HostShape {
+                    name: format!("h{i}"),
+                    gpus: vec![GpuShape {
+                        vram_bytes: 24 << 30,
+                        cc: (8, 6),
+                        fp32_tflops: REF_TFLOPS,
+                    }],
+                    owner: LabId(i as u32),
+                })
+                .collect(),
+        }
+    }
+
+    fn training_event(at_secs: u64, lab: u32, iters: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_secs(at_secs),
+            lab: LabId(lab),
+            request: Request::Training(TrainingJobSpec::new(ModelClass::CnnSmall, iters)),
+        }
+    }
+
+    fn session_event(at_secs: u64, lab: u32) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_secs(at_secs),
+            lab: LabId(lab),
+            request: Request::Interactive(InteractiveSpec::typical()),
+        }
+    }
+
+    fn run(
+        policy: PlatformPolicy,
+        campus: &CampusShape,
+        trace: &[TraceEvent],
+        churn: &[InterruptionEvent],
+        horizon_h: u64,
+    ) -> Outcome {
+        run_capacity_model(
+            "test",
+            campus,
+            trace,
+            churn,
+            &(0..campus.hosts.len()).collect::<Vec<_>>(),
+            &[],
+            policy,
+            SimDuration::from_hours(horizon_h),
+            &RngPool::new(7),
+        )
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let campus = campus(1);
+        // ~49 min of work.
+        let trace = vec![training_event(0, 0, 20_000)];
+        let out = run(PlatformPolicy::centralized(), &campus, &trace, &[], 4);
+        assert_eq!(out.jobs_completed, 1);
+        assert_eq!(out.jobs_unfinished, 0);
+        // Utilization ≈ 49 min / 4 h ≈ 0.2.
+        assert!(out.mean_utilization > 0.15 && out.mean_utilization < 0.25,
+            "{}", out.mean_utilization);
+    }
+
+    #[test]
+    fn own_lab_only_blocks_cross_lab_use() {
+        let campus = campus(2); // host0 owned by lab0, host1 by lab1
+        // Lab 0 submits two jobs; with global visibility both run in
+        // parallel, with own-lab-only (and borrow disabled) they serialize.
+        let trace = vec![
+            training_event(0, 0, 20_000),
+            training_event(0, 0, 20_000),
+        ];
+        let mut manual = PlatformPolicy::manual();
+        manual.visibility = Visibility::OwnLabOnly {
+            borrow_success: 0.0,
+            negotiation_median: SimDuration::from_hours(1),
+        };
+        let out_manual = run(manual, &campus, &trace, &[], 6);
+        let out_global = run(PlatformPolicy::centralized(), &campus, &trace, &[], 6);
+        assert_eq!(out_manual.jobs_completed, 2);
+        assert_eq!(out_global.jobs_completed, 2);
+        // Serialized execution waits ~49 min for the second job.
+        assert!(out_manual.job_wait.max().unwrap() > 2000.0);
+        assert!(out_global.job_wait.max().unwrap() < 10.0);
+    }
+
+    #[test]
+    fn reservation_padding_wastes_capacity() {
+        let campus = campus(1);
+        // Two jobs, each ~49 min; padding 1.5 blocks the GPU ~25 min extra.
+        let trace = vec![
+            training_event(0, 0, 20_000),
+            training_event(60, 0, 20_000),
+        ];
+        let slurm = run(PlatformPolicy::reservation(), &campus, &trace, &[], 6);
+        let k8s = run(PlatformPolicy::centralized(), &campus, &trace, &[], 6);
+        assert_eq!(slurm.jobs_completed, 2);
+        // The second job waits longer under Slurm (reservation not released).
+        assert!(
+            slurm.job_wait.max().unwrap() > k8s.job_wait.max().unwrap() + 1000.0,
+            "slurm {:?} vs k8s {:?}",
+            slurm.job_wait.max(),
+            k8s.job_wait.max()
+        );
+    }
+
+    #[test]
+    fn sessions_served_and_abandoned() {
+        let campus = campus(1);
+        // Three concurrent sessions on one GPU: first served, the others
+        // give up after 10 min (no capacity frees in time: 45-min session).
+        let trace = vec![
+            session_event(0, 0),
+            session_event(10, 0),
+            session_event(20, 0),
+        ];
+        let out = run(PlatformPolicy::centralized(), &campus, &trace, &[], 2);
+        assert_eq!(out.sessions_served, 1);
+        assert_eq!(out.sessions_abandoned, 2);
+    }
+
+    #[test]
+    fn queued_session_takes_freed_gpu() {
+        let campus = campus(1);
+        // A short job occupies the GPU for ~5 min; a session arrives 1 min
+        // later and waits (patience 10 min) — it must get the GPU.
+        let trace = vec![
+            training_event(0, 0, 2_000), // ~4.9 min
+            session_event(60, 0),
+        ];
+        let out = run(PlatformPolicy::centralized(), &campus, &trace, &[], 2);
+        assert_eq!(out.sessions_served, 1);
+        assert_eq!(out.sessions_abandoned, 0);
+        assert_eq!(out.jobs_completed, 1);
+    }
+
+    #[test]
+    fn restart_from_scratch_loses_work() {
+        let campus = campus(2);
+        let trace = vec![training_event(0, 0, 40_000)]; // ~98 min
+        // Host 0 dies 30 min in, returns hours later.
+        let churn = vec![InterruptionEvent {
+            at: SimTime::from_secs(1800),
+            node_index: 0,
+            kind: gpunion_workload::InterruptionKind::EmergencyDeparture,
+            returns_at: SimTime::from_secs(36_000),
+        }];
+        let k8s = run(PlatformPolicy::centralized(), &campus, &trace, &churn, 8);
+        let gpunion = run(
+            PlatformPolicy::gpunion(SimDuration::from_mins(10)),
+            &campus,
+            &trace,
+            &churn,
+            8,
+        );
+        assert_eq!(k8s.jobs_completed, 1);
+        assert_eq!(gpunion.jobs_completed, 1);
+        assert_eq!(k8s.disruptions, 1);
+        // GPUnion restores from a ≤10-min-old checkpoint; k8s restarts from
+        // zero, so its total job latency is ≥ 25 min worse.
+        // (Both re-place instantly on host 1.)
+        // Compare: completion time = wait + run; use utilization as proxy:
+        // k8s burns strictly more GPU-time for the same completed work.
+        assert!(
+            k8s.mean_utilization > gpunion.mean_utilization + 0.02,
+            "k8s {} vs gpunion {} (wasted recompute)",
+            k8s.mean_utilization,
+            gpunion.mean_utilization
+        );
+    }
+
+    #[test]
+    fn reclaim_probe_instant_vs_drain() {
+        let campus = campus(1);
+        let trace = vec![training_event(0, 0, 100_000)]; // hours of work
+        let probes = vec![(SimTime::from_secs(600), 0usize)];
+        let drain = run_capacity_model(
+            "k8s",
+            &campus,
+            &trace,
+            &[],
+            &[0],
+            &probes,
+            PlatformPolicy::centralized(),
+            SimDuration::from_hours(10),
+            &RngPool::new(7),
+        );
+        let instant = run_capacity_model(
+            "gpunion",
+            &campus,
+            &trace,
+            &[],
+            &[0],
+            &probes,
+            PlatformPolicy::gpunion(SimDuration::from_mins(10)),
+            SimDuration::from_hours(10),
+            &RngPool::new(7),
+        );
+        let drain_lat = drain.reclaim_latency.mean().unwrap();
+        let instant_lat = instant.reclaim_latency.mean().unwrap();
+        assert!(instant_lat < 10.0, "kill-switch reclaim {instant_lat}");
+        assert!(
+            drain_lat > 3600.0,
+            "drain reclaim should be hours: {drain_lat}"
+        );
+    }
+
+    #[test]
+    fn manual_borrowing_sometimes_helps() {
+        // Lab 9 owns nothing; host 0 idle. With borrow_success = 1.0 the
+        // job eventually runs; with 0.0 it never does.
+        let campus = campus(1); // owned by lab 0
+        let trace = vec![training_event(0, 9, 20_000)];
+        let mut no_borrow = PlatformPolicy::manual();
+        no_borrow.visibility = Visibility::OwnLabOnly {
+            borrow_success: 0.0,
+            negotiation_median: SimDuration::from_mins(30),
+        };
+        let out = run(no_borrow, &campus, &trace, &[], 12);
+        assert_eq!(out.jobs_completed, 0);
+
+        let mut always_borrow = PlatformPolicy::manual();
+        always_borrow.visibility = Visibility::OwnLabOnly {
+            borrow_success: 1.0,
+            negotiation_median: SimDuration::from_mins(30),
+        };
+        let out = run(always_borrow, &campus, &trace, &[], 12);
+        assert_eq!(out.jobs_completed, 1);
+        // But the negotiation delay shows up as queue wait.
+        assert!(out.job_wait.mean().unwrap() > 600.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion micro-bench: incremental snapshot delta computation — the hot
+//! path of every checkpoint cycle (6 GB state = 1536 pages at 4 MiB).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpunion_storage::StateModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_delta");
+    for state_gb in [1u64, 6, 14] {
+        g.bench_with_input(
+            BenchmarkId::new("state_gb", state_gb),
+            &state_gb,
+            |b, &gb| {
+                let mut m = StateModel::with_default_pages(gb << 30);
+                let base = m.capture(0);
+                m.touch_fraction(0.12);
+                m.append_file("train.log", 1 << 20);
+                let next = m.capture(1);
+                b.iter(|| {
+                    let d = next.delta_from(&base);
+                    assert!(d.transfer_bytes() > 0);
+                    d
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

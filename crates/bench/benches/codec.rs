@@ -1,0 +1,52 @@
+//! Criterion micro-bench: protocol codec throughput (heartbeats dominate
+//! control traffic; their encode/decode cost bounds coordinator capacity).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpunion_protocol::{
+    AuthToken, Envelope, GpuStat, JobId, Message, NodeUid, WorkloadState, WorkloadStatus,
+};
+
+fn heartbeat(gpus: usize, workloads: usize) -> Envelope {
+    Envelope::new(
+        AuthToken([7; 16]),
+        Message::Heartbeat {
+            node: NodeUid(3),
+            seq: 123,
+            accepting: true,
+            gpu_stats: vec![
+                GpuStat {
+                    memory_used: 10 << 30,
+                    memory_total: 24 << 30,
+                    utilization: 0.93,
+                    temperature_c: 71.0,
+                    power_w: 330.0,
+                };
+                gpus
+            ],
+            workloads: vec![
+                WorkloadStatus {
+                    job: JobId(9),
+                    state: WorkloadState::Running,
+                    progress: 0.41,
+                    checkpoint_seq: 3,
+                };
+                workloads
+            ],
+        },
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let env = heartbeat(8, 4);
+    let bytes = env.to_bytes();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_heartbeat_8gpu", |b| b.iter(|| env.to_bytes()));
+    g.bench_function("decode_heartbeat_8gpu", |b| {
+        b.iter(|| Envelope::from_bytes(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-bench: real wall-clock cost of one scheduling pass at
+//! increasing node counts (complements the simulated §5.2 latency model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpunion_des::SimTime;
+use gpunion_gpu::GpuModel;
+use gpunion_protocol::{DispatchSpec, ExecMode, JobId, Message};
+use gpunion_scheduler::{Coordinator, CoordinatorConfig};
+
+fn spec() -> DispatchSpec {
+    DispatchSpec {
+        job: JobId(0),
+        image_repo: "r".into(),
+        image_tag: "t".into(),
+        image_digest: [1; 32],
+        gpus: 1,
+        gpu_mem_bytes: 8 << 30,
+        min_cc: None,
+        mode: ExecMode::Batch { entrypoint: vec!["x".into()] },
+        checkpoint_interval_secs: 600,
+        storage_nodes: vec![],
+        state_bytes_hint: 0,
+        restore_from_seq: None,
+        priority: 1,
+    }
+}
+
+fn coordinator_with(n: usize) -> Coordinator {
+    let mut c = Coordinator::new(CoordinatorConfig::default(), 1);
+    c.start(SimTime::ZERO);
+    for i in 0..n {
+        c.handle_message(
+            SimTime::from_secs(1),
+            Message::Register {
+                machine_id: format!("m-{i}"),
+                hostname: format!("h-{i}"),
+                gpus: vec![GpuModel::Rtx3090.into()],
+                agent_version: 1,
+            },
+        );
+    }
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduling_pass");
+    for n in [10usize, 50, 200, 400] {
+        g.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut coord = coordinator_with(n);
+                    for _ in 0..20 {
+                        coord.submit_job(SimTime::from_secs(2), spec());
+                    }
+                    coord
+                },
+                |mut coord| {
+                    let mut actions = Vec::new();
+                    coord.scheduling_pass(SimTime::from_secs(3), &mut actions);
+                    actions
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-bench: max-min fair reallocation cost as concurrent
+//! flows grow (every checkpoint/migration start triggers one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpunion_des::{SimDuration, SimTime};
+use gpunion_simnet::{star_campus, Bandwidth, Network, TrafficClass};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_min_reallocate");
+    for flows in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("flows", flows), &flows, |b, &flows| {
+            b.iter_batched(
+                || {
+                    let (topo, hosts, coord, _) = star_campus(
+                        12,
+                        Bandwidth::gbps(1.0),
+                        Bandwidth::gbps(10.0),
+                        SimDuration::from_micros(50),
+                    );
+                    let mut net: Network<u32> = Network::new(topo, Bandwidth::gbps(16.0), 1);
+                    for i in 0..flows {
+                        net.start_flow(
+                            SimTime::ZERO,
+                            hosts[i % hosts.len()],
+                            coord,
+                            1 << 30,
+                            TrafficClass::Checkpoint,
+                            i as u32,
+                        )
+                        .unwrap();
+                    }
+                    (net, hosts, coord)
+                },
+                |(mut net, hosts, coord)| {
+                    // Adding one more flow forces a full reallocation.
+                    net.start_flow(
+                        SimTime::from_millis(1),
+                        hosts[0],
+                        coord,
+                        1 << 20,
+                        TrafficClass::Migration,
+                        999,
+                    )
+                    .unwrap()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # gpunion-bench — experiment harnesses
+//!
+//! One binary per paper artefact (see DESIGN.md §3):
+//!
+//! | binary               | regenerates                         |
+//! |----------------------|-------------------------------------|
+//! | `fig2_utilization`   | Fig. 2 utilization comparison       |
+//! | `fig3_migration`     | Fig. 3 migration performance        |
+//! | `training_impact`    | §4 training-impact paragraph        |
+//! | `net_traffic`        | §4 network-traffic analysis         |
+//! | `scalability`        | §5.2 scalability discussion         |
+//! | `table1_comparison`  | Table 1 quantitative proxies        |
+//!
+//! Criterion benches measure the real data-structure costs: scheduling
+//! pass, protocol codec, checkpoint deltas, and max-min reallocation.

@@ -1,0 +1,299 @@
+//! SHA-256 (FIPS 180-4), implemented in-tree.
+//!
+//! The paper requires that "container images must pass SHA256 verification
+//! before deployment". Rather than pulling an external crypto crate, the
+//! digest is implemented here and validated against the FIPS 180-4 /
+//! NIST CAVP test vectors. Incremental hashing ([`Sha256::update`]) is
+//! supported so large image layers can be verified as they stream in.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Initial hash values: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Round constants: first 32 bits of the fractional parts of the cube roots
+/// of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// A 256-bit digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Hex-encode (lowercase), the `sha256:<hex>` form without the prefix.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            use fmt::Write;
+            write!(s, "{b:02x}").expect("writing to String cannot fail");
+        }
+        s
+    }
+
+    /// Parse a 64-char hex string.
+    pub fn from_hex(hex: &str) -> Option<Digest> {
+        if hex.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sha256:{}", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sha256:{}", self.to_hex())
+    }
+}
+
+/// Streaming SHA-256 state.
+#[derive(Clone)]
+pub struct Sha256 {
+    h: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hash state.
+    pub fn new() -> Self {
+        Sha256 {
+            h: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+
+    /// One-shot convenience.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut s = Sha256::new();
+        s.update(data);
+        s.finalize()
+    }
+
+    /// Absorb more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let need = 64 - self.buffered;
+            let take = need.min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().expect("exactly 64 bytes"));
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Apply padding and produce the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zeros until 8 bytes remain in the block.
+        self.update(&[0x80]);
+        // Note: update() adjusted total_len, but padding is not part of the
+        // message length — we captured bit_len first.
+        while self.buffered != 56 {
+            let zeros = if self.buffered < 56 {
+                56 - self.buffered
+            } else {
+                64 - self.buffered + 56
+            };
+            let pad = [0u8; 64];
+            self.update(&pad[..zeros]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, w) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+        self.h[5] = self.h[5].wrapping_add(f);
+        self.h[6] = self.h[6].wrapping_add(g);
+        self.h[7] = self.h[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-4 appendix test vectors (also NIST CAVP short messages).
+    #[test]
+    fn fips_vectors() {
+        let cases: [(&[u8], &str); 5] = [
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592",
+            ),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(Sha256::digest(input).to_hex(), expect);
+        }
+    }
+
+    /// The classic "one million a's" vector.
+    #[test]
+    fn million_a() {
+        let mut s = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            s.update(&chunk);
+        }
+        assert_eq!(
+            s.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    /// Incremental hashing must match one-shot for arbitrary split points.
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let oneshot = Sha256::digest(&data);
+        for split in [0, 1, 55, 56, 63, 64, 65, 127, 500, 999, 1000] {
+            let mut s = Sha256::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finalize(), oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = Sha256::digest(b"roundtrip");
+        let hex = d.to_hex();
+        assert_eq!(Digest::from_hex(&hex), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&hex[..63]), None);
+        assert!(Digest::from_hex(&"g".repeat(64)).is_none());
+    }
+
+    #[test]
+    fn display_prefixed() {
+        let d = Sha256::digest(b"abc");
+        assert!(d.to_string().starts_with("sha256:ba7816bf"));
+    }
+
+    proptest::proptest! {
+        /// Splitting the input anywhere gives the same digest (stronger
+        /// incremental/one-shot equivalence over random data).
+        #[test]
+        fn prop_incremental(data in proptest::collection::vec(proptest::num::u8::ANY, 0..2048), split in 0usize..2048) {
+            let split = split.min(data.len());
+            let oneshot = Sha256::digest(&data);
+            let mut s = Sha256::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            proptest::prop_assert_eq!(s.finalize(), oneshot);
+        }
+
+        /// Distinct inputs (almost surely) produce distinct digests; equal
+        /// inputs always produce equal digests.
+        #[test]
+        fn prop_deterministic(data in proptest::collection::vec(proptest::num::u8::ANY, 0..512)) {
+            proptest::prop_assert_eq!(Sha256::digest(&data), Sha256::digest(&data));
+        }
+    }
+}

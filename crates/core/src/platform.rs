@@ -1,0 +1,704 @@
+//! The assembled GPUnion platform: coordinator + agents + campus network.
+//!
+//! `Platform` is the world type of the top-level discrete-event simulation.
+//! It owns the simulated LAN, the coordinator, and one agent per GPU server,
+//! and routes everything between them: control envelopes ride
+//! [`gpunion_simnet::Network::send`], checkpoints/image pulls/restores ride
+//! flows, provider interruptions drive agents' REST endpoints or yank nodes
+//! off the network. A single self-rearming "pump" event advances all
+//! passive components.
+
+use gpunion_agent::{Action, Agent, AgentConfig, FlowPeer, FlowPurpose};
+use gpunion_container::ImageRegistry;
+use gpunion_des::{RngPool, Sim, SimDuration, SimTime};
+use gpunion_gpu::{GpuServer, ServerSpec};
+use gpunion_protocol::{
+    DispatchSpec, Envelope, ExecMode, JobId, Message, NodeUid, WorkloadState,
+};
+use gpunion_scheduler::{CoordAction, Coordinator, CoordinatorConfig, JobEvent};
+use gpunion_simnet::{
+    star_campus, Bandwidth, FlowOutcome, NetEvent, Network, NodeId, TrafficClass,
+};
+use gpunion_workload::{InteractiveSpec, TrainingJobSpec, TrainingRun};
+use std::collections::HashMap;
+
+/// What travels on the simulated network.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A control-plane envelope.
+    Ctrl(Box<Envelope>),
+    /// Completion context of a bulk flow.
+    FlowTag {
+        /// The agent that initiated the transfer.
+        agent_addr: NodeId,
+        /// Why it was transferring.
+        purpose: FlowPurpose,
+    },
+}
+
+/// Per-displacement record for the Fig. 3 analysis.
+#[derive(Debug, Clone)]
+pub struct Displacement {
+    /// The job.
+    pub job: JobId,
+    /// When it was displaced.
+    pub at: SimTime,
+    /// Checkpoint sequence it restores from (None = lost all work).
+    pub restore_seq: Option<u64>,
+    /// When it started running again (None = never within horizon).
+    pub restarted_at: Option<SimTime>,
+    /// Whether it restarted on its original (returning) node.
+    pub migrated_back: bool,
+}
+
+/// Platform-level statistics collected during a run.
+#[derive(Debug, Default)]
+pub struct PlatformStats {
+    /// Job lifecycle log.
+    pub job_log: HashMap<JobId, Vec<(SimTime, JobEvent)>>,
+    /// Map from the caller's submission tag to the assigned job id.
+    pub tag_to_job: HashMap<u64, JobId>,
+    /// Reverse map.
+    pub job_to_tag: HashMap<JobId, u64>,
+    /// Interactive sessions that got a GPU within the user's patience.
+    pub sessions_served: u64,
+    /// Sessions whose users gave up.
+    pub sessions_abandoned: u64,
+    /// Completed training jobs.
+    pub jobs_completed: u64,
+    /// All displacements (kill-switch, departures, heartbeat loss).
+    pub displacements: Vec<Displacement>,
+    /// Last durable checkpoint time per job (lost-work accounting).
+    pub last_checkpoint: HashMap<JobId, SimTime>,
+}
+
+impl PlatformStats {
+    fn log(&mut self, now: SimTime, job: JobId, event: JobEvent) {
+        self.job_log.entry(job).or_default().push((now, event));
+        match event {
+            JobEvent::Completed => self.jobs_completed += 1,
+            JobEvent::Requeued { restore_seq } => self.displacements.push(Displacement {
+                job,
+                at: now,
+                restore_seq,
+                restarted_at: None,
+                migrated_back: false,
+            }),
+            JobEvent::Started { .. } => {
+                if let Some(d) = self
+                    .displacements
+                    .iter_mut()
+                    .rev()
+                    .find(|d| d.job == job && d.restarted_at.is_none())
+                {
+                    d.restarted_at = Some(now);
+                }
+            }
+            JobEvent::MigratedBack { .. } => {
+                if let Some(d) = self
+                    .displacements
+                    .iter_mut()
+                    .rev()
+                    .find(|d| d.job == job)
+                {
+                    d.migrated_back = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// First time a given event kind appears for a job.
+    pub fn first_event(&self, job: JobId, pred: impl Fn(&JobEvent) -> bool) -> Option<SimTime> {
+        self.job_log
+            .get(&job)?
+            .iter()
+            .find(|(_, e)| pred(e))
+            .map(|(t, _)| *t)
+    }
+}
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Master seed for every stochastic stream.
+    pub seed: u64,
+    /// Coordinator settings (heartbeat period, strategy, …).
+    pub coordinator: CoordinatorConfig,
+    /// Access link speed.
+    pub access: Bandwidth,
+    /// Backbone speed.
+    pub backbone: Bandwidth,
+    /// One-way link latency.
+    pub link_latency: SimDuration,
+    /// Local disk rate for same-node copies.
+    pub local_disk: Bandwidth,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            seed: 42,
+            coordinator: CoordinatorConfig::default(),
+            access: Bandwidth::gbps(1.0),
+            backbone: Bandwidth::gbps(10.0),
+            link_latency: SimDuration::from_micros(50),
+            local_disk: Bandwidth::gbps(16.0),
+        }
+    }
+}
+
+/// The assembled platform (the simulation world).
+pub struct Platform {
+    /// The campus network.
+    pub net: Network<Payload>,
+    /// The central coordinator.
+    pub coordinator: Coordinator,
+    coordinator_addr: NodeId,
+    agents: HashMap<NodeId, Agent>,
+    addr_of_uid: HashMap<NodeUid, NodeId>,
+    /// The shared campus image registry (hosted on the coordinator).
+    pub registry: ImageRegistry,
+    /// Image references published at boot.
+    pub image_refs: Vec<gpunion_container::ImageRef>,
+    /// Canonical runs for jobs between placements (displaced state).
+    displaced_runs: HashMap<JobId, TrainingRun>,
+    /// Fresh-job specs, attached at first dispatch acceptance.
+    fresh_runs: HashMap<JobId, TrainingJobSpec>,
+    /// Collected statistics.
+    pub stats: PlatformStats,
+    pump_armed: Option<(SimTime, gpunion_des::EventId)>,
+}
+
+impl Platform {
+    /// Deploy the platform on a star campus: one agent per server spec
+    /// (CPU-only specs are skipped — the coordinator is separate).
+    /// Returns the platform and the simnet addresses of the GPU hosts, in
+    /// spec order.
+    pub fn deploy(config: &PlatformConfig, specs: &[ServerSpec]) -> (Platform, Vec<NodeId>) {
+        let gpu_specs: Vec<&ServerSpec> = specs.iter().filter(|s| !s.gpus.is_empty()).collect();
+        let (topo, hosts, coord_addr, _) = star_campus(
+            gpu_specs.len(),
+            config.access,
+            config.backbone,
+            config.link_latency,
+        );
+        let pool = RngPool::new(config.seed);
+        let mut net = Network::new(topo, config.local_disk, config.seed ^ 0x5151);
+        let _ = &mut net;
+        let mut coordinator = Coordinator::new(config.coordinator.clone(), config.seed ^ 0xC0);
+        coordinator.start(SimTime::ZERO);
+        let (registry, image_refs) = gpunion_container::standard_catalogue();
+        let mut agents = HashMap::new();
+        for (i, spec) in gpu_specs.iter().enumerate() {
+            let mut rng = pool.stream_n("agent-id", i as u64);
+            let agent_config = AgentConfig::new(spec.hostname.clone(), &mut rng);
+            let agent = Agent::new(agent_config, GpuServer::new((*spec).clone()));
+            agents.insert(hosts[i], agent);
+        }
+        let platform = Platform {
+            net,
+            coordinator,
+            coordinator_addr: coord_addr,
+            agents,
+            addr_of_uid: HashMap::new(),
+            registry,
+            image_refs,
+            displaced_runs: HashMap::new(),
+            fresh_runs: HashMap::new(),
+            stats: PlatformStats::default(),
+            pump_armed: None,
+        };
+        (platform, hosts)
+    }
+
+    /// Agent access by address (tests/harnesses).
+    pub fn agent(&self, addr: NodeId) -> Option<&Agent> {
+        self.agents.get(&addr)
+    }
+
+    /// Mutable agent access.
+    pub fn agent_mut(&mut self, addr: NodeId) -> Option<&mut Agent> {
+        self.agents.get_mut(&addr)
+    }
+
+    /// The coordinator's simnet address.
+    pub fn coordinator_addr(&self) -> NodeId {
+        self.coordinator_addr
+    }
+
+    /// Mean GPU utilization per host address since boot.
+    pub fn utilization_by_host(&mut self, now: SimTime) -> Vec<(NodeId, String, f64)> {
+        let mut out: Vec<(NodeId, String, f64)> = self
+            .agents
+            .iter_mut()
+            .map(|(addr, a)| {
+                let name = a.config().hostname.clone();
+                (*addr, name, a.server_mut().mean_utilization(now))
+            })
+            .collect();
+        out.sort_by_key(|(a, _, _)| *a);
+        out
+    }
+
+    /// Campus-wide GPU-weighted mean utilization.
+    pub fn mean_utilization(&mut self, now: SimTime) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0usize;
+        for a in self.agents.values_mut() {
+            let n = a.server().gpu_count();
+            weighted += a.server_mut().mean_utilization(now) * n as f64;
+            total += n;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            weighted / total as f64
+        }
+    }
+
+    // ---- boot ----------------------------------------------------------
+
+    /// Kick everything off: agents register at slightly staggered times.
+    pub fn boot(world: &mut Platform, sim: &mut Sim<Platform>) {
+        let addrs: Vec<NodeId> = world.agents.keys().copied().collect();
+        for (i, addr) in addrs.into_iter().enumerate() {
+            sim.schedule_at(
+                SimTime::from_millis(10 + i as u64 * 3),
+                move |w: &mut Platform, sim: &mut Sim<Platform>| {
+                    let actions = w
+                        .agents
+                        .get_mut(&addr)
+                        .expect("agent exists")
+                        .start_registration(sim.now());
+                    w.apply_agent_actions(sim.now(), addr, actions);
+                    w.pump(sim);
+                },
+            );
+        }
+    }
+
+    // ---- submissions -----------------------------------------------------
+
+    /// Submit a training job right now. `tag` links the submission to the
+    /// harness's trace index.
+    pub fn submit_training(
+        &mut self,
+        now: SimTime,
+        tag: u64,
+        spec: &TrainingJobSpec,
+        storage_nodes: Vec<NodeUid>,
+    ) -> JobId {
+        let profile = spec.model.profile();
+        let image = &self.image_refs[0];
+        let dispatch = DispatchSpec {
+            job: JobId(0),
+            image_repo: image.repository.clone(),
+            image_tag: image.tag.clone(),
+            image_digest: image.digest.0,
+            gpus: spec.gpus,
+            gpu_mem_bytes: profile.gpu_mem_bytes,
+            min_cc: profile.min_cc.map(|cc| (cc.major, cc.minor)),
+            mode: ExecMode::Batch {
+                entrypoint: vec!["python".into(), "train.py".into()],
+            },
+            checkpoint_interval_secs: spec.checkpoint_interval.as_secs() as u32,
+            storage_nodes,
+            state_bytes_hint: profile.state_bytes,
+            restore_from_seq: None,
+            priority: spec.priority,
+        };
+        let (job, actions) = self.coordinator.submit_job(now, dispatch);
+        self.fresh_runs.insert(job, spec.clone());
+        self.stats.tag_to_job.insert(tag, job);
+        self.stats.job_to_tag.insert(job, tag);
+        self.apply_coord_actions(now, actions);
+        job
+    }
+
+    /// Submit an interactive session; returns the job id. The caller is
+    /// responsible for ending it (see `Scenario::submit_interactive_at`).
+    pub fn submit_interactive(&mut self, now: SimTime, tag: u64, spec: &InteractiveSpec) -> JobId {
+        let image = &self.image_refs[1];
+        let dispatch = DispatchSpec {
+            job: JobId(0),
+            image_repo: image.repository.clone(),
+            image_tag: image.tag.clone(),
+            image_digest: image.digest.0,
+            gpus: 1,
+            gpu_mem_bytes: spec.gpu_mem_bytes,
+            min_cc: None,
+            mode: ExecMode::Interactive { port: 8888 },
+            checkpoint_interval_secs: 0,
+            storage_nodes: vec![],
+            state_bytes_hint: 0,
+            restore_from_seq: None,
+            priority: 3, // humans waiting rank above batch
+        };
+        let (job, actions) = self.coordinator.submit_job(now, dispatch);
+        self.stats.tag_to_job.insert(tag, job);
+        self.stats.job_to_tag.insert(job, tag);
+        self.apply_coord_actions(now, actions);
+        job
+    }
+
+    /// Cancel a job (user action / session end).
+    pub fn cancel(&mut self, now: SimTime, job: JobId) {
+        let actions = self.coordinator.cancel_job(now, job);
+        self.apply_coord_actions(now, actions);
+    }
+
+    // ---- provider interruptions ---------------------------------------
+
+    /// Graceful (scheduled) departure of the host at `addr`.
+    pub fn scheduled_departure(&mut self, now: SimTime, addr: NodeId) {
+        let Some(agent) = self.agents.get_mut(&addr) else {
+            return;
+        };
+        let grace = agent.config().departure_grace;
+        let actions = agent.depart(
+            now,
+            gpunion_protocol::DepartureMode::Graceful {
+                grace_secs: grace.as_secs() as u32,
+            },
+        );
+        self.apply_agent_actions(now, addr, actions);
+    }
+
+    /// Emergency departure: the node vanishes without warning.
+    pub fn emergency_departure(&mut self, now: SimTime, addr: NodeId) {
+        // Harvest rolled-back runs for every workload on the node before the
+        // lights go out (the durable checkpoints they restore from).
+        self.harvest_runs(addr);
+        let events = self.net.set_node_up(now, addr, false);
+        self.route_net_events(now, events);
+    }
+
+    /// The provider returns after an outage; the agent re-registers.
+    pub fn provider_return(&mut self, now: SimTime, addr: NodeId) {
+        let _ = self.net.set_node_up(now, addr, true);
+        if let Some(agent) = self.agents.get_mut(&addr) {
+            let actions = agent.reconnect(now);
+            self.apply_agent_actions(now, addr, actions);
+        }
+    }
+
+    fn harvest_runs(&mut self, addr: NodeId) {
+        // Jobs currently hosted by this agent whose state we must preserve
+        // (rolled back to the last captured checkpoint).
+        let Some(agent) = self.agents.get_mut(&addr) else {
+            return;
+        };
+        let jobs: Vec<JobId> = self
+            .stats
+            .job_log
+            .keys()
+            .copied()
+            .collect();
+        for job in jobs {
+            if let Some(mut run) = agent.take_run(job) {
+                run.rollback_to_checkpoint();
+                agent.forget_workload(job);
+                self.displaced_runs.insert(job, run);
+            }
+        }
+    }
+
+    // ---- action routing -------------------------------------------------
+
+    /// Apply coordinator actions: sends become network messages after their
+    /// scheduling delay; job events are logged.
+    pub fn apply_coord_actions(&mut self, now: SimTime, actions: Vec<CoordAction>) {
+        for action in actions {
+            match action {
+                CoordAction::Send { to, msg, delay } => {
+                    let Some(&addr) = self.addr_of_uid.get(&to) else {
+                        // Destination not yet mapped (registration in
+                        // flight); RegisterAck handles its own mapping below.
+                        continue;
+                    };
+                    let env = Envelope::new(gpunion_protocol::AuthToken::UNAUTHENTICATED, msg);
+                    let size = env.wire_size();
+                    let from = self.coordinator_addr;
+                    let at = now + delay;
+                    // Model the delay by sending at `now` with the payload
+                    // carrying no extra latency when delay is zero;
+                    // otherwise the send itself is deferred via the pump
+                    // (handled by the scenario layer scheduling). For
+                    // in-Platform use we send immediately after the delay has
+                    // been accounted in the coordinator's pass timing.
+                    let _ = at;
+                    let _ = self.net.send(
+                        now,
+                        from,
+                        addr,
+                        size,
+                        TrafficClass::Control,
+                        Payload::Ctrl(Box::new(env)),
+                    );
+                }
+                CoordAction::JobEvent { job, event } => {
+                    self.stats.log(now, job, event);
+                }
+            }
+        }
+    }
+
+    /// Apply agent actions.
+    pub fn apply_agent_actions(&mut self, now: SimTime, addr: NodeId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send(msg) => {
+                    // Harvest displaced runs on kill notifications before the
+                    // message leaves (the coordinator may immediately
+                    // redispatch).
+                    if let Message::WorkloadUpdate { status, .. } = &msg {
+                        if status.state == WorkloadState::Killed {
+                            if let Some(agent) = self.agents.get_mut(&addr) {
+                                if let Some(run) = agent.take_run(status.job) {
+                                    agent.forget_workload(status.job);
+                                    self.displaced_runs.insert(status.job, run);
+                                }
+                            }
+                        }
+                    }
+                    let (token, uid) = self
+                        .agents
+                        .get(&addr)
+                        .map(|a| (a.token(), a.uid()))
+                        .unwrap_or((gpunion_protocol::AuthToken::UNAUTHENTICATED, None));
+                    let env = match uid {
+                        Some(uid) => Envelope::from_node(uid, token, msg),
+                        None => Envelope::new(token, msg),
+                    };
+                    let size = env.wire_size();
+                    let _ = self.net.send(
+                        now,
+                        addr,
+                        self.coordinator_addr,
+                        size,
+                        TrafficClass::Control,
+                        Payload::Ctrl(Box::new(env)),
+                    );
+                }
+                Action::StartFlow {
+                    peer,
+                    inbound,
+                    bytes,
+                    purpose,
+                } => {
+                    let peer_addr = match peer {
+                        FlowPeer::Coordinator => self.coordinator_addr,
+                        FlowPeer::Node(uid) => self
+                            .addr_of_uid
+                            .get(&uid)
+                            .copied()
+                            .unwrap_or(self.coordinator_addr),
+                    };
+                    let (from, to) = if inbound {
+                        (peer_addr, addr)
+                    } else {
+                        (addr, peer_addr)
+                    };
+                    let class = match purpose {
+                        FlowPurpose::ImagePull { .. } => TrafficClass::ImagePull,
+                        FlowPurpose::CheckpointUpload { .. } => TrafficClass::Checkpoint,
+                        FlowPurpose::RestoreFetch { .. } => TrafficClass::Migration,
+                    };
+                    let tag = Payload::FlowTag {
+                        agent_addr: addr,
+                        purpose,
+                    };
+                    if self
+                        .net
+                        .start_flow(now, from, to, bytes.max(1), class, tag)
+                        .is_err()
+                    {
+                        // Unreachable peer: fail the transfer immediately.
+                        let actions = self
+                            .agents
+                            .get_mut(&addr)
+                            .map(|a| a.on_flow_done(now, purpose, false, &self.registry))
+                            .unwrap_or_default();
+                        self.apply_agent_actions(now, addr, actions);
+                    }
+                }
+                Action::GoOffline => {
+                    let events = self.net.set_node_up(now, addr, false);
+                    self.route_net_events(now, events);
+                }
+            }
+        }
+    }
+
+    fn route_net_events(&mut self, now: SimTime, events: Vec<NetEvent<Payload>>) {
+        for ev in events {
+            match ev {
+                NetEvent::Delivered { to, payload, .. } => match payload {
+                    Payload::Ctrl(env) => {
+                        if to == self.coordinator_addr {
+                            self.deliver_to_coordinator(now, *env);
+                        } else {
+                            self.deliver_to_agent(now, to, *env);
+                        }
+                    }
+                    Payload::FlowTag { .. } => {
+                        unreachable!("flow tags never ride messages")
+                    }
+                },
+                NetEvent::FlowEnded { outcome, tag, .. } => {
+                    if let Payload::FlowTag { agent_addr, purpose } = tag {
+                        let ok = outcome == FlowOutcome::Completed;
+                        let actions = self
+                            .agents
+                            .get_mut(&agent_addr)
+                            .map(|a| a.on_flow_done(now, purpose, ok, &self.registry))
+                            .unwrap_or_default();
+                        self.apply_agent_actions(now, agent_addr, actions);
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver_to_coordinator(&mut self, now: SimTime, env: Envelope) {
+        if let Message::CheckpointDone { job, .. } = &env.msg {
+            self.stats.last_checkpoint.insert(*job, now);
+        }
+        // Learn uid → address mappings from registrations: the coordinator
+        // answers with a RegisterAck carrying the uid; to route it we peek.
+        let pre_register_addr = if let Message::Register { machine_id, .. } = &env.msg {
+            self.agents
+                .iter()
+                .find(|(_, a)| a.config().machine_id == *machine_id)
+                .map(|(addr, _)| *addr)
+        } else {
+            None
+        };
+        let actions = self.coordinator.handle_envelope(now, env);
+        // Capture the uid mapping from the ack.
+        if let Some(addr) = pre_register_addr {
+            for a in &actions {
+                if let CoordAction::Send {
+                    msg: Message::RegisterAck { node, .. },
+                    ..
+                } = a
+                {
+                    self.addr_of_uid.insert(*node, addr);
+                }
+            }
+        }
+        self.apply_coord_actions(now, actions);
+    }
+
+    fn deliver_to_agent(&mut self, now: SimTime, addr: NodeId, env: Envelope) {
+        // Fresh-run attachment: if this is a dispatch the agent accepts, the
+        // canonical run must be attached immediately after.
+        let dispatch_job = match &env.msg {
+            Message::Dispatch { spec } => Some((spec.job, spec.restore_from_seq)),
+            _ => None,
+        };
+        let Some(agent) = self.agents.get_mut(&addr) else {
+            return;
+        };
+        let actions = agent.handle_message(now, env.msg, &self.registry);
+        // Attach run on acceptance.
+        if let Some((job, restore)) = dispatch_job {
+            let accepted = actions.iter().any(|a| {
+                matches!(
+                    a,
+                    Action::Send(Message::DispatchReply { accepted: true, .. })
+                )
+            });
+            if accepted {
+                let run = if restore.is_some() {
+                    self.displaced_runs.remove(&job)
+                } else {
+                    None
+                };
+                let run = run.or_else(|| {
+                    self.fresh_runs
+                        .get(&job)
+                        .map(|spec| TrainingRun::new(spec.clone()))
+                });
+                if let Some(run) = run {
+                    if let Some(agent) = self.agents.get_mut(&addr) {
+                        agent.attach_run(job, run);
+                    }
+                }
+            }
+        }
+        self.apply_agent_actions(now, addr, actions);
+    }
+
+    // ---- the pump ---------------------------------------------------------
+
+    /// Advance every passive component to `sim.now()` and re-arm the wake.
+    pub fn pump(&mut self, sim: &mut Sim<Platform>) {
+        let now = sim.now();
+        loop {
+            let mut progressed = false;
+            let events = self.net.poll(now);
+            if !events.is_empty() {
+                self.route_net_events(now, events);
+                progressed = true;
+            }
+            if self
+                .coordinator
+                .next_wake()
+                .map(|t| t <= now)
+                .unwrap_or(false)
+            {
+                let actions = self.coordinator.on_wake(now);
+                self.apply_coord_actions(now, actions);
+                progressed = true;
+            }
+            let addrs: Vec<NodeId> = self
+                .agents
+                .iter()
+                .filter(|(_, a)| a.next_wake().map(|t| t <= now).unwrap_or(false))
+                .map(|(addr, _)| *addr)
+                .collect();
+            for addr in addrs {
+                let agent = self.agents.get_mut(&addr).expect("listed");
+                let mut actions = agent.on_wake(now);
+                if agent.has_pending_verifications() {
+                    actions.extend(agent.complete_verifications(now, &self.registry));
+                }
+                self.apply_agent_actions(now, addr, actions);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.arm_pump(sim);
+    }
+
+    fn arm_pump(&mut self, sim: &mut Sim<Platform>) {
+        let mut next = self.net.next_event_at();
+        let mut fold = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                next = Some(next.map_or(t, |n: SimTime| n.min(t)));
+            }
+        };
+        fold(self.coordinator.next_wake());
+        for a in self.agents.values() {
+            fold(a.next_wake());
+        }
+        let Some(at) = next else {
+            return;
+        };
+        if let Some((armed_at, id)) = self.pump_armed {
+            if armed_at <= at {
+                return; // an earlier or equal wake is already pending
+            }
+            sim.cancel(id);
+        }
+        let id = sim.schedule_at(at, |w: &mut Platform, sim: &mut Sim<Platform>| {
+            w.pump_armed = None;
+            w.pump(sim);
+        });
+        self.pump_armed = Some((at, id));
+    }
+}

@@ -1,0 +1,160 @@
+//! Scenario driver: a `Sim<Platform>` plus injection helpers.
+//!
+//! Harnesses describe *what happens when* (job arrivals, session arrivals,
+//! provider interruptions); the scenario schedules it all and runs the
+//! event loop.
+
+use crate::platform::{Platform, PlatformConfig};
+use gpunion_des::{Sim, SimTime};
+use gpunion_gpu::ServerSpec;
+use gpunion_protocol::JobId;
+use gpunion_scheduler::JobEvent;
+use gpunion_simnet::NodeId;
+use gpunion_workload::{InteractiveSpec, InterruptionEvent, InterruptionKind, TrainingJobSpec};
+
+/// An attributed interruption (for per-class migration analysis).
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedInterruption {
+    /// When it hit.
+    pub at: SimTime,
+    /// Which host.
+    pub host: NodeId,
+    /// Class.
+    pub kind: InterruptionKind,
+    /// When the provider returned.
+    pub returns_at: SimTime,
+}
+
+/// The scenario runner.
+pub struct Scenario {
+    sim: Sim<Platform>,
+    /// The platform under test (public for report extraction).
+    pub world: Platform,
+    hosts: Vec<NodeId>,
+    /// Everything injected, for later attribution.
+    pub injected: Vec<InjectedInterruption>,
+}
+
+impl Scenario {
+    /// Deploy and boot a platform on the given server specs.
+    pub fn new(config: PlatformConfig, specs: &[ServerSpec]) -> Self {
+        let (mut world, hosts) = Platform::deploy(&config, specs);
+        let mut sim = Sim::new();
+        Platform::boot(&mut world, &mut sim);
+        Scenario {
+            sim,
+            world,
+            hosts,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Simnet addresses of the GPU hosts, in spec order.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Run the world forward to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(&mut self.world, t);
+    }
+
+    /// Schedule an arbitrary action against the platform.
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut Platform, SimTime) + 'static,
+    ) {
+        self.sim
+            .schedule_at(at, move |w: &mut Platform, sim: &mut Sim<Platform>| {
+                f(w, sim.now());
+                w.pump(sim);
+            });
+    }
+
+    /// Submit a training job at `at`, tagged with the caller's index.
+    pub fn submit_training_at(&mut self, at: SimTime, tag: u64, spec: TrainingJobSpec) {
+        self.schedule(at, move |w, now| {
+            w.submit_training(now, tag, &spec, vec![]);
+        });
+    }
+
+    /// Submit an interactive session at `at` with full lifecycle management:
+    /// abandoned if not running within patience, otherwise ended after its
+    /// duration.
+    pub fn submit_interactive_at(&mut self, at: SimTime, tag: u64, spec: InteractiveSpec) {
+        let patience = spec.patience;
+        let duration = spec.duration;
+        self.sim
+            .schedule_at(at, move |w: &mut Platform, sim: &mut Sim<Platform>| {
+                let job = w.submit_interactive(sim.now(), tag, &spec);
+                // Patience check.
+                sim.schedule_in(patience, move |w: &mut Platform, sim: &mut Sim<Platform>| {
+                    let started = w
+                        .stats
+                        .first_event(job, |e| matches!(e, JobEvent::Started { .. }));
+                    match started {
+                        Some(start) => {
+                            w.stats.sessions_served += 1;
+                            let end = start + duration;
+                            sim.schedule_at(
+                                end.max(sim.now()),
+                                move |w: &mut Platform, sim: &mut Sim<Platform>| {
+                                    w.cancel(sim.now(), job);
+                                    w.pump(sim);
+                                },
+                            );
+                        }
+                        None => {
+                            w.stats.sessions_abandoned += 1;
+                            w.cancel(sim.now(), job);
+                        }
+                    }
+                    w.pump(sim);
+                });
+                w.pump(sim);
+            });
+    }
+
+    /// Inject provider interruptions. `volunteer_hosts` maps the event's
+    /// `node_index` to a simnet host address.
+    pub fn inject_interruptions(
+        &mut self,
+        events: &[InterruptionEvent],
+        volunteer_hosts: &[NodeId],
+    ) {
+        for ev in events {
+            let Some(&host) = volunteer_hosts.get(ev.node_index) else {
+                continue;
+            };
+            self.injected.push(InjectedInterruption {
+                at: ev.at,
+                host,
+                kind: ev.kind,
+                returns_at: ev.returns_at,
+            });
+            let kind = ev.kind;
+            let returns = ev.returns_at;
+            self.schedule(ev.at, move |w, now| match kind {
+                InterruptionKind::ScheduledDeparture => w.scheduled_departure(now, host),
+                InterruptionKind::EmergencyDeparture
+                | InterruptionKind::TemporaryUnavailability => {
+                    w.emergency_departure(now, host)
+                }
+            });
+            self.schedule(returns, move |w, now| {
+                w.provider_return(now, host);
+            });
+        }
+    }
+
+    /// Look up the job id assigned to a submission tag.
+    pub fn job_of(&self, tag: u64) -> Option<JobId> {
+        self.world.stats.tag_to_job.get(&tag).copied()
+    }
+}

@@ -1,0 +1,380 @@
+//! The coordinator's system database: typed tables + the pending-request
+//! priority queue.
+//!
+//! §3.5: allocation works through "a round-robin scheduler (which processes
+//! pending resource requests from a priority queue stored in the central
+//! database)". This module provides that queue plus the node / job /
+//! allocation tables, all WAL-backed so the coordinator can recover its
+//! state after a restart.
+
+use crate::wal::Wal;
+use gpunion_des::SimTime;
+use gpunion_protocol::{JobId, NodeUid};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Liveness state of a registered node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Heartbeating and accepting work.
+    Active,
+    /// Provider paused new allocations (existing workloads keep running).
+    Paused,
+    /// Missed heartbeats / announced departure.
+    Unavailable,
+    /// Gracefully departed (may return).
+    Departed,
+}
+
+/// A registered node row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// Uid assigned at registration.
+    pub uid: NodeUid,
+    /// Hostname.
+    pub hostname: String,
+    /// GPU count (inventory detail lives with the scheduler's directory).
+    pub gpu_count: u8,
+    /// Registration time.
+    pub registered_at: SimTime,
+    /// Current liveness.
+    pub state: NodeState,
+}
+
+/// A job row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub job: JobId,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Priority (higher first).
+    pub priority: u8,
+    /// Wire-state of the job.
+    pub state: JobState,
+}
+
+/// Job lifecycle as the database sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// In the pending queue.
+    Pending,
+    /// Placed on a node.
+    Allocated,
+    /// Finished.
+    Completed,
+    /// Failed permanently.
+    Failed,
+    /// Cancelled by user or provider with no requeue.
+    Cancelled,
+}
+
+/// An allocation row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationRecord {
+    /// Job.
+    pub job: JobId,
+    /// Node the job runs on.
+    pub node: NodeUid,
+    /// GPU indices bound on that node.
+    pub gpu_indices: Vec<u8>,
+    /// When the allocation was made.
+    pub at: SimTime,
+}
+
+/// The system database.
+#[derive(Debug, Default)]
+pub struct SystemDb {
+    nodes: BTreeMap<NodeUid, NodeRecord>,
+    jobs: BTreeMap<JobId, JobRecord>,
+    allocations: BTreeMap<JobId, AllocationRecord>,
+    /// (priority DESC via Reverse, FIFO seq ASC, job).
+    pending: BTreeSet<(u8, u64, JobId)>,
+    pending_seq: u64,
+    wal: Wal,
+    /// Write operations performed (contention-model input).
+    writes: u64,
+}
+
+impl SystemDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total write operations (inserts/updates) performed.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// WAL size in bytes.
+    pub fn wal_bytes(&self) -> usize {
+        self.wal.len_bytes()
+    }
+
+    fn log(&mut self, tag: &str, key: u64) {
+        // Durability record: tag + key. Payload content is secondary for the
+        // simulation; the WAL's framing/recovery machinery is the real part.
+        let mut payload = Vec::with_capacity(tag.len() + 8);
+        payload.extend_from_slice(tag.as_bytes());
+        payload.extend_from_slice(&key.to_le_bytes());
+        self.wal.append(&payload).expect("small record");
+        self.writes += 1;
+    }
+
+    // ---- nodes ----
+
+    /// Insert or replace a node row.
+    pub fn upsert_node(&mut self, rec: NodeRecord) {
+        self.log("node", rec.uid.0);
+        self.nodes.insert(rec.uid, rec);
+    }
+
+    /// Fetch a node row.
+    pub fn node(&self, uid: NodeUid) -> Option<&NodeRecord> {
+        self.nodes.get(&uid)
+    }
+
+    /// Set a node's liveness state. Returns false if unknown.
+    pub fn set_node_state(&mut self, uid: NodeUid, state: NodeState) -> bool {
+        let Some(n) = self.nodes.get_mut(&uid) else {
+            return false;
+        };
+        n.state = state;
+        self.writes += 1;
+        true
+    }
+
+    /// All nodes in a given state.
+    pub fn nodes_in_state(&self, state: NodeState) -> Vec<&NodeRecord> {
+        self.nodes.values().filter(|n| n.state == state).collect()
+    }
+
+    /// Count of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    // ---- jobs + pending queue ----
+
+    /// Insert a job and enqueue it as pending.
+    pub fn submit_job(&mut self, job: JobId, submitted_at: SimTime, priority: u8) {
+        self.log("job", job.0);
+        self.jobs.insert(
+            job,
+            JobRecord {
+                job,
+                submitted_at,
+                priority,
+                state: JobState::Pending,
+            },
+        );
+        self.pending.insert((priority, self.pending_seq, job));
+        self.pending_seq += 1;
+    }
+
+    /// Fetch a job row.
+    pub fn job(&self, job: JobId) -> Option<&JobRecord> {
+        self.jobs.get(&job)
+    }
+
+    /// Number of pending jobs.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Peek the next pending job: highest priority first, FIFO within a
+    /// priority class.
+    pub fn peek_pending(&self) -> Option<JobId> {
+        self.pending_in_order().into_iter().next()
+    }
+
+    /// Pending jobs in dispatch order (highest priority, then FIFO).
+    pub fn pending_in_order(&self) -> Vec<JobId> {
+        let mut by_prio: Vec<&(u8, u64, JobId)> = self.pending.iter().collect();
+        // Sort: priority DESC, seq ASC.
+        by_prio.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        by_prio.into_iter().map(|(_, _, j)| *j).collect()
+    }
+
+    /// Remove a job from the pending queue (it was allocated or cancelled).
+    /// Returns false when it was not pending.
+    pub fn take_pending(&mut self, job: JobId) -> bool {
+        let found = self
+            .pending
+            .iter()
+            .find(|(_, _, j)| *j == job)
+            .copied();
+        match found {
+            Some(entry) => {
+                self.pending.remove(&entry);
+                self.writes += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-enqueue a job (migration after node loss). Keeps its priority but
+    /// goes to the back of its class.
+    pub fn requeue_job(&mut self, job: JobId) -> bool {
+        let Some(rec) = self.jobs.get_mut(&job) else {
+            return false;
+        };
+        rec.state = JobState::Pending;
+        let priority = rec.priority;
+        self.allocations.remove(&job);
+        self.pending.insert((priority, self.pending_seq, job));
+        self.pending_seq += 1;
+        self.log("requeue", job.0);
+        true
+    }
+
+    /// Update a job's state.
+    pub fn set_job_state(&mut self, job: JobId, state: JobState) -> bool {
+        let Some(rec) = self.jobs.get_mut(&job) else {
+            return false;
+        };
+        rec.state = state;
+        self.writes += 1;
+        true
+    }
+
+    // ---- allocations ----
+
+    /// Record an allocation (job leaves pending).
+    pub fn allocate(&mut self, job: JobId, node: NodeUid, gpu_indices: Vec<u8>, at: SimTime) {
+        self.take_pending(job);
+        self.set_job_state(job, JobState::Allocated);
+        self.log("alloc", job.0);
+        self.allocations.insert(
+            job,
+            AllocationRecord {
+                job,
+                node,
+                gpu_indices,
+                at,
+            },
+        );
+    }
+
+    /// The allocation of a job, if placed.
+    pub fn allocation(&self, job: JobId) -> Option<&AllocationRecord> {
+        self.allocations.get(&job)
+    }
+
+    /// Jobs currently allocated on a node.
+    pub fn jobs_on_node(&self, node: NodeUid) -> Vec<JobId> {
+        self.allocations
+            .values()
+            .filter(|a| a.node == node)
+            .map(|a| a.job)
+            .collect()
+    }
+
+    /// Remove an allocation (job finished or was torn down).
+    pub fn deallocate(&mut self, job: JobId) -> bool {
+        let existed = self.allocations.remove(&job).is_some();
+        if existed {
+            self.writes += 1;
+        }
+        existed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn node(uid: u64) -> NodeRecord {
+        NodeRecord {
+            uid: NodeUid(uid),
+            hostname: format!("ws-{uid}"),
+            gpu_count: 1,
+            registered_at: t(0),
+            state: NodeState::Active,
+        }
+    }
+
+    #[test]
+    fn node_crud() {
+        let mut db = SystemDb::new();
+        db.upsert_node(node(1));
+        db.upsert_node(node(2));
+        assert_eq!(db.node_count(), 2);
+        assert_eq!(db.node(NodeUid(1)).unwrap().hostname, "ws-1");
+        assert!(db.set_node_state(NodeUid(2), NodeState::Unavailable));
+        assert_eq!(db.nodes_in_state(NodeState::Active).len(), 1);
+        assert_eq!(db.nodes_in_state(NodeState::Unavailable).len(), 1);
+        assert!(!db.set_node_state(NodeUid(9), NodeState::Active));
+    }
+
+    #[test]
+    fn pending_queue_priority_then_fifo() {
+        let mut db = SystemDb::new();
+        db.submit_job(JobId(1), t(0), 1);
+        db.submit_job(JobId(2), t(1), 5);
+        db.submit_job(JobId(3), t(2), 1);
+        db.submit_job(JobId(4), t(3), 5);
+        assert_eq!(db.pending_in_order(), vec![JobId(2), JobId(4), JobId(1), JobId(3)]);
+        assert_eq!(db.peek_pending(), Some(JobId(2)));
+    }
+
+    #[test]
+    fn allocate_removes_from_pending() {
+        let mut db = SystemDb::new();
+        db.submit_job(JobId(1), t(0), 1);
+        assert_eq!(db.pending_count(), 1);
+        db.allocate(JobId(1), NodeUid(3), vec![0], t(5));
+        assert_eq!(db.pending_count(), 0);
+        assert_eq!(db.job(JobId(1)).unwrap().state, JobState::Allocated);
+        let a = db.allocation(JobId(1)).unwrap();
+        assert_eq!(a.node, NodeUid(3));
+        assert_eq!(db.jobs_on_node(NodeUid(3)), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn requeue_after_node_loss() {
+        let mut db = SystemDb::new();
+        db.submit_job(JobId(1), t(0), 3);
+        db.allocate(JobId(1), NodeUid(3), vec![0], t(5));
+        assert!(db.requeue_job(JobId(1)));
+        assert_eq!(db.pending_count(), 1);
+        assert_eq!(db.job(JobId(1)).unwrap().state, JobState::Pending);
+        assert!(db.allocation(JobId(1)).is_none());
+        // Priority preserved.
+        assert_eq!(db.peek_pending(), Some(JobId(1)));
+    }
+
+    #[test]
+    fn requeue_goes_behind_same_priority_peers() {
+        let mut db = SystemDb::new();
+        db.submit_job(JobId(1), t(0), 1);
+        db.submit_job(JobId(2), t(1), 1);
+        db.allocate(JobId(1), NodeUid(3), vec![0], t(5));
+        db.requeue_job(JobId(1));
+        assert_eq!(db.pending_in_order(), vec![JobId(2), JobId(1)]);
+    }
+
+    #[test]
+    fn take_pending_unknown_is_false() {
+        let mut db = SystemDb::new();
+        assert!(!db.take_pending(JobId(404)));
+        assert!(!db.requeue_job(JobId(404)));
+    }
+
+    #[test]
+    fn writes_counted_and_wal_grows() {
+        let mut db = SystemDb::new();
+        let w0 = db.write_count();
+        db.upsert_node(node(1));
+        db.submit_job(JobId(1), t(0), 1);
+        db.allocate(JobId(1), NodeUid(1), vec![0], t(1));
+        assert!(db.write_count() > w0);
+        assert!(db.wal_bytes() > 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! The discrete-event simulator core.
+//!
+//! A [`Sim<W>`] owns the virtual clock and a priority queue of scheduled
+//! events. Events are boxed `FnOnce(&mut W, &mut Sim<W>)` closures: they
+//! receive mutable access both to the world state `W` and to the simulator
+//! itself, so handlers can schedule follow-up events, cancel timers, and read
+//! the clock.
+//!
+//! Determinism: events at the same instant fire in the order they were
+//! scheduled (a monotonically increasing sequence number breaks ties), so a
+//! simulation with a fixed seed is exactly reproducible. This mirrors the
+//! design of event-driven network stacks where reproducibility under fault
+//! injection is a first-class requirement.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier for a scheduled event, used to cancel pending timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Action<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Discrete-event simulator over a world state `W`.
+///
+/// ```
+/// use gpunion_des::{Sim, SimDuration, SimTime};
+///
+/// #[derive(Default)]
+/// struct World { pings: u32 }
+///
+/// let mut sim = Sim::new();
+/// let mut world = World::default();
+/// sim.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| w.pings += 1);
+/// sim.schedule_in(SimDuration::from_secs(2), |w: &mut World, _| w.pings += 1);
+/// sim.run(&mut world);
+/// assert_eq!(world.pings, 2);
+/// assert_eq!(sim.now(), SimTime::from_secs(2));
+/// ```
+pub struct Sim<W> {
+    now: SimTime,
+    heap: BinaryHeap<Scheduled<W>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A fresh simulator with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostics / cost accounting).
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (excluding cancelled ones not yet popped).
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    /// Schedule `action` at absolute time `at`. Scheduling in the past fires
+    /// the event at the current instant instead (never rewinds the clock).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `action` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Schedule `action` at the current instant, after already-queued events
+    /// for this instant.
+    pub fn schedule_now(&mut self, action: impl FnOnce(&mut W, &mut Sim<W>) + 'static) -> EventId {
+        self.schedule_at(self.now, action)
+    }
+
+    /// Cancel a pending event. Returns `true` if the event had not yet fired.
+    /// Cancelling an already-fired or already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Schedule a repeating event with a fixed period. The action runs first
+    /// after one full `period`, then repeatedly until it returns `false` or
+    /// is cancelled via the returned id's *current* incarnation.
+    ///
+    /// Note: because each firing re-schedules itself, the returned [`EventId`]
+    /// only cancels the *first* pending occurrence. For cancellable periodic
+    /// timers, have the closure consult world state and return `false`.
+    pub fn schedule_every(
+        &mut self,
+        period: SimDuration,
+        action: impl FnMut(&mut W, &mut Sim<W>) -> bool + 'static,
+    ) -> EventId {
+        fn tick<W>(
+            period: SimDuration,
+            mut action: impl FnMut(&mut W, &mut Sim<W>) -> bool + 'static,
+            w: &mut W,
+            sim: &mut Sim<W>,
+        ) {
+            if action(w, sim) {
+                sim.schedule_in(period, move |w, sim| tick(period, action, w, sim));
+            }
+        }
+        self.schedule_in(period, move |w, sim| tick(period, action, w, sim))
+    }
+
+    /// Run until the queue drains. Returns the number of events executed.
+    pub fn run(&mut self, world: &mut W) -> u64 {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Run until the queue drains or the next event lies strictly after
+    /// `deadline`. The clock is left at the later of its current value and
+    /// the deadline-capped last event time; it never exceeds `deadline`
+    /// unless `deadline` is [`SimTime::MAX`].
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> u64 {
+        let start_count = self.executed;
+        while let Some(ev) = self.heap.peek() {
+            if ev.at > deadline {
+                // Advance the clock to the deadline so callers observe a
+                // consistent "simulated through `deadline`" view.
+                if deadline != SimTime::MAX {
+                    self.now = self.now.max(deadline);
+                }
+                break;
+            }
+            let ev = self.heap.pop().expect("peeked");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue must be monotone");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.action)(world, self);
+        }
+        if self.heap.is_empty() && deadline != SimTime::MAX && self.now < deadline {
+            self.now = deadline;
+        }
+        self.executed - start_count
+    }
+
+    /// Execute exactly one event if any is pending. Returns the time the
+    /// event fired at.
+    pub fn step(&mut self, world: &mut W) -> Option<SimTime> {
+        loop {
+            let ev = self.heap.pop()?;
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.action)(world, self);
+            return Some(self.now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct W {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    fn record(tag: &'static str) -> impl FnOnce(&mut W, &mut Sim<W>) {
+        move |w, sim| w.log.push((sim.now().as_nanos(), tag))
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_nanos(30), record("c"));
+        sim.schedule_at(SimTime::from_nanos(10), record("a"));
+        sim.schedule_at(SimTime::from_nanos(20), record("b"));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        let t = SimTime::from_nanos(5);
+        sim.schedule_at(t, record("first"));
+        sim.schedule_at(t, record("second"));
+        sim.schedule_at(t, record("third"));
+        sim.run(&mut w);
+        assert_eq!(
+            w.log.iter().map(|(_, s)| *s).collect::<Vec<_>>(),
+            vec!["first", "second", "third"]
+        );
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_nanos(100), |w: &mut W, sim: &mut Sim<W>| {
+            // Try to schedule 50ns in the past; must fire at t=100, not 50.
+            sim.schedule_at(SimTime::from_nanos(50), record("late"));
+            w.log.push((sim.now().as_nanos(), "outer"));
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(100, "outer"), (100, "late")]);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        let id = sim.schedule_at(SimTime::from_nanos(10), record("dropped"));
+        sim.schedule_at(SimTime::from_nanos(20), record("kept"));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel is a no-op");
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(20, "kept")]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_resumes() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_secs(1), record("one"));
+        sim.schedule_at(SimTime::from_secs(3), record("three"));
+        let n = sim.run_until(&mut w, SimTime::from_secs(2));
+        assert_eq!(n, 1);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        let n = sim.run_until(&mut w, SimTime::from_secs(10));
+        assert_eq!(n, 1);
+        assert_eq!(w.log, vec![(1_000_000_000, "one"), (3_000_000_000, "three")]);
+        // Queue empty: clock advances to the deadline.
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn periodic_event_stops_when_action_returns_false() {
+        let mut sim = Sim::new();
+        let counter = Rc::new(RefCell::new(0));
+        let c = counter.clone();
+        let mut w = W::default();
+        sim.schedule_every(SimDuration::from_secs(1), move |_w, _sim| {
+            *c.borrow_mut() += 1;
+            *c.borrow() < 5
+        });
+        sim.run(&mut w);
+        assert_eq!(*counter.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn step_executes_single_event() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_nanos(1), record("a"));
+        sim.schedule_at(SimTime::from_nanos(2), record("b"));
+        assert_eq!(sim.step(&mut w), Some(SimTime::from_nanos(1)));
+        assert_eq!(w.log.len(), 1);
+        assert_eq!(sim.step(&mut w), Some(SimTime::from_nanos(2)));
+        assert_eq!(sim.step(&mut w), None);
+    }
+
+    #[test]
+    fn nested_scheduling_from_handlers() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_nanos(10), |_: &mut W, sim: &mut Sim<W>| {
+            sim.schedule_in(SimDuration::from_nanos(5), record("nested"));
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(15, "nested")]);
+    }
+
+    #[test]
+    fn pending_count_tracks_cancellations() {
+        let mut sim: Sim<W> = Sim::new();
+        let a = sim.schedule_at(SimTime::from_nanos(1), record("a"));
+        sim.schedule_at(SimTime::from_nanos(2), record("b"));
+        assert_eq!(sim.pending(), 2);
+        sim.cancel(a);
+        assert_eq!(sim.pending(), 1);
+    }
+}

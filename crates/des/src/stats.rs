@@ -1,0 +1,366 @@
+//! Statistics collectors used throughout the simulation.
+//!
+//! Three collectors cover the paper's reporting needs:
+//!
+//! - [`TimeWeighted`] — utilization-style metrics where the *duration* a value
+//!   was held matters (GPU utilization averaged over six weeks is the
+//!   integral of instantaneous utilization over time, not a sample mean).
+//! - [`Online`] — Welford running mean/variance for sampled quantities
+//!   (migration downtime, scheduling latency).
+//! - [`Histogram`] — log-bucketed percentile estimation (p50/p95/p99 latency).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the collector
+/// integrates value × duration between changes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    total_time: f64,
+    min: f64,
+    max: f64,
+    started: bool,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// New collector; the signal is undefined until the first `set`.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            total_time: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            started: false,
+        }
+    }
+
+    /// Record that the signal takes value `v` from time `now` onward.
+    pub fn set(&mut self, now: SimTime, v: f64) {
+        if self.started {
+            let dt = now.since(self.last_time).as_secs_f64();
+            self.weighted_sum += self.last_value * dt;
+            self.total_time += dt;
+        }
+        self.started = true;
+        self.last_time = now;
+        self.last_value = v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Close the integration window at `now` without changing the value.
+    pub fn finish(&mut self, now: SimTime) {
+        let v = self.last_value;
+        self.set(now, v);
+    }
+
+    /// Time-weighted mean over the observed window, or `None` before any
+    /// interval has elapsed.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total_time > 0.0 {
+            Some(self.weighted_sum / self.total_time)
+        } else {
+            None
+        }
+    }
+
+    /// Smallest value ever set.
+    pub fn min(&self) -> Option<f64> {
+        self.started.then_some(self.min)
+    }
+
+    /// Largest value ever set.
+    pub fn max(&self) -> Option<f64> {
+        self.started.then_some(self.max)
+    }
+
+    /// Total integrated time in seconds.
+    pub fn observed_secs(&self) -> f64 {
+        self.total_time
+    }
+
+    /// The most recently set value.
+    pub fn current(&self) -> Option<f64> {
+        self.started.then_some(self.last_value)
+    }
+}
+
+/// Welford online mean / variance / extrema for sampled values.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Online {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Online {
+    /// New empty collector.
+    pub fn new() -> Self {
+        Online {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration sample in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (None when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Unbiased sample standard deviation (None with fewer than 2 samples).
+    pub fn stddev(&self) -> Option<f64> {
+        (self.n >= 2).then(|| (self.m2 / (self.n - 1) as f64).sqrt())
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another collector into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Online) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Log-bucketed histogram for non-negative samples spanning many decades
+/// (nanoseconds to hours). 16 buckets per decade over a configurable range.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    buckets_per_decade: usize,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram covering `[lo, lo * 10^decades)`.
+    pub fn new(lo: f64, decades: usize) -> Self {
+        assert!(lo > 0.0 && decades > 0);
+        let buckets_per_decade = 16;
+        Histogram {
+            lo,
+            buckets_per_decade,
+            counts: vec![0; buckets_per_decade * decades],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// A histogram suited to latencies: 1 µs .. 1000 s (9 decades), in seconds.
+    pub fn for_latency() -> Self {
+        Histogram::new(1e-6, 9)
+    }
+
+    fn index(&self, x: f64) -> Option<usize> {
+        if x < self.lo {
+            return None;
+        }
+        let pos = (x / self.lo).log10() * self.buckets_per_decade as f64;
+        let i = pos as usize;
+        (i < self.counts.len()).then_some(i)
+    }
+
+    /// Record one sample. Values outside the range land in under/overflow.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else {
+            match self.index(x) {
+                Some(i) => self.counts[i] += 1,
+                None => self.overflow += 1,
+            }
+        }
+    }
+
+    /// Record a duration in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile (0.0–1.0). Returns the lower edge of the bucket
+    /// containing the quantile. None when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(0.0);
+        }
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo * 10f64.powf(i as f64 / self.buckets_per_decade as f64));
+            }
+        }
+        Some(self.lo * 10f64.powi((self.counts.len() / self.buckets_per_decade) as i32))
+    }
+
+    /// p50 shorthand.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_weighted_integrates_correctly() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(0), 0.0);
+        tw.set(SimTime::from_secs(10), 1.0); // 0.0 held for 10s
+        tw.set(SimTime::from_secs(30), 0.5); // 1.0 held for 20s
+        tw.finish(SimTime::from_secs(40)); // 0.5 held for 10s
+        // mean = (0*10 + 1*20 + 0.5*10) / 40 = 25/40
+        assert!((tw.mean().unwrap() - 0.625).abs() < 1e-12);
+        assert_eq!(tw.min(), Some(0.0));
+        assert_eq!(tw.max(), Some(1.0));
+        assert_eq!(tw.observed_secs(), 40.0);
+    }
+
+    #[test]
+    fn time_weighted_empty() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean(), None);
+        assert_eq!(tw.current(), None);
+    }
+
+    #[test]
+    fn online_welford_matches_naive() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut o = Online::new();
+        for &x in &xs {
+            o.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((o.mean().unwrap() - mean).abs() < 1e-12);
+        assert!((o.stddev().unwrap() - var.sqrt()).abs() < 1e-12);
+        assert_eq!(o.min(), Some(1.0));
+        assert_eq!(o.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Online::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Online::new();
+        let mut b = Online::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((a.stddev().unwrap() - whole.stddev().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bracketing() {
+        let mut h = Histogram::for_latency();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 1ms .. 1s uniform
+        }
+        let p50 = h.median().unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 < p99);
+        assert!(p50 > 0.3 && p50 < 0.7, "p50 {p50}");
+        assert!(p99 > 0.8, "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_under_overflow() {
+        let mut h = Histogram::new(1.0, 2); // [1, 100)
+        h.record(0.5);
+        h.record(1_000.0);
+        h.record(10.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), Some(0.0)); // underflow bucket
+    }
+}

@@ -1,0 +1,114 @@
+//! Token issuance and validation for node authentication.
+//!
+//! Registration hands each node a 128-bit bearer token (§3.4: the agent
+//! handles "authentication token management"); every subsequent envelope
+//! must carry it. Validation is constant-time to avoid timing side channels
+//! on the campus LAN — cheap insurance given how simple it is.
+
+use crate::message::{AuthToken, NodeUid};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Issues and validates node tokens (lives in the coordinator).
+#[derive(Debug, Default)]
+pub struct TokenRegistry {
+    tokens: HashMap<NodeUid, AuthToken>,
+}
+
+impl TokenRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issue a fresh token for a node, replacing any previous one
+    /// (re-registration invalidates old credentials).
+    pub fn issue(&mut self, node: NodeUid, rng: &mut impl RngCore) -> AuthToken {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        let token = AuthToken(bytes);
+        self.tokens.insert(node, token);
+        token
+    }
+
+    /// Constant-time validation of a presented token.
+    pub fn validate(&self, node: NodeUid, presented: &AuthToken) -> bool {
+        match self.tokens.get(&node) {
+            Some(expected) => constant_time_eq(&expected.0, &presented.0),
+            None => false,
+        }
+    }
+
+    /// Revoke a node's token (departure / eviction).
+    pub fn revoke(&mut self, node: NodeUid) -> bool {
+        self.tokens.remove(&node).is_some()
+    }
+
+    /// Number of active credentials.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no credentials are active.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// Bitwise constant-time comparison.
+fn constant_time_eq(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..16 {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn issue_validate_revoke() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut reg = TokenRegistry::new();
+        let t = reg.issue(NodeUid(1), &mut rng);
+        assert!(reg.validate(NodeUid(1), &t));
+        assert!(!reg.validate(NodeUid(2), &t), "token bound to node");
+        assert!(!reg.validate(NodeUid(1), &AuthToken([0; 16])));
+        assert!(reg.revoke(NodeUid(1)));
+        assert!(!reg.validate(NodeUid(1), &t), "revoked");
+        assert!(!reg.revoke(NodeUid(1)), "double revoke is false");
+    }
+
+    #[test]
+    fn reissue_invalidates_old() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut reg = TokenRegistry::new();
+        let t1 = reg.issue(NodeUid(1), &mut rng);
+        let t2 = reg.issue(NodeUid(1), &mut rng);
+        assert_ne!(t1, t2);
+        assert!(!reg.validate(NodeUid(1), &t1));
+        assert!(reg.validate(NodeUid(1), &t2));
+    }
+
+    #[test]
+    fn tokens_are_distinct_across_nodes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut reg = TokenRegistry::new();
+        let t1 = reg.issue(NodeUid(1), &mut rng);
+        let t2 = reg.issue(NodeUid(2), &mut rng);
+        assert_ne!(t1, t2);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn constant_time_eq_basics() {
+        assert!(constant_time_eq(&[5; 16], &[5; 16]));
+        let mut b = [5; 16];
+        b[15] = 6;
+        assert!(!constant_time_eq(&[5; 16], &b));
+    }
+}

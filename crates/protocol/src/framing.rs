@@ -1,0 +1,211 @@
+//! Length-prefixed framing for byte streams.
+//!
+//! Frames are `[u32 LE length][payload]` with a hard maximum, the standard
+//! shape for message protocols over TCP. The decoder is incremental: feed it
+//! arbitrary chunks (as delivered by the socket) and it yields complete
+//! frames as they materialize, tolerating any fragmentation or coalescing —
+//! the property the live-mode transport depends on.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Maximum frame payload (4 MiB): far above any control message, far below
+/// anything that could DoS the coordinator's memory.
+pub const MAX_FRAME_LEN: u32 = 4 << 20;
+
+/// Framing errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Peer declared a frame longer than [`MAX_FRAME_LEN`].
+    Oversized {
+        /// Declared payload length.
+        declared: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { declared } => {
+                write!(f, "frame of {declared} bytes exceeds maximum {MAX_FRAME_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Prefix a payload with its length.
+pub fn encode_frame(payload: &[u8]) -> Bytes {
+    assert!(
+        payload.len() as u32 <= MAX_FRAME_LEN,
+        "frame payload exceeds protocol maximum"
+    );
+    let mut out = BytesMut::with_capacity(4 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+    out.freeze()
+}
+
+/// Incremental frame decoder.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Feed received bytes into the decoder.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.put_slice(chunk);
+    }
+
+    /// Try to extract the next complete frame.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. An oversized
+    /// declaration is an unrecoverable protocol error; the connection should
+    /// be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        if declared > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized { declared });
+        }
+        let total = 4 + declared as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(declared as usize).freeze()))
+    }
+
+    /// Drain every complete frame currently buffered.
+    pub fn drain(&mut self) -> Result<Vec<Bytes>, FrameError> {
+        let mut out = Vec::new();
+        while let Some(f) = self.next_frame()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_roundtrip() {
+        let mut d = FrameDecoder::new();
+        d.extend(&encode_frame(b"hello"));
+        assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"hello");
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_frame_is_valid() {
+        let mut d = FrameDecoder::new();
+        d.extend(&encode_frame(b""));
+        assert_eq!(d.next_frame().unwrap().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_fragmentation() {
+        let frame = encode_frame(b"fragmented payload");
+        let mut d = FrameDecoder::new();
+        for (i, b) in frame.iter().enumerate() {
+            d.extend(&[*b]);
+            let r = d.next_frame().unwrap();
+            if i + 1 < frame.len() {
+                assert!(r.is_none(), "premature frame at byte {i}");
+            } else {
+                assert_eq!(r.unwrap().as_ref(), b"fragmented payload");
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_frames_all_extracted() {
+        let mut blob = Vec::new();
+        for i in 0..5u8 {
+            blob.extend_from_slice(&encode_frame(&[i; 3]));
+        }
+        let mut d = FrameDecoder::new();
+        d.extend(&blob);
+        let frames = d.drain().unwrap();
+        assert_eq!(frames.len(), 5);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.as_ref(), &[i as u8; 3]);
+        }
+    }
+
+    #[test]
+    fn split_across_frame_boundary() {
+        let a = encode_frame(b"first");
+        let b = encode_frame(b"second");
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&a);
+        blob.extend_from_slice(&b);
+        let cut = a.len() + 2; // inside b's header
+        let mut d = FrameDecoder::new();
+        d.extend(&blob[..cut]);
+        assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"first");
+        assert_eq!(d.next_frame().unwrap(), None);
+        d.extend(&blob[cut..]);
+        assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"second");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut d = FrameDecoder::new();
+        d.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert_eq!(
+            d.next_frame().unwrap_err(),
+            FrameError::Oversized {
+                declared: MAX_FRAME_LEN + 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn encoding_oversized_panics() {
+        let huge = vec![0u8; (MAX_FRAME_LEN + 1) as usize];
+        encode_frame(&huge);
+    }
+
+    proptest::proptest! {
+        /// Any sequence of payloads survives any fragmentation pattern.
+        #[test]
+        fn prop_fragmentation(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(proptest::num::u8::ANY, 0..200), 1..10),
+            chunk_size in 1usize..64,
+        ) {
+            let mut blob = Vec::new();
+            for p in &payloads {
+                blob.extend_from_slice(&encode_frame(p));
+            }
+            let mut d = FrameDecoder::new();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            for chunk in blob.chunks(chunk_size) {
+                d.extend(chunk);
+                for f in d.drain().unwrap() {
+                    got.push(f.to_vec());
+                }
+            }
+            proptest::prop_assert_eq!(got, payloads);
+        }
+    }
+}

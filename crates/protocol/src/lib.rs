@@ -1,0 +1,166 @@
+//! # gpunion-protocol — the GPUnion control-plane wire protocol
+//!
+//! The stable boundary between coordinator and provider agents:
+//!
+//! * [`message`] — the message set (registration with machine ids and
+//!   bearer tokens, telemetry heartbeats, dispatch/kill/checkpoint orders,
+//!   departure notices) and its hand-rolled binary codec.
+//! * [`wire`] — checked low-level encode/decode primitives: every length is
+//!   validated before allocation, so hostile frames cannot OOM the
+//!   coordinator.
+//! * [`framing`] — incremental `[len][payload]` framing for byte streams.
+//! * [`http`] — the strict HTTP/1.1 subset behind the agent's local REST
+//!   API (status, kill-switch, pause, departure).
+//! * [`auth`] — token issuance + constant-time validation.
+//! * [`transport`] — blocking framed TCP for live mode; the same envelopes
+//!   run over real sockets and over the simulated campus LAN.
+
+pub mod auth;
+pub mod framing;
+pub mod http;
+pub mod message;
+pub mod transport;
+pub mod wire;
+
+pub use auth::TokenRegistry;
+pub use framing::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+pub use http::{HttpError, HttpRequest, HttpResponse, Method};
+pub use message::{
+    AuthToken, DepartureMode, DispatchSpec, Envelope, ExecMode, GpuInfo, GpuStat, JobId,
+    KillReason, Message, NodeUid, WorkloadState, WorkloadStatus, PROTOCOL_VERSION,
+};
+pub use transport::{FramedTransport, TransportError};
+pub use wire::{WireError, WireReader, WireWriter};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_workload_state() -> impl Strategy<Value = WorkloadState> {
+        prop_oneof![
+            Just(WorkloadState::Provisioning),
+            Just(WorkloadState::Running),
+            Just(WorkloadState::Checkpointing),
+            Just(WorkloadState::Completed),
+            Just(WorkloadState::Failed),
+            Just(WorkloadState::Killed),
+        ]
+    }
+
+    fn arb_status() -> impl Strategy<Value = WorkloadStatus> {
+        (any::<u64>(), arb_workload_state(), 0.0f64..1.0, any::<u64>()).prop_map(
+            |(j, state, progress, seq)| WorkloadStatus {
+                job: JobId(j),
+                state,
+                progress,
+                checkpoint_seq: seq,
+            },
+        )
+    }
+
+    fn arb_gpu_stat() -> impl Strategy<Value = GpuStat> {
+        (any::<u64>(), any::<u64>(), 0.0f64..1.0, 20.0f64..100.0, 0.0f64..500.0).prop_map(
+            |(used, total, util, temp, power)| GpuStat {
+                memory_used: used,
+                memory_total: total,
+                utilization: util,
+                temperature_c: temp,
+                power_w: power,
+            },
+        )
+    }
+
+    fn arb_message() -> impl Strategy<Value = Message> {
+        prop_oneof![
+            ("[a-z0-9-]{1,20}", "[a-z0-9.-]{1,20}", proptest::collection::vec(
+                ("[A-Za-z0-9 ]{1,30}", 1u64..1 << 40, 0u8..10, 0u8..10, 1.0f64..100.0)
+                    .prop_map(|(name, vram, maj, min, tf)| GpuInfo {
+                        model_name: name,
+                        vram_bytes: vram,
+                        cc_major: maj,
+                        cc_minor: min,
+                        fp32_tflops: tf,
+                    }),
+                0..8
+            ), any::<u32>())
+                .prop_map(|(machine_id, hostname, gpus, agent_version)| Message::Register {
+                    machine_id,
+                    hostname,
+                    gpus,
+                    agent_version
+                }),
+            (any::<u64>(), any::<[u8; 16]>(), any::<u32>()).prop_map(|(n, t, p)| {
+                Message::RegisterAck {
+                    node: NodeUid(n),
+                    token: AuthToken(t),
+                    heartbeat_period_ms: p,
+                }
+            }),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<bool>(),
+                proptest::collection::vec(arb_gpu_stat(), 0..9),
+                proptest::collection::vec(arb_status(), 0..6)
+            )
+                .prop_map(|(n, seq, accepting, gpu_stats, workloads)| Message::Heartbeat {
+                    node: NodeUid(n),
+                    seq,
+                    accepting,
+                    gpu_stats,
+                    workloads
+                }),
+            (any::<u64>(), prop_oneof![
+                (0u32..100_000).prop_map(|g| DepartureMode::Graceful { grace_secs: g }),
+                Just(DepartureMode::Emergency)
+            ])
+                .prop_map(|(n, mode)| Message::DepartureNotice { node: NodeUid(n), mode }),
+            (any::<u64>(), any::<bool>(), "[ -~]{0,60}").prop_map(|(j, accepted, reason)| {
+                Message::DispatchReply {
+                    job: JobId(j),
+                    accepted,
+                    reason,
+                }
+            }),
+            (any::<u64>(), any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u64>(), 0..5))
+                .prop_map(|(j, seq, bytes, nodes)| Message::CheckpointDone {
+                    job: JobId(j),
+                    seq,
+                    transfer_bytes: bytes,
+                    stored_on: nodes.into_iter().map(NodeUid).collect(),
+                }),
+            (arb_status(), proptest::option::of(any::<i32>()))
+                .prop_map(|(status, exit_code)| Message::WorkloadUpdate { status, exit_code }),
+            (any::<u16>(), "[ -~]{0,80}").prop_map(|(code, detail)| Message::Error { code, detail }),
+        ]
+    }
+
+    proptest! {
+        /// Every message round-trips bit-exactly through the codec.
+        #[test]
+        fn prop_envelope_roundtrip(msg in arb_message(), token in any::<[u8; 16]>()) {
+            let env = Envelope::new(AuthToken(token), msg);
+            let bytes = env.to_bytes();
+            let back = Envelope::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(env, back);
+        }
+
+        /// Arbitrary garbage never panics the decoder — it errors.
+        #[test]
+        fn prop_decoder_total(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = Envelope::from_bytes(&garbage);
+        }
+
+        /// Flipping any single byte of an encoded envelope either still
+        /// decodes (fields tolerate it) or errors — never panics.
+        #[test]
+        fn prop_bitflip_safe(msg in arb_message(), flip in any::<proptest::sample::Index>()) {
+            let env = Envelope::new(AuthToken([1; 16]), msg);
+            let mut bytes = env.to_bytes().to_vec();
+            let i = flip.index(bytes.len());
+            bytes[i] ^= 0x40;
+            let _ = Envelope::from_bytes(&bytes);
+        }
+    }
+}

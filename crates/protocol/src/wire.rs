@@ -1,0 +1,396 @@
+//! Low-level wire primitives: a growable writer and a checked reader.
+//!
+//! The GPUnion wire format is a compact little-endian binary encoding.
+//! Strings and byte blobs are u32-length-prefixed; collections are
+//! u32-count-prefixed. The reader validates every length against the
+//! remaining buffer before allocating, so a malicious or corrupt frame can
+//! never cause an out-of-bounds read or an unbounded allocation.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes remained than the type required.
+    UnexpectedEof {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A tag byte did not correspond to any variant.
+    InvalidTag {
+        /// Context (type being decoded).
+        context: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A declared length exceeded the protocol maximum.
+    LengthOverflow {
+        /// Declared length.
+        declared: u64,
+        /// Maximum allowed.
+        max: u64,
+    },
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes {
+        /// How many were left.
+        count: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, available } => {
+                write!(f, "unexpected EOF: needed {needed} bytes, had {available}")
+            }
+            WireError::InvalidTag { context, tag } => {
+                write!(f, "invalid tag {tag:#04x} while decoding {context}")
+            }
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::LengthOverflow { declared, max } => {
+                write!(f, "declared length {declared} exceeds maximum {max}")
+            }
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum length for any single string/blob field (1 MiB) — control-plane
+/// messages are small; bulk data never rides the control protocol.
+pub const MAX_FIELD_LEN: u64 = 1 << 20;
+/// Maximum element count for any collection field.
+pub const MAX_COLLECTION_LEN: u64 = 65_536;
+
+/// Encoder over a growable buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        WireWriter {
+            buf: BytesMut::with_capacity(256),
+        }
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a tag/enum discriminant.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Write a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Write u16 LE.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Write u32 LE.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Write u64 LE.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Write i32 LE.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    /// Write f64 LE bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        debug_assert!((s.len() as u64) <= MAX_FIELD_LEN);
+        self.buf.put_u32_le(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Write a length-prefixed blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        debug_assert!((b.len() as u64) <= MAX_FIELD_LEN);
+        self.buf.put_u32_le(b.len() as u32);
+        self.buf.put_slice(b);
+    }
+
+    /// Write a fixed-size array without a length prefix.
+    pub fn put_fixed(&mut self, b: &[u8]) {
+        self.buf.put_slice(b);
+    }
+
+    /// Write a collection count prefix.
+    pub fn put_count(&mut self, n: usize) {
+        debug_assert!((n as u64) <= MAX_COLLECTION_LEN);
+        self.buf.put_u32_le(n as u32);
+    }
+}
+
+/// Checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Wrap a received frame.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Error unless the buffer was fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                count: self.buf.len(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                available: self.buf.len(),
+            });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read a tag byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool; any nonzero byte is `true`.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Read u16 LE.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    /// Read u32 LE.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    /// Read u64 LE.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    /// Read i32 LE.
+    pub fn get_i32(&mut self) -> Result<i32, WireError> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    /// Read f64 LE.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let len = self.get_u32()? as u64;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthOverflow {
+                declared: len,
+                max: MAX_FIELD_LEN,
+            });
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read a length-prefixed blob.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u32()? as u64;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthOverflow {
+                declared: len,
+                max: MAX_FIELD_LEN,
+            });
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    /// Read `n` raw bytes (fixed-width field).
+    pub fn get_fixed<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let b = self.take(N)?;
+        Ok(b.try_into().expect("len checked"))
+    }
+
+    /// Read and validate a collection count.
+    pub fn get_count(&mut self) -> Result<usize, WireError> {
+        let n = self.get_u32()? as u64;
+        if n > MAX_COLLECTION_LEN {
+            return Err(WireError::LengthOverflow {
+                declared: n,
+                max: MAX_COLLECTION_LEN,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u16(65_000);
+        w.put_u32(4_000_000_000);
+        w.put_u64(u64::MAX - 1);
+        w.put_i32(-42);
+        w.put_f64(3.5);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 65_000);
+        assert_eq!(r.get_u32().unwrap(), 4_000_000_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i32().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), 3.5);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn string_and_bytes_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_str("héllo wörld");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_str("");
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_str().unwrap(), "héllo wörld");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_str().unwrap(), "");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = WireReader::new(&[1, 2]);
+        assert_eq!(
+            r.get_u32().unwrap_err(),
+            WireError::UnexpectedEof {
+                needed: 4,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn hostile_length_rejected_without_allocation() {
+        // Declared string length of u32::MAX with a 4-byte buffer.
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.get_str().unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_string_is_eof() {
+        let mut w = WireWriter::new();
+        w.put_u32(10); // declares 10 bytes
+        w.put_fixed(b"abc"); // provides 3
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.get_str().unwrap_err(),
+            WireError::UnexpectedEof { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_str().unwrap_err(), WireError::BadUtf8);
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = WireWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        r.get_u8().unwrap();
+        assert_eq!(
+            r.expect_end().unwrap_err(),
+            WireError::TrailingBytes { count: 1 }
+        );
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_fixed(&[9u8; 16]);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_fixed::<16>().unwrap(), [9u8; 16]);
+    }
+}

@@ -1,0 +1,842 @@
+//! The central scheduler and coordinator.
+//!
+//! "The central scheduler serves as the coordination hub for resource
+//! discovery, allocation decisions, and workload management. It maintains a
+//! real-time view of available GPU resources … through periodic status
+//! updates from provider agents. … Unlike traditional cluster schedulers
+//! that assume persistent resource availability, GPUnion's scheduler is
+//! designed to handle dynamic resource volatility" (§3.2).
+//!
+//! Like the agent, the coordinator is passive: messages and timer wakes go
+//! in, [`CoordAction`]s come out. Every dispatch decision pays the database
+//! transaction latency from [`ContentionModel`], which is what the
+//! scalability experiment (§5.2) measures as the node count grows.
+
+use crate::directory::{Directory, NodeLiveness};
+use crate::strategy::{Selector, Strategy};
+use gpunion_db::{ContentionModel, JobState, NodeRecord, NodeState, SystemDb};
+use gpunion_des::{Online, SimDuration, SimTime};
+use gpunion_protocol::{
+    AuthToken, DispatchSpec, Envelope, JobId, KillReason, Message, NodeUid, TokenRegistry,
+    WorkloadState,
+};
+use gpunion_telemetry::{labels, Registry};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+
+/// Actions for the embedding loop.
+#[derive(Debug)]
+pub enum CoordAction {
+    /// Send a message to a node's agent. `delay` models the scheduling /
+    /// database latency accrued before the message leaves the coordinator.
+    Send {
+        /// Destination node.
+        to: NodeUid,
+        /// The message.
+        msg: Message,
+        /// Processing delay before transmission.
+        delay: SimDuration,
+    },
+    /// Job lifecycle notification for user clients / experiment harnesses.
+    JobEvent {
+        /// The job.
+        job: JobId,
+        /// What happened.
+        event: JobEvent,
+    },
+}
+
+/// Job lifecycle events surfaced to the platform user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// Accepted into the pending queue.
+    Queued,
+    /// Dispatched to a node (offer in flight).
+    Dispatched {
+        /// Target node.
+        node: NodeUid,
+    },
+    /// Agent reported the workload running.
+    Started {
+        /// Hosting node.
+        node: NodeUid,
+    },
+    /// Finished successfully.
+    Completed,
+    /// Permanently failed (retries exhausted).
+    Failed,
+    /// Displaced (kill-switch / departure / heartbeat loss) and requeued.
+    Requeued {
+        /// Checkpoint sequence it will restore from (None = from scratch).
+        restore_seq: Option<u64>,
+    },
+    /// Displaced job placed back on its original node after the provider
+    /// returned.
+    MigratedBack {
+        /// The original (returning) node.
+        node: NodeUid,
+    },
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Heartbeat period agents must honour.
+    pub heartbeat_period: SimDuration,
+    /// Heartbeats missed before a node is marked unavailable (paper: 3).
+    pub missed_beats: u32,
+    /// Allocation strategy.
+    pub strategy: Strategy,
+    /// How long after displacement a returning provider can reclaim its
+    /// jobs (migrate-back window).
+    pub migrate_back_window: SimDuration,
+    /// Dispatch attempts per job before it is failed.
+    pub max_retries: u32,
+    /// How long to wait for a DispatchReply before treating it as a reject.
+    pub offer_timeout: SimDuration,
+    /// Extra DB write traffic beyond heartbeats (scheduling, monitoring).
+    pub extra_db_write_hz: f64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            heartbeat_period: SimDuration::from_secs(5),
+            missed_beats: 3,
+            strategy: Strategy::RoundRobin,
+            migrate_back_window: SimDuration::from_mins(30),
+            max_retries: 5,
+            offer_timeout: SimDuration::from_secs(10),
+            extra_db_write_hz: 2.0,
+        }
+    }
+}
+
+/// Scheduler-side job bookkeeping.
+#[derive(Debug, Clone)]
+struct JobMeta {
+    spec: DispatchSpec,
+    current_node: Option<NodeUid>,
+    offered_to: Option<NodeUid>,
+    excluded: Vec<NodeUid>,
+    preferred: Option<NodeUid>,
+    latest_checkpoint: Option<(u64, Vec<NodeUid>)>,
+    displaced_from: Option<(NodeUid, SimTime)>,
+    migrating_back: bool,
+    retries: u32,
+    submitted_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoordTimer {
+    HeartbeatSweep,
+    SchedulePass,
+    OfferTimeout(JobId),
+}
+
+/// The coordinator.
+pub struct Coordinator {
+    config: CoordinatorConfig,
+    db: SystemDb,
+    dir: Directory,
+    tokens: TokenRegistry,
+    selector: Selector,
+    jobs: HashMap<JobId, JobMeta>,
+    next_job: u64,
+    contention: ContentionModel,
+    timers: BTreeMap<(SimTime, u64), CoordTimer>,
+    timer_seq: u64,
+    pass_armed: bool,
+    metrics: Registry,
+    decision_latency: Online,
+    rng: SmallRng,
+}
+
+impl Coordinator {
+    /// A coordinator with the given config; `seed` drives token issuance.
+    pub fn new(config: CoordinatorConfig, seed: u64) -> Self {
+        let selector = Selector::new(config.strategy);
+        Coordinator {
+            config,
+            db: SystemDb::new(),
+            dir: Directory::new(),
+            tokens: TokenRegistry::new(),
+            selector,
+            jobs: HashMap::new(),
+            next_job: 1,
+            contention: ContentionModel::default(),
+            timers: BTreeMap::new(),
+            timer_seq: 0,
+            pass_armed: false,
+            metrics: Registry::new(),
+            decision_latency: Online::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Start periodic duties (heartbeat sweep). Call once at boot.
+    pub fn start(&mut self, now: SimTime) {
+        self.arm(now + self.config.heartbeat_period, CoordTimer::HeartbeatSweep);
+    }
+
+    /// The node directory (read access for harnesses).
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// The system database (read access for harnesses).
+    pub fn db(&self) -> &SystemDb {
+        &self.db
+    }
+
+    /// Scheduling decision latency statistics (the §5.2 quantity).
+    pub fn decision_latency(&self) -> &Online {
+        &self.decision_latency
+    }
+
+    /// Coordinator metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Number of jobs not yet terminal.
+    pub fn live_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn arm(&mut self, at: SimTime, t: CoordTimer) {
+        self.timers.insert((at, self.timer_seq), t);
+        self.timer_seq += 1;
+    }
+
+    fn arm_pass(&mut self, now: SimTime) {
+        if !self.pass_armed {
+            self.pass_armed = true;
+            // A pass runs after the current DB transaction latency — this is
+            // where scheduling latency grows with scale.
+            let delay = self.current_db_latency();
+            self.arm(now + delay, CoordTimer::SchedulePass);
+        }
+    }
+
+    /// The database transaction latency at the current cluster size.
+    pub fn current_db_latency(&self) -> SimDuration {
+        let rate = ContentionModel::heartbeat_write_rate(
+            self.dir.len(),
+            self.config.heartbeat_period,
+            self.config.extra_db_write_hz,
+        );
+        self.contention.transaction_latency(rate)
+    }
+
+    /// Next wake time.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.timers.keys().next().map(|(t, _)| *t)
+    }
+
+    /// Fire due timers.
+    pub fn on_wake(&mut self, now: SimTime) -> Vec<CoordAction> {
+        let mut actions = Vec::new();
+        loop {
+            let Some((&(at, seq), _)) = self.timers.first_key_value() else {
+                break;
+            };
+            if at > now {
+                break;
+            }
+            let timer = self.timers.remove(&(at, seq)).expect("just observed");
+            match timer {
+                CoordTimer::HeartbeatSweep => {
+                    self.heartbeat_sweep(now, &mut actions);
+                    self.arm(now + self.config.heartbeat_period, CoordTimer::HeartbeatSweep);
+                }
+                CoordTimer::SchedulePass => {
+                    self.pass_armed = false;
+                    self.scheduling_pass(now, &mut actions);
+                }
+                CoordTimer::OfferTimeout(job) => {
+                    self.offer_timed_out(now, job, &mut actions);
+                }
+            }
+        }
+        actions
+    }
+
+    // ---- user entry point ------------------------------------------------
+
+    /// Submit a job (from a user client). The coordinator assigns the id.
+    pub fn submit_job(&mut self, now: SimTime, mut spec: DispatchSpec) -> (JobId, Vec<CoordAction>) {
+        let job = JobId(self.next_job);
+        self.next_job += 1;
+        spec.job = job;
+        self.db.submit_job(job, now, spec.priority);
+        self.jobs.insert(
+            job,
+            JobMeta {
+                spec,
+                current_node: None,
+                offered_to: None,
+                excluded: Vec::new(),
+                preferred: None,
+                latest_checkpoint: None,
+                displaced_from: None,
+                migrating_back: false,
+                retries: 0,
+                submitted_at: now,
+            },
+        );
+        let mut actions = vec![CoordAction::JobEvent {
+            job,
+            event: JobEvent::Queued,
+        }];
+        self.arm_pass(now);
+        if let Ok(c) = self.metrics.counter("jobs_submitted_total", "jobs submitted", labels([])) {
+            c.inc();
+        }
+        (job, actions.drain(..).collect())
+    }
+
+    /// Cancel a job on user request.
+    pub fn cancel_job(&mut self, now: SimTime, job: JobId) -> Vec<CoordAction> {
+        let mut actions = Vec::new();
+        let Some(meta) = self.jobs.remove(&job) else {
+            return actions;
+        };
+        self.db.take_pending(job);
+        self.db.set_job_state(job, JobState::Cancelled);
+        if let Some(node) = meta.current_node.or(meta.offered_to) {
+            if let Some(e) = self.dir.get_mut(node) {
+                e.release(job);
+            }
+            actions.push(CoordAction::Send {
+                to: node,
+                msg: Message::Kill {
+                    job,
+                    reason: KillReason::UserCancel,
+                },
+                delay: self.current_db_latency(),
+            });
+        }
+        let _ = now;
+        actions
+    }
+
+    // ---- message handling --------------------------------------------
+
+    /// Validate and process an envelope from the network.
+    pub fn handle_envelope(&mut self, now: SimTime, env: Envelope) -> Vec<CoordAction> {
+        // Register is the only unauthenticated message.
+        if !matches!(env.msg, Message::Register { .. }) {
+            let valid = self.tokens.validate(env.sender, &env.token)
+                // Node-bearing messages must also claim the right sender.
+                && message_source(&env.msg)
+                    .map(|n| n == env.sender)
+                    .unwrap_or(true);
+            if !valid {
+                return vec![CoordAction::Send {
+                    to: env.sender,
+                    msg: Message::Error {
+                        code: 401,
+                        detail: "invalid token".into(),
+                    },
+                    delay: SimDuration::ZERO,
+                }];
+            }
+        }
+        self.handle_message(now, env.msg)
+    }
+
+    /// Process an already-authenticated message.
+    pub fn handle_message(&mut self, now: SimTime, msg: Message) -> Vec<CoordAction> {
+        let mut actions = Vec::new();
+        match msg {
+            Message::Register {
+                machine_id,
+                hostname,
+                gpus,
+                agent_version: _,
+            } => {
+                let gpu_count = gpus.len() as u8;
+                let (uid, returning) = self.dir.register(&machine_id, &hostname, gpus, now);
+                let token = self.tokens.issue(uid, &mut self.rng);
+                self.db.upsert_node(NodeRecord {
+                    uid,
+                    hostname,
+                    gpu_count,
+                    registered_at: now,
+                    state: NodeState::Active,
+                });
+                actions.push(CoordAction::Send {
+                    to: uid,
+                    msg: Message::RegisterAck {
+                        node: uid,
+                        token,
+                        heartbeat_period_ms: self.config.heartbeat_period.as_millis() as u32,
+                    },
+                    delay: self.current_db_latency(),
+                });
+                if returning {
+                    self.provider_returned(now, uid, &mut actions);
+                }
+                self.arm_pass(now);
+            }
+            Message::Heartbeat {
+                node,
+                seq,
+                accepting,
+                gpu_stats,
+                workloads,
+            } => {
+                let was_offline = self
+                    .dir
+                    .get(node)
+                    .map(|e| e.liveness == NodeLiveness::Offline)
+                    .unwrap_or(false);
+                if let Some(e) = self.dir.get_mut(node) {
+                    e.apply_heartbeat(now, seq, accepting, &gpu_stats);
+                }
+                if was_offline {
+                    // Node came back without re-registering (short blip).
+                    self.db.set_node_state(node, NodeState::Active);
+                    self.provider_returned(now, node, &mut actions);
+                }
+                // Progress bookkeeping from piggybacked workload status.
+                for ws in &workloads {
+                    if let Some(meta) = self.jobs.get_mut(&ws.job) {
+                        if ws.checkpoint_seq > 0 {
+                            let stored = meta
+                                .latest_checkpoint
+                                .as_ref()
+                                .map(|(_, s)| s.clone())
+                                .unwrap_or_default();
+                            if meta
+                                .latest_checkpoint
+                                .as_ref()
+                                .map(|(s, _)| *s < ws.checkpoint_seq)
+                                .unwrap_or(true)
+                            {
+                                meta.latest_checkpoint = Some((ws.checkpoint_seq, stored));
+                            }
+                        }
+                    }
+                }
+                actions.push(CoordAction::Send {
+                    to: node,
+                    msg: Message::HeartbeatAck { node, seq },
+                    delay: SimDuration::ZERO,
+                });
+            }
+            Message::DispatchReply {
+                job,
+                accepted,
+                reason: _,
+            } => {
+                self.timers
+                    .retain(|_, t| !matches!(t, CoordTimer::OfferTimeout(j) if *j == job));
+                let Some(meta) = self.jobs.get_mut(&job) else {
+                    return actions;
+                };
+                let node = meta.offered_to.take();
+                let Some(node) = node else {
+                    return actions;
+                };
+                if accepted {
+                    meta.current_node = Some(node);
+                    // `preferred` is only ever set to a returning provider's
+                    // node, so landing there means the migrate-back worked.
+                    let migrated_back = meta.preferred == Some(node);
+                    if migrated_back {
+                        meta.preferred = None;
+                        meta.displaced_from = None;
+                    }
+                    // Release the offer reservation: the agent has allocated
+                    // real VRAM, which the next heartbeat reports. Keeping
+                    // the reservation would double-count the job's memory.
+                    if let Some(e) = self.dir.get_mut(node) {
+                        e.release(job);
+                    }
+                    self.db.allocate(job, node, vec![], now);
+                    if migrated_back {
+                        actions.push(CoordAction::JobEvent {
+                            job,
+                            event: JobEvent::MigratedBack { node },
+                        });
+                    }
+                } else {
+                    if let Some(e) = self.dir.get_mut(node) {
+                        e.release(job);
+                    }
+                    meta.excluded.push(node);
+                    meta.retries += 1;
+                    if meta.retries > self.config.max_retries {
+                        self.fail_job(now, job, &mut actions);
+                    } else {
+                        self.db.requeue_job(job);
+                        self.arm_pass(now);
+                    }
+                }
+            }
+            Message::WorkloadUpdate { status, exit_code } => {
+                let job = status.job;
+                match status.state {
+                    WorkloadState::Running => {
+                        if let Some(meta) = self.jobs.get(&job) {
+                            if let Some(node) = meta.current_node {
+                                actions.push(CoordAction::JobEvent {
+                                    job,
+                                    event: JobEvent::Started { node },
+                                });
+                            }
+                        }
+                    }
+                    WorkloadState::Completed => {
+                        self.finish_job(now, job, &mut actions);
+                    }
+                    WorkloadState::Killed => {
+                        // Provider kill-switch or preemption: displace.
+                        self.displace_job(now, job, &mut actions);
+                    }
+                    WorkloadState::Failed => {
+                        let retry = self
+                            .jobs
+                            .get_mut(&job)
+                            .map(|m| {
+                                m.retries += 1;
+                                m.retries <= self.config.max_retries
+                            })
+                            .unwrap_or(false);
+                        if retry {
+                            self.displace_job(now, job, &mut actions);
+                        } else {
+                            self.fail_job(now, job, &mut actions);
+                        }
+                    }
+                    _ => {}
+                }
+                let _ = exit_code;
+            }
+            Message::CheckpointDone {
+                job,
+                seq,
+                transfer_bytes: _,
+                stored_on,
+            } => {
+                let migrating_back = if let Some(meta) = self.jobs.get_mut(&job) {
+                    meta.latest_checkpoint = Some((seq, stored_on));
+                    meta.migrating_back
+                } else {
+                    false
+                };
+                if migrating_back {
+                    // Fresh checkpoint durable: now preempt and move home.
+                    if let Some(meta) = self.jobs.get_mut(&job) {
+                        meta.migrating_back = false;
+                    }
+                    if let Some(node) = self.jobs.get(&job).and_then(|m| m.current_node) {
+                        actions.push(CoordAction::Send {
+                            to: node,
+                            msg: Message::Kill {
+                                job,
+                                reason: KillReason::SchedulerPreempt,
+                            },
+                            delay: self.current_db_latency(),
+                        });
+                    }
+                }
+            }
+            Message::DepartureNotice { node, mode } => {
+                if let Some(e) = self.dir.get_mut(node) {
+                    e.reliability.record_interruption(now);
+                    match mode {
+                        gpunion_protocol::DepartureMode::Graceful { .. } => {
+                            e.liveness = NodeLiveness::Departing;
+                            self.db.set_node_state(node, NodeState::Departed);
+                            // Jobs will checkpoint; displacement happens when
+                            // the node goes offline (or per CheckpointDone).
+                        }
+                        gpunion_protocol::DepartureMode::Emergency => {
+                            self.node_lost(now, node, &mut actions);
+                        }
+                    }
+                }
+            }
+            Message::PauseScheduling { node, paused } => {
+                if let Some(e) = self.dir.get_mut(node) {
+                    if e.liveness != NodeLiveness::Offline {
+                        e.liveness = if paused {
+                            NodeLiveness::Paused
+                        } else {
+                            NodeLiveness::Active
+                        };
+                    }
+                }
+                self.db.set_node_state(
+                    node,
+                    if paused {
+                        NodeState::Paused
+                    } else {
+                        NodeState::Active
+                    },
+                );
+                if !paused {
+                    self.arm_pass(now);
+                }
+            }
+            Message::Error { .. } => {}
+            _ => {}
+        }
+        actions
+    }
+
+    // ---- failure handling ----------------------------------------------
+
+    fn heartbeat_sweep(&mut self, now: SimTime, actions: &mut Vec<CoordAction>) {
+        let timeout = self.config.heartbeat_period * self.config.missed_beats as u64;
+        for uid in self.dir.stale_nodes(now, timeout) {
+            self.node_lost(now, uid, actions);
+        }
+    }
+
+    /// A node is gone (heartbeat loss or emergency departure): displace
+    /// everything it was running.
+    pub fn node_lost(&mut self, now: SimTime, node: NodeUid, actions: &mut Vec<CoordAction>) {
+        if let Some(e) = self.dir.get_mut(node) {
+            if e.liveness == NodeLiveness::Offline {
+                return;
+            }
+            e.liveness = NodeLiveness::Offline;
+            e.reliability.record_interruption(now);
+        }
+        self.db.set_node_state(node, NodeState::Unavailable);
+        let displaced: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, m)| m.current_node == Some(node) || m.offered_to == Some(node))
+            .map(|(j, _)| *j)
+            .collect();
+        for job in displaced {
+            self.displace_job(now, job, actions);
+        }
+        if let Ok(c) = self.metrics.counter("nodes_lost_total", "node losses", labels([])) {
+            c.inc();
+        }
+    }
+
+    /// Requeue a displaced job for migration, restoring from its latest
+    /// durable checkpoint when one exists.
+    fn displace_job(&mut self, now: SimTime, job: JobId, actions: &mut Vec<CoordAction>) {
+        let Some(meta) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        let from = meta.current_node.take().or(meta.offered_to.take());
+        if let Some(n) = from {
+            if let Some(e) = self.dir.get_mut(n) {
+                e.release(job);
+            }
+        }
+        let meta = self.jobs.get_mut(&job).expect("still present");
+        if let Some(n) = from {
+            meta.displaced_from = Some((n, now));
+        }
+        let restore_seq = meta.latest_checkpoint.as_ref().map(|(s, _)| *s);
+        meta.spec.restore_from_seq = restore_seq;
+        meta.migrating_back = false;
+        self.db.requeue_job(job);
+        actions.push(CoordAction::JobEvent {
+            job,
+            event: JobEvent::Requeued { restore_seq },
+        });
+        self.arm_pass(now);
+        if let Ok(c) = self
+            .metrics
+            .counter("jobs_displaced_total", "displacements", labels([]))
+        {
+            c.inc();
+        }
+    }
+
+    fn finish_job(&mut self, now: SimTime, job: JobId, actions: &mut Vec<CoordAction>) {
+        if let Some(meta) = self.jobs.remove(&job) {
+            if let Some(node) = meta.current_node {
+                if let Some(e) = self.dir.get_mut(node) {
+                    e.release(job);
+                }
+            }
+            self.db.set_job_state(job, JobState::Completed);
+            self.db.deallocate(job);
+            actions.push(CoordAction::JobEvent {
+                job,
+                event: JobEvent::Completed,
+            });
+            self.arm_pass(now);
+        }
+    }
+
+    fn fail_job(&mut self, now: SimTime, job: JobId, actions: &mut Vec<CoordAction>) {
+        if let Some(meta) = self.jobs.remove(&job) {
+            if let Some(node) = meta.current_node.or(meta.offered_to) {
+                if let Some(e) = self.dir.get_mut(node) {
+                    e.release(job);
+                }
+            }
+            self.db.take_pending(job);
+            self.db.set_job_state(job, JobState::Failed);
+            actions.push(CoordAction::JobEvent {
+                job,
+                event: JobEvent::Failed,
+            });
+        }
+        let _ = now;
+    }
+
+    fn offer_timed_out(&mut self, now: SimTime, job: JobId, actions: &mut Vec<CoordAction>) {
+        let Some(meta) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        let Some(node) = meta.offered_to.take() else {
+            return;
+        };
+        if let Some(e) = self.dir.get_mut(node) {
+            e.release(job);
+        }
+        let meta = self.jobs.get_mut(&job).expect("present");
+        meta.excluded.push(node);
+        meta.retries += 1;
+        if meta.retries > self.config.max_retries {
+            self.fail_job(now, job, actions);
+        } else {
+            self.db.requeue_job(job);
+            self.arm_pass(now);
+        }
+    }
+
+    /// A displaced provider came back: try to move its jobs home.
+    fn provider_returned(&mut self, now: SimTime, node: NodeUid, actions: &mut Vec<CoordAction>) {
+        let window = self.config.migrate_back_window;
+        let candidates: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, m)| {
+                m.displaced_from
+                    .map(|(n, at)| n == node && now.since(at) <= window)
+                    .unwrap_or(false)
+            })
+            .map(|(j, _)| *j)
+            .collect();
+        for job in candidates {
+            let meta = self.jobs.get_mut(&job).expect("just listed");
+            meta.preferred = Some(node);
+            match meta.current_node {
+                None => {
+                    // Still queued: the preference alone steers the next pass.
+                    self.arm_pass(now);
+                }
+                Some(current) if current != node => {
+                    // Running elsewhere: checkpoint there, then preempt and
+                    // restore on the original node.
+                    meta.migrating_back = true;
+                    actions.push(CoordAction::Send {
+                        to: current,
+                        msg: Message::CheckpointRequest { job },
+                        delay: self.current_db_latency(),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- the scheduling pass -------------------------------------------
+
+    /// One pass over the pending queue (round-robin over the priority queue
+    /// stored in the database, per §3.5).
+    pub fn scheduling_pass(&mut self, now: SimTime, actions: &mut Vec<CoordAction>) {
+        let db_latency = self.current_db_latency();
+        let pending = self.db.pending_in_order();
+        let mut cumulative = SimDuration::ZERO;
+        for job in pending {
+            let Some(meta) = self.jobs.get(&job) else {
+                self.db.take_pending(job);
+                continue;
+            };
+            if meta.offered_to.is_some() {
+                continue;
+            }
+            // Each decision is one DB transaction.
+            cumulative += db_latency;
+            self.decision_latency.record(db_latency.as_secs_f64());
+            let mut ranked = self
+                .selector
+                .rank(&self.dir, &meta.spec, &meta.excluded);
+            if let Some(pref) = meta.preferred {
+                if let Some(pos) = ranked.iter().position(|u| *u == pref) {
+                    let p = ranked.remove(pos);
+                    ranked.insert(0, p);
+                }
+            }
+            let Some(target) = ranked.first().copied() else {
+                continue; // nothing eligible; stays queued
+            };
+            let spec = {
+                let meta = self.jobs.get_mut(&job).expect("present");
+                meta.offered_to = Some(target);
+                meta.spec.clone()
+            };
+            if let Some(e) = self.dir.get_mut(target) {
+                e.reserve(job, spec.gpus, spec.gpu_mem_bytes);
+            }
+            self.db.take_pending(job);
+            self.arm(now + cumulative + self.config.offer_timeout, CoordTimer::OfferTimeout(job));
+            actions.push(CoordAction::Send {
+                to: target,
+                msg: Message::Dispatch { spec },
+                delay: cumulative,
+            });
+            actions.push(CoordAction::JobEvent {
+                job,
+                event: JobEvent::Dispatched { node: target },
+            });
+            if let Ok(h) = self.metrics.histogram(
+                "scheduling_latency_seconds",
+                "per-decision scheduling latency",
+                labels([]),
+            ) {
+                h.observe(cumulative.as_secs_f64());
+            }
+        }
+    }
+
+    /// Time a job has been waiting (diagnostics).
+    pub fn job_wait(&self, job: JobId, now: SimTime) -> Option<SimDuration> {
+        self.jobs.get(&job).map(|m| now.since(m.submitted_at))
+    }
+
+    /// The node currently hosting a job.
+    pub fn job_node(&self, job: JobId) -> Option<NodeUid> {
+        self.jobs.get(&job).and_then(|m| m.current_node)
+    }
+
+    /// Latest durable checkpoint of a job.
+    pub fn job_checkpoint(&self, job: JobId) -> Option<(u64, Vec<NodeUid>)> {
+        self.jobs.get(&job).and_then(|m| m.latest_checkpoint.clone())
+    }
+}
+
+/// Which node a message claims to come from (for token validation).
+fn message_source(msg: &Message) -> Option<NodeUid> {
+    match msg {
+        Message::Heartbeat { node, .. }
+        | Message::DepartureNotice { node, .. }
+        | Message::PauseScheduling { node, .. } => Some(*node),
+        _ => None,
+    }
+}
+
+/// Expose the token check for embedding loops that skip full envelopes.
+impl Coordinator {
+    /// Validate a token for a node (live-mode helper).
+    pub fn validate_token(&self, node: NodeUid, token: &AuthToken) -> bool {
+        self.tokens.validate(node, token)
+    }
+}

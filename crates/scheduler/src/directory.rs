@@ -1,0 +1,418 @@
+//! The coordinator's view of every registered node.
+//!
+//! Built from registration inventories and refreshed by heartbeats, the
+//! directory answers the placement questions ("which nodes could run this
+//! job right now?") and tracks per-provider reliability — the paper's
+//! "provider reliability predictions and degradation mechanisms".
+
+use gpunion_des::{SimDuration, SimTime};
+use gpunion_protocol::{GpuInfo, GpuStat, JobId, NodeUid};
+use std::collections::HashMap;
+
+/// Liveness as seen from the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeLiveness {
+    /// Heartbeating, accepting new work.
+    Active,
+    /// Heartbeating but the provider paused allocations.
+    Paused,
+    /// Graceful departure announced; draining.
+    Departing,
+    /// Heartbeats lost or departure completed.
+    Offline,
+}
+
+/// Per-provider reliability statistics (EWMA of interruption rate).
+#[derive(Debug, Clone)]
+pub struct Reliability {
+    /// Exponentially-weighted interruptions per day.
+    pub ewma_per_day: f64,
+    /// Total interruptions observed.
+    pub interruptions: u64,
+    /// When the node first registered (for rate normalization).
+    pub first_seen: SimTime,
+}
+
+impl Reliability {
+    const ALPHA: f64 = 0.3;
+
+    fn new(now: SimTime) -> Self {
+        Reliability {
+            ewma_per_day: 0.0,
+            interruptions: 0,
+            first_seen: now,
+        }
+    }
+
+    /// Record one interruption at `now`.
+    pub fn record_interruption(&mut self, now: SimTime) {
+        self.interruptions += 1;
+        let days = now.since(self.first_seen).as_secs_f64() / 86_400.0;
+        let observed_rate = if days > 0.01 {
+            self.interruptions as f64 / days
+        } else {
+            1.0
+        };
+        self.ewma_per_day =
+            Self::ALPHA * observed_rate + (1.0 - Self::ALPHA) * self.ewma_per_day;
+    }
+
+    /// Score in (0, 1]: 1 = never interrupts.
+    pub fn score(&self) -> f64 {
+        1.0 / (1.0 + self.ewma_per_day)
+    }
+}
+
+/// One GPU slot as the directory models it: capacity plus reservations.
+#[derive(Debug, Clone)]
+struct GpuSlot {
+    info: GpuInfo,
+    /// Free bytes according to the last heartbeat.
+    reported_free: u64,
+    /// Bytes reserved by in-flight offers/allocations not yet visible in
+    /// heartbeats.
+    reserved: u64,
+}
+
+impl GpuSlot {
+    fn effective_free(&self) -> u64 {
+        self.reported_free.saturating_sub(self.reserved)
+    }
+}
+
+/// Directory entry for one node.
+#[derive(Debug, Clone)]
+pub struct NodeEntry {
+    /// Node uid.
+    pub uid: NodeUid,
+    /// The machine identifier (stable across re-registrations).
+    pub machine_id: String,
+    /// Hostname.
+    pub hostname: String,
+    /// Liveness.
+    pub liveness: NodeLiveness,
+    /// Last heartbeat receive time.
+    pub last_heartbeat: SimTime,
+    /// Last heartbeat sequence.
+    pub last_seq: u64,
+    /// Reliability statistics.
+    pub reliability: Reliability,
+    slots: Vec<GpuSlot>,
+    /// Reservations per job: (gpu count, bytes per gpu).
+    reservations: HashMap<JobId, (u8, u64)>,
+}
+
+impl NodeEntry {
+    /// New entry at registration time.
+    pub fn new(
+        uid: NodeUid,
+        machine_id: String,
+        hostname: String,
+        gpus: Vec<GpuInfo>,
+        now: SimTime,
+    ) -> Self {
+        let slots = gpus
+            .into_iter()
+            .map(|info| GpuSlot {
+                reported_free: info.vram_bytes,
+                reserved: 0,
+                info,
+            })
+            .collect();
+        NodeEntry {
+            uid,
+            machine_id,
+            hostname,
+            liveness: NodeLiveness::Active,
+            last_heartbeat: now,
+            last_seq: 0,
+            reliability: Reliability::new(now),
+            slots,
+            reservations: HashMap::new(),
+        }
+    }
+
+    /// GPU count.
+    pub fn gpu_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Apply a heartbeat's telemetry.
+    pub fn apply_heartbeat(&mut self, now: SimTime, seq: u64, accepting: bool, stats: &[GpuStat]) {
+        self.last_heartbeat = now;
+        self.last_seq = seq;
+        if self.liveness != NodeLiveness::Departing {
+            self.liveness = if accepting {
+                NodeLiveness::Active
+            } else {
+                NodeLiveness::Paused
+            };
+        }
+        for (slot, stat) in self.slots.iter_mut().zip(stats) {
+            slot.reported_free = stat.memory_total.saturating_sub(stat.memory_used);
+        }
+    }
+
+    /// How many GPUs could take a job needing `mem` bytes and `min_cc`?
+    pub fn eligible_gpus(&self, mem: u64, min_cc: Option<(u8, u8)>) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| {
+                s.effective_free() >= mem
+                    && min_cc.is_none_or(|(maj, min)| {
+                        (s.info.cc_major, s.info.cc_minor) >= (maj, min)
+                    })
+            })
+            .count()
+    }
+
+    /// Total effective free VRAM (for load-based ranking).
+    pub fn total_free(&self) -> u64 {
+        self.slots.iter().map(|s| s.effective_free()).sum()
+    }
+
+    /// Fastest eligible device's TFLOPS (speed-aware ranking).
+    pub fn best_tflops(&self) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| s.info.fp32_tflops)
+            .fold(0.0, f64::max)
+    }
+
+    /// Reserve capacity for an in-flight offer.
+    pub fn reserve(&mut self, job: JobId, gpus: u8, mem: u64) {
+        self.reservations.insert(job, (gpus, mem));
+        let mut left = gpus;
+        for slot in &mut self.slots {
+            if left == 0 {
+                break;
+            }
+            if slot.effective_free() >= mem {
+                slot.reserved += mem;
+                left -= 1;
+            }
+        }
+    }
+
+    /// Release a reservation (offer rejected, job finished, node lost).
+    pub fn release(&mut self, job: JobId) {
+        if let Some((gpus, mem)) = self.reservations.remove(&job) {
+            let mut left = gpus;
+            for slot in &mut self.slots {
+                if left == 0 {
+                    break;
+                }
+                if slot.reserved >= mem {
+                    slot.reserved -= mem;
+                    left -= 1;
+                }
+            }
+        }
+    }
+
+    /// Jobs with live reservations on this node.
+    pub fn reserved_jobs(&self) -> Vec<JobId> {
+        self.reservations.keys().copied().collect()
+    }
+}
+
+/// The whole directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    nodes: HashMap<NodeUid, NodeEntry>,
+    by_machine: HashMap<String, NodeUid>,
+    next_uid: u64,
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or re-register) a machine. A known machine id keeps its
+    /// uid — the paper's migrate-back depends on recognizing returners.
+    /// Returns `(uid, is_returning)`.
+    pub fn register(
+        &mut self,
+        machine_id: &str,
+        hostname: &str,
+        gpus: Vec<GpuInfo>,
+        now: SimTime,
+    ) -> (NodeUid, bool) {
+        if let Some(&uid) = self.by_machine.get(machine_id) {
+            // Returning provider: refresh inventory, preserve reliability.
+            let reliability = self
+                .nodes
+                .get(&uid)
+                .map(|e| e.reliability.clone())
+                .unwrap_or(Reliability::new(now));
+            let mut entry =
+                NodeEntry::new(uid, machine_id.to_string(), hostname.to_string(), gpus, now);
+            entry.reliability = reliability;
+            self.nodes.insert(uid, entry);
+            return (uid, true);
+        }
+        let uid = NodeUid(self.next_uid);
+        self.next_uid += 1;
+        self.by_machine.insert(machine_id.to_string(), uid);
+        self.nodes.insert(
+            uid,
+            NodeEntry::new(uid, machine_id.to_string(), hostname.to_string(), gpus, now),
+        );
+        (uid, false)
+    }
+
+    /// Entry by uid.
+    pub fn get(&self, uid: NodeUid) -> Option<&NodeEntry> {
+        self.nodes.get(&uid)
+    }
+
+    /// Mutable entry by uid.
+    pub fn get_mut(&mut self, uid: NodeUid) -> Option<&mut NodeEntry> {
+        self.nodes.get_mut(&uid)
+    }
+
+    /// All entries.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeEntry> {
+        self.nodes.values()
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut NodeEntry> {
+        self.nodes.values_mut()
+    }
+
+    /// Registered node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the directory empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes whose last heartbeat is older than `timeout`, among live ones.
+    pub fn stale_nodes(&self, now: SimTime, timeout: SimDuration) -> Vec<NodeUid> {
+        self.nodes
+            .values()
+            .filter(|e| {
+                !matches!(e.liveness, NodeLiveness::Offline)
+                    && now.since(e.last_heartbeat) > timeout
+            })
+            .map(|e| e.uid)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpunion_gpu::GpuModel;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn gpus(n: usize, model: GpuModel) -> Vec<GpuInfo> {
+        (0..n).map(|_| model.into()).collect()
+    }
+
+    #[test]
+    fn register_assigns_and_reuses_uids() {
+        let mut d = Directory::new();
+        let (a, ret) = d.register("m-1", "ws-1", gpus(1, GpuModel::Rtx3090), t(0));
+        assert!(!ret);
+        let (b, _) = d.register("m-2", "ws-2", gpus(1, GpuModel::Rtx3090), t(0));
+        assert_ne!(a, b);
+        // Same machine returns: same uid, flagged as returning.
+        let (a2, ret) = d.register("m-1", "ws-1", gpus(1, GpuModel::Rtx3090), t(100));
+        assert_eq!(a, a2);
+        assert!(ret);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn returning_node_keeps_reliability_history() {
+        let mut d = Directory::new();
+        let (uid, _) = d.register("m-1", "ws-1", gpus(1, GpuModel::Rtx3090), t(0));
+        d.get_mut(uid).unwrap().reliability.record_interruption(t(3600));
+        let before = d.get(uid).unwrap().reliability.interruptions;
+        let (_, ret) = d.register("m-1", "ws-1", gpus(1, GpuModel::Rtx3090), t(7200));
+        assert!(ret);
+        assert_eq!(d.get(uid).unwrap().reliability.interruptions, before);
+    }
+
+    #[test]
+    fn heartbeat_updates_free_memory() {
+        let mut d = Directory::new();
+        let (uid, _) = d.register("m-1", "x", gpus(2, GpuModel::Rtx3090), t(0));
+        let stats = vec![
+            GpuStat {
+                memory_used: 20 << 30,
+                memory_total: 24 << 30,
+                utilization: 0.9,
+                temperature_c: 70.0,
+                power_w: 300.0,
+            },
+            GpuStat {
+                memory_used: 0,
+                memory_total: 24 << 30,
+                utilization: 0.0,
+                temperature_c: 30.0,
+                power_w: 25.0,
+            },
+        ];
+        d.get_mut(uid).unwrap().apply_heartbeat(t(5), 1, true, &stats);
+        let e = d.get(uid).unwrap();
+        assert_eq!(e.eligible_gpus(8 << 30, None), 1);
+        assert_eq!(e.eligible_gpus(1 << 30, None), 2);
+    }
+
+    #[test]
+    fn cc_constraint_filters() {
+        let mut d = Directory::new();
+        let (uid, _) = d.register("m-1", "x", gpus(1, GpuModel::A100_40), t(0));
+        let e = d.get(uid).unwrap();
+        assert_eq!(e.eligible_gpus(1, Some((8, 0))), 1);
+        assert_eq!(e.eligible_gpus(1, Some((8, 6))), 0, "A100 is CC 8.0");
+    }
+
+    #[test]
+    fn reservations_reduce_capacity_and_release() {
+        let mut d = Directory::new();
+        let (uid, _) = d.register("m-1", "x", gpus(1, GpuModel::Rtx3090), t(0));
+        let e = d.get_mut(uid).unwrap();
+        e.reserve(JobId(1), 1, 20 << 30);
+        assert_eq!(e.eligible_gpus(10 << 30, None), 0);
+        e.release(JobId(1));
+        assert_eq!(e.eligible_gpus(10 << 30, None), 1);
+        // Double release is harmless.
+        e.release(JobId(1));
+        assert_eq!(e.eligible_gpus(10 << 30, None), 1);
+    }
+
+    #[test]
+    fn stale_detection() {
+        let mut d = Directory::new();
+        let (a, _) = d.register("m-1", "x", gpus(1, GpuModel::Rtx3090), t(0));
+        let (b, _) = d.register("m-2", "y", gpus(1, GpuModel::Rtx3090), t(0));
+        d.get_mut(a).unwrap().apply_heartbeat(t(100), 1, true, &[]);
+        // b never heartbeats after registration at t=0; a is 12 s fresh.
+        let stale = d.stale_nodes(t(112), SimDuration::from_secs(15));
+        assert_eq!(stale, vec![b]);
+    }
+
+    #[test]
+    fn reliability_score_decays_with_interruptions() {
+        let mut r = Reliability::new(t(0));
+        assert_eq!(r.score(), 1.0);
+        r.record_interruption(t(86_400)); // 1/day
+        let s1 = r.score();
+        r.record_interruption(t(86_400 + 3_600));
+        let s2 = r.score();
+        assert!(s1 < 1.0);
+        assert!(s2 < s1);
+    }
+}

@@ -1,0 +1,588 @@
+//! # gpunion-scheduler — the central coordinator
+//!
+//! The coordination hub of §3.2: node [`directory::Directory`] fed by
+//! registrations and heartbeats, allocation [`strategy::Strategy`]s over the
+//! database-resident pending queue, heartbeat-loss failure detection (three
+//! missed beats), displacement + checkpoint-restore migration, and
+//! migrate-back when providers return — with every decision paying the
+//! database-contention latency that bounds scalability (§5.2).
+
+pub mod coordinator;
+pub mod directory;
+pub mod strategy;
+
+pub use coordinator::{CoordAction, Coordinator, CoordinatorConfig, JobEvent};
+pub use directory::{Directory, NodeEntry, NodeLiveness, Reliability};
+pub use strategy::{Selector, Strategy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpunion_des::SimTime;
+    use gpunion_gpu::GpuModel;
+    use gpunion_protocol::{
+        DispatchSpec, ExecMode, GpuStat, JobId, Message, NodeUid, WorkloadState, WorkloadStatus,
+    };
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn spec() -> DispatchSpec {
+        DispatchSpec {
+            job: JobId(0),
+            image_repo: "pytorch/pytorch".into(),
+            image_tag: "2.3".into(),
+            image_digest: [1; 32],
+            gpus: 1,
+            gpu_mem_bytes: 8 << 30,
+            min_cc: None,
+            mode: ExecMode::Batch {
+                entrypoint: vec!["python".into()],
+            },
+            checkpoint_interval_secs: 600,
+            storage_nodes: vec![],
+            state_bytes_hint: 1 << 30,
+            restore_from_seq: None,
+            priority: 1,
+        }
+    }
+
+    fn register(coord: &mut Coordinator, now: SimTime, machine: &str) -> NodeUid {
+        let actions = coord.handle_message(
+            now,
+            Message::Register {
+                machine_id: machine.into(),
+                hostname: machine.into(),
+                gpus: vec![GpuModel::Rtx3090.into()],
+                agent_version: 1,
+            },
+        );
+        actions
+            .iter()
+            .find_map(|a| match a {
+                CoordAction::Send {
+                    msg: Message::RegisterAck { node, .. },
+                    ..
+                } => Some(*node),
+                _ => None,
+            })
+            .expect("ack")
+    }
+
+    fn heartbeat(coord: &mut Coordinator, now: SimTime, node: NodeUid, seq: u64) {
+        let stats = vec![GpuStat {
+            memory_used: 0,
+            memory_total: 24 << 30,
+            utilization: 0.0,
+            temperature_c: 30.0,
+            power_w: 25.0,
+        }];
+        coord.handle_message(
+            now,
+            Message::Heartbeat {
+                node,
+                seq,
+                accepting: true,
+                gpu_stats: stats,
+                workloads: vec![],
+            },
+        );
+    }
+
+    /// Drain all coordinator timers up to `until`.
+    fn drive(coord: &mut Coordinator, until: SimTime) -> Vec<CoordAction> {
+        let mut out = Vec::new();
+        while let Some(at) = coord.next_wake() {
+            if at > until {
+                break;
+            }
+            out.extend(coord.on_wake(at));
+        }
+        out
+    }
+
+    fn find_dispatch(actions: &[CoordAction]) -> Option<(NodeUid, JobId)> {
+        actions.iter().find_map(|a| match a {
+            CoordAction::Send {
+                to,
+                msg: Message::Dispatch { spec },
+                ..
+            } => Some((*to, spec.job)),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn submit_dispatch_accept_cycle() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let node = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), node, 1);
+        let (job, actions) = coord.submit_job(t(3), spec());
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CoordAction::JobEvent { event: JobEvent::Queued, .. })));
+        // The pass fires shortly after.
+        let actions = drive(&mut coord, t(4));
+        let (to, j) = find_dispatch(&actions).expect("dispatch");
+        assert_eq!(to, node);
+        assert_eq!(j, job);
+        // Accept.
+        coord.handle_message(
+            t(5),
+            Message::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        assert_eq!(coord.job_node(job), Some(node));
+        assert!(coord.db().allocation(job).is_some());
+    }
+
+    #[test]
+    fn rejection_retries_on_other_node() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let n1 = register(&mut coord, t(1), "m-1");
+        let n2 = register(&mut coord, t(1), "m-2");
+        heartbeat(&mut coord, t(2), n1, 1);
+        heartbeat(&mut coord, t(2), n2, 1);
+        let (job, _) = coord.submit_job(t(3), spec());
+        let actions = drive(&mut coord, t(4));
+        let (first, _) = find_dispatch(&actions).expect("dispatch");
+        let actions = coord.handle_message(
+            t(5),
+            Message::DispatchReply {
+                job,
+                accepted: false,
+                reason: "busy".into(),
+            },
+        );
+        assert!(find_dispatch(&actions).is_none(), "pass is re-armed, not inline");
+        let actions = drive(&mut coord, t(6));
+        let (second, _) = find_dispatch(&actions).expect("second dispatch");
+        assert_ne!(first, second, "rejected node excluded");
+        let _ = (n1, n2);
+    }
+
+    #[test]
+    fn heartbeat_loss_displaces_jobs() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let node = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), node, 1);
+        let (job, _) = coord.submit_job(t(3), spec());
+        drive(&mut coord, t(4));
+        coord.handle_message(
+            t(5),
+            Message::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        // Record a checkpoint so the requeue can restore.
+        coord.handle_message(
+            t(400),
+            Message::CheckpointDone {
+                job,
+                seq: 3,
+                transfer_bytes: 1 << 20,
+                stored_on: vec![],
+            },
+        );
+        // No heartbeats after t=2 ⇒ sweep marks it lost (timeout = 3 × 5 s).
+        let actions = drive(&mut coord, t(430));
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                CoordAction::JobEvent {
+                    event: JobEvent::Requeued {
+                        restore_seq: Some(3)
+                    },
+                    ..
+                }
+            )),
+            "job requeued with checkpoint restore"
+        );
+        assert_eq!(coord.job_node(job), None);
+    }
+
+    #[test]
+    fn graceful_departure_then_offline_migrates() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let n1 = register(&mut coord, t(1), "m-1");
+        let n2 = register(&mut coord, t(1), "m-2");
+        heartbeat(&mut coord, t(2), n1, 1);
+        heartbeat(&mut coord, t(2), n2, 1);
+        let (job, _) = coord.submit_job(t(3), spec());
+        let actions = drive(&mut coord, t(4));
+        let (target, _) = find_dispatch(&actions).expect("dispatch");
+        coord.handle_message(
+            t(5),
+            Message::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        // Provider announces graceful departure; checkpoint lands; node
+        // goes silent.
+        coord.handle_message(
+            t(10),
+            Message::DepartureNotice {
+                node: target,
+                mode: gpunion_protocol::DepartureMode::Graceful { grace_secs: 120 },
+            },
+        );
+        coord.handle_message(
+            t(15),
+            Message::CheckpointDone {
+                job,
+                seq: 1,
+                transfer_bytes: 1 << 20,
+                stored_on: vec![],
+            },
+        );
+        // Keep the survivor alive while the departed node goes stale.
+        let other = if target == n1 { n2 } else { n1 };
+        for (i, s) in (20..60).step_by(5).enumerate() {
+            heartbeat(&mut coord, t(s), other, 2 + i as u64);
+        }
+        let actions = drive(&mut coord, t(60));
+        // The job must have been requeued with restore and re-dispatched to
+        // the other node.
+        let dispatches: Vec<(NodeUid, JobId)> = actions
+            .iter()
+            .filter_map(|a| match a {
+                CoordAction::Send {
+                    to,
+                    msg: Message::Dispatch { spec },
+                    ..
+                } => Some((*to, spec.job)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            dispatches.iter().any(|(to, j)| *to == other && *j == job),
+            "dispatches: {dispatches:?}"
+        );
+    }
+
+    #[test]
+    fn kill_switch_update_requeues() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let n1 = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), n1, 1);
+        let (job, _) = coord.submit_job(t(3), spec());
+        drive(&mut coord, t(4));
+        coord.handle_message(
+            t(5),
+            Message::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        let actions = coord.handle_message(
+            t(50),
+            Message::WorkloadUpdate {
+                status: WorkloadStatus {
+                    job,
+                    state: WorkloadState::Killed,
+                    progress: 0.2,
+                    checkpoint_seq: 0,
+                },
+                exit_code: Some(137),
+            },
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CoordAction::JobEvent {
+                event: JobEvent::Requeued { restore_seq: None },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn completion_cleans_up() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let n1 = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), n1, 1);
+        let (job, _) = coord.submit_job(t(3), spec());
+        drive(&mut coord, t(4));
+        coord.handle_message(
+            t(5),
+            Message::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        let actions = coord.handle_message(
+            t(100),
+            Message::WorkloadUpdate {
+                status: WorkloadStatus {
+                    job,
+                    state: WorkloadState::Completed,
+                    progress: 1.0,
+                    checkpoint_seq: 2,
+                },
+                exit_code: Some(0),
+            },
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CoordAction::JobEvent { event: JobEvent::Completed, .. })));
+        assert_eq!(coord.live_jobs(), 0);
+        assert_eq!(
+            coord.db().job(job).unwrap().state,
+            gpunion_db::JobState::Completed
+        );
+    }
+
+    #[test]
+    fn migrate_back_on_provider_return() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let n1 = register(&mut coord, t(1), "m-1");
+        let n2 = register(&mut coord, t(1), "m-2");
+        heartbeat(&mut coord, t(2), n1, 1);
+        heartbeat(&mut coord, t(2), n2, 1);
+        let (job, _) = coord.submit_job(t(3), spec());
+        let actions = drive(&mut coord, t(4));
+        let (home, _) = find_dispatch(&actions).expect("dispatch");
+        coord.handle_message(
+            t(5),
+            Message::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        // Home node dies; job migrates to the other node.
+        let mut actions = Vec::new();
+        coord.node_lost(t(10), home, &mut actions);
+        let other = if home == n1 { n2 } else { n1 };
+        heartbeat(&mut coord, t(11), other, 2);
+        let actions = drive(&mut coord, t(12));
+        let (second, _) = find_dispatch(&actions).expect("re-dispatch");
+        assert_eq!(second, other);
+        coord.handle_message(
+            t(13),
+            Message::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        // Keep the surviving node heartbeating while time passes (and drive
+        // the sweep timers as a real event loop would).
+        let mut hb_seq = 3u64;
+        for s in (15..300).step_by(5) {
+            heartbeat(&mut coord, t(s), other, hb_seq);
+            hb_seq += 1;
+            drive(&mut coord, t(s));
+        }
+        // Home provider returns within the window.
+        let actions = coord.handle_message(
+            t(300),
+            Message::Register {
+                machine_id: if home == n1 { "m-1".into() } else { "m-2".into() },
+                hostname: "back".into(),
+                gpus: vec![GpuModel::Rtx3090.into()],
+                agent_version: 1,
+            },
+        );
+        // Coordinator orders a checkpoint on the current host.
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                CoordAction::Send {
+                    to,
+                    msg: Message::CheckpointRequest { job: j },
+                    ..
+                } if *to == other && *j == job
+            )),
+            "checkpoint request for migrate-back"
+        );
+        // Let the registration's scheduling pass fire (nothing pending yet).
+        drive(&mut coord, t(305));
+        // Checkpoint lands → preempt on current node.
+        let actions = coord.handle_message(
+            t(310),
+            Message::CheckpointDone {
+                job,
+                seq: 5,
+                transfer_bytes: 1 << 20,
+                stored_on: vec![],
+            },
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CoordAction::Send {
+                msg: Message::Kill { .. },
+                ..
+            }
+        )));
+        // Kill lands → requeue → dispatched home with restore.
+        coord.handle_message(
+            t(311),
+            Message::WorkloadUpdate {
+                status: WorkloadStatus {
+                    job,
+                    state: WorkloadState::Killed,
+                    progress: 0.4,
+                    checkpoint_seq: 5,
+                },
+                exit_code: Some(137),
+            },
+        );
+        heartbeat(&mut coord, t(312), home, 1);
+        heartbeat(&mut coord, t(312), other, hb_seq);
+        let actions = drive(&mut coord, t(315));
+        let dispatch_spec = actions.iter().find_map(|a| match a {
+            CoordAction::Send {
+                to,
+                msg: Message::Dispatch { spec },
+                ..
+            } if *to == home => Some(spec.clone()),
+            _ => None,
+        });
+        let s = dispatch_spec.expect("dispatched back home");
+        assert_eq!(s.restore_from_seq, Some(5));
+        // Accepting yields the MigratedBack event.
+        let actions = coord.handle_message(
+            t(316),
+            Message::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CoordAction::JobEvent {
+                event: JobEvent::MigratedBack { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn invalid_token_rejected() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let node = register(&mut coord, t(1), "m-1");
+        let env = gpunion_protocol::Envelope::new(
+            gpunion_protocol::AuthToken([0xBB; 16]),
+            Message::Heartbeat {
+                node,
+                seq: 1,
+                accepting: true,
+                gpu_stats: vec![],
+                workloads: vec![],
+            },
+        );
+        let actions = coord.handle_envelope(t(2), env);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CoordAction::Send {
+                msg: Message::Error { code: 401, .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn offer_timeout_excludes_silent_node() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let n1 = register(&mut coord, t(1), "m-1");
+        let n2 = register(&mut coord, t(1), "m-2");
+        // Both heartbeat continuously so neither is marked lost.
+        let (job, _) = coord.submit_job(t(3), spec());
+        let mut first = None;
+        let mut second = None;
+        let mut hb = 1u64;
+        for s in 2..40u64 {
+            heartbeat(&mut coord, t(s), n1, hb);
+            heartbeat(&mut coord, t(s), n2, hb);
+            hb += 1;
+            for a in coord.on_wake(t(s)) {
+                if let CoordAction::Send {
+                    to,
+                    msg: Message::Dispatch { .. },
+                    ..
+                } = a
+                {
+                    if first.is_none() {
+                        first = Some(to);
+                    } else if second.is_none() {
+                        second = Some(to);
+                    }
+                }
+            }
+        }
+        // First offer never answered → timeout (10 s) → second offer to the
+        // other node.
+        let (f, s) = (first.expect("first"), second.expect("second after timeout"));
+        assert_ne!(f, s);
+        let _ = job;
+    }
+
+    #[test]
+    fn decision_latency_grows_with_node_count() {
+        let mut small = Coordinator::new(CoordinatorConfig::default(), 1);
+        small.start(t(0));
+        for i in 0..10 {
+            register(&mut small, t(1), &format!("s-{i}"));
+        }
+        let mut big = Coordinator::new(CoordinatorConfig::default(), 1);
+        big.start(t(0));
+        for i in 0..400 {
+            register(&mut big, t(1), &format!("b-{i}"));
+        }
+        assert!(big.current_db_latency() > small.current_db_latency() * 4);
+    }
+
+    #[test]
+    fn cancel_pending_and_running_jobs() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let n1 = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), n1, 1);
+        // Pending cancel.
+        let (j1, _) = coord.submit_job(t(3), spec());
+        let actions = coord.cancel_job(t(4), j1);
+        assert!(actions.is_empty(), "pending job cancels without messages");
+        // Running cancel.
+        let (j2, _) = coord.submit_job(t(5), spec());
+        drive(&mut coord, t(6));
+        coord.handle_message(
+            t(7),
+            Message::DispatchReply {
+                job: j2,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        let actions = coord.cancel_job(t(8), j2);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CoordAction::Send {
+                msg: Message::Kill {
+                    reason: gpunion_protocol::KillReason::UserCancel,
+                    ..
+                },
+                ..
+            }
+        )));
+    }
+}

@@ -1,0 +1,221 @@
+//! Allocation strategies.
+//!
+//! §3.2: "The scheduler implements multiple allocation strategies, including
+//! distribution for fairness and assignment based on priority for
+//! time-sensitive workloads", with "provider reliability predictions" folded
+//! into placement (§3.5). Each strategy ranks the eligible nodes for one
+//! job; the coordinator dispatches to the first and falls through on
+//! rejection.
+
+use crate::directory::{Directory, NodeEntry, NodeLiveness};
+use gpunion_protocol::{DispatchSpec, NodeUid};
+use serde::{Deserialize, Serialize};
+
+/// Selectable allocation strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Rotate through eligible nodes — the paper's default ("a round-robin
+    /// scheduler which processes pending resource requests from a priority
+    /// queue").
+    RoundRobin,
+    /// Most free VRAM first (spreads load, helps interactive latency).
+    LeastLoaded,
+    /// Weight free capacity by the provider's reliability score — long jobs
+    /// avoid flaky volunteers.
+    ReliabilityAware,
+    /// Fastest eligible device first (minimizes training makespan on
+    /// heterogeneous fleets).
+    FastestDevice,
+}
+
+/// Stateful selector (round-robin needs a cursor).
+#[derive(Debug)]
+pub struct Selector {
+    strategy: Strategy,
+    rr_cursor: usize,
+}
+
+impl Selector {
+    /// New selector.
+    pub fn new(strategy: Strategy) -> Self {
+        Selector {
+            strategy,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Which strategy this selector implements.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    fn eligible<'a>(
+        dir: &'a Directory,
+        spec: &DispatchSpec,
+        exclude: &[NodeUid],
+    ) -> Vec<&'a NodeEntry> {
+        dir.iter()
+            .filter(|e| e.liveness == NodeLiveness::Active)
+            .filter(|e| !exclude.contains(&e.uid))
+            .filter(|e| e.eligible_gpus(spec.gpu_mem_bytes, spec.min_cc) >= spec.gpus as usize)
+            .collect()
+    }
+
+    /// Rank eligible nodes for `spec`, best first. `exclude` lists nodes
+    /// that already rejected this job (or just failed).
+    pub fn rank(
+        &mut self,
+        dir: &Directory,
+        spec: &DispatchSpec,
+        exclude: &[NodeUid],
+    ) -> Vec<NodeUid> {
+        let mut nodes = Self::eligible(dir, spec, exclude);
+        match self.strategy {
+            Strategy::RoundRobin => {
+                // Stable order, then rotate by the cursor.
+                nodes.sort_by_key(|e| e.uid);
+                if !nodes.is_empty() {
+                    let k = self.rr_cursor % nodes.len();
+                    nodes.rotate_left(k);
+                    self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                }
+            }
+            Strategy::LeastLoaded => {
+                nodes.sort_by(|a, b| {
+                    b.total_free()
+                        .cmp(&a.total_free())
+                        .then(a.uid.cmp(&b.uid))
+                });
+            }
+            Strategy::ReliabilityAware => {
+                nodes.sort_by(|a, b| {
+                    let score_a = a.total_free() as f64 * a.reliability.score();
+                    let score_b = b.total_free() as f64 * b.reliability.score();
+                    score_b
+                        .partial_cmp(&score_a)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.uid.cmp(&b.uid))
+                });
+            }
+            Strategy::FastestDevice => {
+                nodes.sort_by(|a, b| {
+                    b.best_tflops()
+                        .partial_cmp(&a.best_tflops())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.uid.cmp(&b.uid))
+                });
+            }
+        }
+        nodes.into_iter().map(|e| e.uid).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpunion_des::SimTime;
+    use gpunion_gpu::GpuModel;
+    use gpunion_protocol::{ExecMode, GpuInfo, JobId};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn spec(mem_gb: u64) -> DispatchSpec {
+        DispatchSpec {
+            job: JobId(1),
+            image_repo: "r".into(),
+            image_tag: "t".into(),
+            image_digest: [0; 32],
+            gpus: 1,
+            gpu_mem_bytes: mem_gb << 30,
+            min_cc: None,
+            mode: ExecMode::Batch {
+                entrypoint: vec!["x".into()],
+            },
+            checkpoint_interval_secs: 600,
+            storage_nodes: vec![],
+            state_bytes_hint: 0,
+            restore_from_seq: None,
+            priority: 1,
+        }
+    }
+
+    fn three_node_dir() -> (Directory, Vec<NodeUid>) {
+        let mut d = Directory::new();
+        let mut uids = Vec::new();
+        for (i, model) in [GpuModel::Rtx3090, GpuModel::Rtx4090, GpuModel::A6000]
+            .iter()
+            .enumerate()
+        {
+            let gpus: Vec<GpuInfo> = vec![(*model).into()];
+            let (uid, _) = d.register(&format!("m-{i}"), &format!("h-{i}"), gpus, t(0));
+            uids.push(uid);
+        }
+        (d, uids)
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let (d, uids) = three_node_dir();
+        let mut sel = Selector::new(Strategy::RoundRobin);
+        let first: Vec<NodeUid> = (0..3).map(|_| sel.rank(&d, &spec(4), &[])[0]).collect();
+        assert_eq!(first, uids, "each pass starts at the next node");
+    }
+
+    #[test]
+    fn least_loaded_prefers_free_vram() {
+        let (mut d, uids) = three_node_dir();
+        // Reserve most of node 2 (A6000, 48 GB): big but busy.
+        d.get_mut(uids[2]).unwrap().reserve(JobId(9), 1, 40 << 30);
+        let mut sel = Selector::new(Strategy::LeastLoaded);
+        let ranked = sel.rank(&d, &spec(4), &[]);
+        // 3090/4090 both 24 GB free > A6000's 8 GB remaining.
+        assert_eq!(*ranked.last().unwrap(), uids[2]);
+    }
+
+    #[test]
+    fn reliability_aware_penalizes_flaky() {
+        let (mut d, uids) = three_node_dir();
+        // Node 1 (4090) interrupts constantly.
+        for day in 1..6 {
+            d.get_mut(uids[1])
+                .unwrap()
+                .reliability
+                .record_interruption(t(day * 10_000));
+        }
+        let mut sel = Selector::new(Strategy::ReliabilityAware);
+        let ranked = sel.rank(&d, &spec(4), &[]);
+        assert_eq!(*ranked.last().unwrap(), uids[1], "flaky node ranked last");
+    }
+
+    #[test]
+    fn fastest_device_prefers_4090() {
+        let (d, uids) = three_node_dir();
+        let mut sel = Selector::new(Strategy::FastestDevice);
+        let ranked = sel.rank(&d, &spec(4), &[]);
+        assert_eq!(ranked[0], uids[1], "RTX 4090 has the highest TFLOPS");
+    }
+
+    #[test]
+    fn exclusion_and_capacity_filters() {
+        let (d, uids) = three_node_dir();
+        let mut sel = Selector::new(Strategy::LeastLoaded);
+        // 30 GB only fits the A6000.
+        let ranked = sel.rank(&d, &spec(30), &[]);
+        assert_eq!(ranked, vec![uids[2]]);
+        // Excluding it leaves nothing.
+        let ranked = sel.rank(&d, &spec(30), &[uids[2]]);
+        assert!(ranked.is_empty());
+    }
+
+    #[test]
+    fn paused_and_offline_nodes_excluded() {
+        let (mut d, uids) = three_node_dir();
+        d.get_mut(uids[0]).unwrap().liveness = NodeLiveness::Paused;
+        d.get_mut(uids[1]).unwrap().liveness = NodeLiveness::Offline;
+        let mut sel = Selector::new(Strategy::RoundRobin);
+        let ranked = sel.rank(&d, &spec(4), &[]);
+        assert_eq!(ranked, vec![uids[2]]);
+    }
+}

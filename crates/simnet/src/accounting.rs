@@ -1,0 +1,258 @@
+//! Per-class traffic accounting.
+//!
+//! The paper's network-traffic analysis (§4) claims that incremental
+//! checkpoint backup traffic stays below 2 % of available campus bandwidth
+//! during peak periods. Verifying that requires attributing every byte moved
+//! on every link to a traffic class and bucketing it in time so "peak period"
+//! utilization can be computed after the run.
+
+use crate::topology::LinkId;
+use gpunion_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// What a byte on the wire was moving for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Scheduler/agent control messages: heartbeats, dispatches, acks.
+    Control,
+    /// Periodic checkpoint backup traffic (the paper's headline claim).
+    Checkpoint,
+    /// Checkpoint restore + state transfer during migration.
+    Migration,
+    /// Container image distribution.
+    ImagePull,
+    /// The research traffic the platform must not interfere with.
+    User,
+}
+
+impl TrafficClass {
+    /// All classes, for iteration in reports.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::Control,
+        TrafficClass::Checkpoint,
+        TrafficClass::Migration,
+        TrafficClass::ImagePull,
+        TrafficClass::User,
+    ];
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Control => "control",
+            TrafficClass::Checkpoint => "checkpoint",
+            TrafficClass::Migration => "migration",
+            TrafficClass::ImagePull => "image-pull",
+            TrafficClass::User => "user",
+        }
+    }
+}
+
+/// Traffic accountant: campus-wide per-class time buckets plus per-link
+/// totals and per-link time buckets.
+#[derive(Debug, Clone)]
+pub struct Accounting {
+    bucket: SimDuration,
+    /// (class, bucket index) → bytes, campus-wide.
+    class_buckets: BTreeMap<(TrafficClass, u64), f64>,
+    /// (link, class) → total bytes over the whole run.
+    link_class_totals: HashMap<(LinkId, TrafficClass), f64>,
+    /// (link, bucket index) → bytes across all classes (for link peaks).
+    link_buckets: HashMap<(LinkId, u64), f64>,
+    total_bytes: f64,
+}
+
+impl Accounting {
+    /// New accountant with the given bucket width (1 minute is the default
+    /// used by all experiment harnesses).
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        Accounting {
+            bucket,
+            class_buckets: BTreeMap::new(),
+            link_class_totals: HashMap::new(),
+            link_buckets: HashMap::new(),
+            total_bytes: 0.0,
+        }
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket
+    }
+
+    fn bucket_index(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.bucket.as_nanos()
+    }
+
+    /// Attribute `bytes` moved on `link` for `class` uniformly over the
+    /// interval `[from, to)`, splitting across bucket boundaries.
+    pub fn record_span(
+        &mut self,
+        link: LinkId,
+        class: TrafficClass,
+        from: SimTime,
+        to: SimTime,
+        bytes: f64,
+    ) {
+        if bytes <= 0.0 {
+            return;
+        }
+        self.total_bytes += bytes;
+        *self.link_class_totals.entry((link, class)).or_insert(0.0) += bytes;
+        let span = to.since(from);
+        if span.is_zero() {
+            let b = self.bucket_index(from);
+            *self.class_buckets.entry((class, b)).or_insert(0.0) += bytes;
+            *self.link_buckets.entry((link, b)).or_insert(0.0) += bytes;
+            return;
+        }
+        let total_secs = span.as_secs_f64();
+        let mut cursor = from;
+        while cursor < to {
+            let b = self.bucket_index(cursor);
+            let bucket_end = SimTime::from_nanos((b + 1) * self.bucket.as_nanos());
+            let seg_end = bucket_end.min(to);
+            let frac = seg_end.since(cursor).as_secs_f64() / total_secs;
+            let part = bytes * frac;
+            *self.class_buckets.entry((class, b)).or_insert(0.0) += part;
+            *self.link_buckets.entry((link, b)).or_insert(0.0) += part;
+            cursor = seg_end;
+        }
+    }
+
+    /// Attribute an instantaneous transfer (control messages).
+    pub fn record_instant(&mut self, link: LinkId, class: TrafficClass, at: SimTime, bytes: f64) {
+        self.record_span(link, class, at, at, bytes);
+    }
+
+    /// Total bytes ever recorded.
+    pub fn total_bytes(&self) -> f64 {
+        self.total_bytes
+    }
+
+    /// Total bytes for one class across all links and time.
+    pub fn class_total(&self, class: TrafficClass) -> f64 {
+        self.class_buckets
+            .range((class, 0)..=(class, u64::MAX))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Total bytes a link carried for a class.
+    pub fn link_class_total(&self, link: LinkId, class: TrafficClass) -> f64 {
+        self.link_class_totals
+            .get(&(link, class))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Campus-wide per-bucket byte series for a class, as
+    /// `(bucket_start_time, bytes)` pairs in time order.
+    pub fn class_series(&self, class: TrafficClass) -> Vec<(SimTime, f64)> {
+        self.class_buckets
+            .range((class, 0)..=(class, u64::MAX))
+            .map(|((_, b), v)| (SimTime::from_nanos(b * self.bucket.as_nanos()), *v))
+            .collect()
+    }
+
+    /// Peak campus-wide throughput of a class in bytes/sec (max over buckets).
+    pub fn class_peak_rate(&self, class: TrafficClass) -> f64 {
+        let w = self.bucket.as_secs_f64();
+        self.class_buckets
+            .range((class, 0)..=(class, u64::MAX))
+            .map(|(_, v)| v / w)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean campus-wide throughput of a class over `[0, end)` in bytes/sec.
+    pub fn class_mean_rate(&self, class: TrafficClass, end: SimTime) -> f64 {
+        let secs = end.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.class_total(class) / secs
+    }
+
+    /// Peak per-bucket throughput on one link, all classes, bytes/sec.
+    pub fn link_peak_rate(&self, link: LinkId) -> f64 {
+        let w = self.bucket.as_secs_f64();
+        self.link_buckets
+            .iter()
+            .filter(|((l, _), _)| *l == link)
+            .map(|(_, v)| v / w)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LinkId = LinkId(0);
+
+    #[test]
+    fn span_splits_across_buckets() {
+        let mut a = Accounting::new(SimDuration::from_secs(60));
+        // 120 MB uniformly over [30s, 150s) — 2 minutes spanning 3 buckets:
+        // bucket0 gets 30s worth, bucket1 60s, bucket2 30s.
+        a.record_span(
+            L,
+            TrafficClass::Checkpoint,
+            SimTime::from_secs(30),
+            SimTime::from_secs(150),
+            120e6,
+        );
+        let series = a.class_series(TrafficClass::Checkpoint);
+        assert_eq!(series.len(), 3);
+        assert!((series[0].1 - 30e6).abs() < 1.0);
+        assert!((series[1].1 - 60e6).abs() < 1.0);
+        assert!((series[2].1 - 30e6).abs() < 1.0);
+        assert!((a.class_total(TrafficClass::Checkpoint) - 120e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn instant_record_lands_in_one_bucket() {
+        let mut a = Accounting::new(SimDuration::from_secs(60));
+        a.record_instant(L, TrafficClass::Control, SimTime::from_secs(61), 100.0);
+        let series = a.class_series(TrafficClass::Control);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].0, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn peak_rate_vs_mean_rate() {
+        let mut a = Accounting::new(SimDuration::from_secs(60));
+        // burst: 600 MB in one minute, then nothing for 9 minutes
+        a.record_span(
+            L,
+            TrafficClass::Checkpoint,
+            SimTime::from_secs(0),
+            SimTime::from_secs(60),
+            600e6,
+        );
+        let peak = a.class_peak_rate(TrafficClass::Checkpoint);
+        let mean = a.class_mean_rate(TrafficClass::Checkpoint, SimTime::from_secs(600));
+        assert!((peak - 10e6).abs() < 1.0, "peak {peak}");
+        assert!((mean - 1e6).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn per_link_totals_are_independent() {
+        let mut a = Accounting::new(SimDuration::from_secs(60));
+        a.record_instant(LinkId(1), TrafficClass::User, SimTime::ZERO, 10.0);
+        a.record_instant(LinkId(2), TrafficClass::User, SimTime::ZERO, 20.0);
+        assert_eq!(a.link_class_total(LinkId(1), TrafficClass::User), 10.0);
+        assert_eq!(a.link_class_total(LinkId(2), TrafficClass::User), 20.0);
+        assert_eq!(a.link_class_total(LinkId(3), TrafficClass::User), 0.0);
+        assert_eq!(a.total_bytes(), 30.0);
+    }
+
+    #[test]
+    fn zero_and_negative_bytes_ignored() {
+        let mut a = Accounting::new(SimDuration::from_secs(60));
+        a.record_instant(L, TrafficClass::User, SimTime::ZERO, 0.0);
+        a.record_instant(L, TrafficClass::User, SimTime::ZERO, -5.0);
+        assert_eq!(a.total_bytes(), 0.0);
+    }
+}

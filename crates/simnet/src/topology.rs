@@ -1,0 +1,368 @@
+//! Campus network topology: nodes, links, and shortest-path routing.
+//!
+//! A topology is an undirected multigraph of nodes (servers, workstations,
+//! switches) and links. Internally each undirected link is a pair of directed
+//! channels so that full-duplex capacity is modelled correctly: a checkpoint
+//! upload does not steal capacity from a concurrent image pull in the other
+//! direction.
+
+use crate::bandwidth::Bandwidth;
+use gpunion_des::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A network endpoint (server, workstation, switch, or the coordinator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// An undirected link between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// One direction of a link: `link` traversed from `from` towards `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Channel {
+    /// The underlying undirected link.
+    pub link: LinkId,
+    /// Source endpoint of this direction.
+    pub from: NodeId,
+    /// Destination endpoint of this direction.
+    pub to: NodeId,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct NodeInfo {
+    pub name: String,
+    pub up: bool,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct LinkInfo {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub capacity: Bandwidth,
+    pub latency: SimDuration,
+    pub up: bool,
+}
+
+/// The campus graph. Built once via [`TopologyBuilder`], then queried for
+/// routes. Routes are recomputed lazily after link/node state changes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<NodeInfo>,
+    links: Vec<LinkInfo>,
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+    route_cache: HashMap<(NodeId, NodeId), Option<Vec<Channel>>>,
+}
+
+/// Incremental builder for [`Topology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<NodeInfo>,
+    links: Vec<LinkInfo>,
+}
+
+impl TopologyBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named node; the name is for reports and debugging only.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeInfo {
+            name: name.into(),
+            up: true,
+        });
+        id
+    }
+
+    /// Add an undirected link with symmetric capacity and propagation latency.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: Bandwidth,
+        latency: SimDuration,
+    ) -> LinkId {
+        assert!(a != b, "self-links are not allowed");
+        assert!((a.0 as usize) < self.nodes.len() && (b.0 as usize) < self.nodes.len());
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkInfo {
+            a,
+            b,
+            capacity,
+            latency,
+            up: true,
+        });
+        id
+    }
+
+    /// Finalize into a queryable topology.
+    pub fn build(self) -> Topology {
+        let mut adjacency = vec![Vec::new(); self.nodes.len()];
+        for (i, l) in self.links.iter().enumerate() {
+            adjacency[l.a.0 as usize].push((l.b, LinkId(i as u32)));
+            adjacency[l.b.0 as usize].push((l.a, LinkId(i as u32)));
+        }
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+            adjacency,
+            route_cache: HashMap::new(),
+        }
+    }
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node name given at build time.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.nodes[n.0 as usize].name
+    }
+
+    /// Is the node currently up?
+    pub fn node_up(&self, n: NodeId) -> bool {
+        self.nodes[n.0 as usize].up
+    }
+
+    /// Is the link currently up?
+    pub fn link_up(&self, l: LinkId) -> bool {
+        self.links[l.0 as usize].up
+    }
+
+    /// Capacity of one direction of the link.
+    pub fn link_capacity(&self, l: LinkId) -> Bandwidth {
+        self.links[l.0 as usize].capacity
+    }
+
+    /// Propagation latency of the link.
+    pub fn link_latency(&self, l: LinkId) -> SimDuration {
+        self.links[l.0 as usize].latency
+    }
+
+    /// The two endpoints of a link.
+    pub fn link_endpoints(&self, l: LinkId) -> (NodeId, NodeId) {
+        let li = &self.links[l.0 as usize];
+        (li.a, li.b)
+    }
+
+    /// Mark a node up or down. Invalidates the route cache.
+    pub fn set_node_up(&mut self, n: NodeId, up: bool) {
+        if self.nodes[n.0 as usize].up != up {
+            self.nodes[n.0 as usize].up = up;
+            self.route_cache.clear();
+        }
+    }
+
+    /// Mark a link up or down. Invalidates the route cache.
+    pub fn set_link_up(&mut self, l: LinkId, up: bool) {
+        if self.links[l.0 as usize].up != up {
+            self.links[l.0 as usize].up = up;
+            self.route_cache.clear();
+        }
+    }
+
+    /// Shortest path (fewest hops) from `src` to `dst` as directed channels,
+    /// skipping down nodes and links. `None` when unreachable. Cached until
+    /// the next topology change.
+    pub fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<Channel>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        if let Some(cached) = self.route_cache.get(&(src, dst)) {
+            return cached.clone();
+        }
+        let computed = self.bfs(src, dst);
+        self.route_cache.insert((src, dst), computed.clone());
+        computed
+    }
+
+    fn bfs(&self, src: NodeId, dst: NodeId) -> Option<Vec<Channel>> {
+        if !self.node_up(src) || !self.node_up(dst) {
+            return None;
+        }
+        let n = self.nodes.len();
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut q = VecDeque::new();
+        visited[src.0 as usize] = true;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            if u == dst {
+                break;
+            }
+            for &(v, l) in &self.adjacency[u.0 as usize] {
+                if visited[v.0 as usize] || !self.link_up(l) || !self.node_up(v) {
+                    continue;
+                }
+                visited[v.0 as usize] = true;
+                prev[v.0 as usize] = Some((u, l));
+                q.push_back(v);
+            }
+        }
+        if !visited[dst.0 as usize] {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let (p, l) = prev[cur.0 as usize].expect("visited implies predecessor");
+            path.push(Channel {
+                link: l,
+                from: p,
+                to: cur,
+            });
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Sum of propagation latencies along a path.
+    pub fn path_latency(&self, path: &[Channel]) -> SimDuration {
+        path.iter()
+            .fold(SimDuration::ZERO, |acc, c| acc + self.link_latency(c.link))
+    }
+
+    /// The minimum link capacity along a path (the path's bottleneck).
+    pub fn path_bottleneck(&self, path: &[Channel]) -> Bandwidth {
+        path.iter()
+            .map(|c| self.link_capacity(c.link))
+            .fold(Bandwidth::bps(f64::MAX), |a, b| if b < a { b } else { a })
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+}
+
+/// Convenience constructor for the standard campus shape used throughout the
+/// reproduction: `n_hosts` hosts hanging off one backbone switch, each via a
+/// 1 Gb/s access link, with the given coordinator attached at 10 Gb/s.
+///
+/// Returns `(topology, host_ids, coordinator_id, switch_id)`.
+pub fn star_campus(
+    n_hosts: usize,
+    access: Bandwidth,
+    backbone: Bandwidth,
+    access_latency: SimDuration,
+) -> (Topology, Vec<NodeId>, NodeId, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let switch = b.add_node("campus-switch");
+    let coordinator = b.add_node("coordinator");
+    b.add_link(coordinator, switch, backbone, access_latency);
+    let mut hosts = Vec::with_capacity(n_hosts);
+    for i in 0..n_hosts {
+        let h = b.add_node(format!("host-{i}"));
+        b.add_link(h, switch, access, access_latency);
+        hosts.push(h);
+    }
+    (b.build(), hosts, coordinator, switch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Topology, NodeId, NodeId, NodeId, LinkId, LinkId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let m = b.add_node("m");
+        let c = b.add_node("c");
+        let l1 = b.add_link(a, m, Bandwidth::gbps(1.0), SimDuration::from_micros(10));
+        let l2 = b.add_link(m, c, Bandwidth::gbps(10.0), SimDuration::from_micros(20));
+        (b.build(), a, m, c, l1, l2)
+    }
+
+    #[test]
+    fn route_through_middle() {
+        let (mut t, a, m, c, l1, l2) = line3();
+        let path = t.route(a, c).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].link, l1);
+        assert_eq!(path[0].from, a);
+        assert_eq!(path[0].to, m);
+        assert_eq!(path[1].link, l2);
+        assert_eq!(path[1].to, c);
+        assert_eq!(t.path_latency(&path), SimDuration::from_micros(30));
+        assert_eq!(t.path_bottleneck(&path), Bandwidth::gbps(1.0));
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let (mut t, a, ..) = line3();
+        assert_eq!(t.route(a, a), Some(vec![]));
+    }
+
+    #[test]
+    fn down_link_breaks_route() {
+        let (mut t, a, _, c, l1, _) = line3();
+        t.set_link_up(l1, false);
+        assert_eq!(t.route(a, c), None);
+        t.set_link_up(l1, true);
+        assert!(t.route(a, c).is_some(), "cache must be invalidated");
+    }
+
+    #[test]
+    fn down_node_breaks_route() {
+        let (mut t, a, m, c, ..) = line3();
+        t.set_node_up(m, false);
+        assert_eq!(t.route(a, c), None);
+        assert_eq!(t.route(a, m), None, "down destination unreachable");
+    }
+
+    #[test]
+    fn star_campus_shape() {
+        let (mut t, hosts, coord, switch) = star_campus(
+            11,
+            Bandwidth::gbps(1.0),
+            Bandwidth::gbps(10.0),
+            SimDuration::from_micros(50),
+        );
+        assert_eq!(t.node_count(), 13);
+        assert_eq!(t.link_count(), 12);
+        assert_eq!(hosts.len(), 11);
+        let p = t.route(hosts[0], coord).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].to, switch);
+        // host-to-host goes via the switch
+        let p = t.route(hosts[3], hosts[7]).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn bfs_finds_shortest_of_multiple_paths() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let d = b.add_node("d");
+        // long path a-x-y-d, short path a-d
+        b.add_link(a, x, Bandwidth::gbps(1.0), SimDuration::ZERO);
+        b.add_link(x, y, Bandwidth::gbps(1.0), SimDuration::ZERO);
+        b.add_link(y, d, Bandwidth::gbps(1.0), SimDuration::ZERO);
+        b.add_link(a, d, Bandwidth::mbps(10.0), SimDuration::ZERO);
+        let mut t = b.build();
+        assert_eq!(t.route(a, d).unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_link_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        b.add_link(a, a, Bandwidth::gbps(1.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-node task data store.
+//!
+//! Every provider offers "local storage capabilities for temporary data and
+//! intermediate results" (§3.2); the coordinator also exposes a campus
+//! shared-filesystem node. The data store tracks capacity so checkpoint
+//! placement can refuse full nodes, and it owns object lifetimes (a provider
+//! leaving takes its store with it — which is why replication matters).
+
+use crate::repository::CheckpointId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Objects a data store can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectKey {
+    /// A stored checkpoint (full or delta).
+    Checkpoint(CheckpointId),
+    /// A workload's scratch dataset slice, keyed by job tag.
+    Scratch(u64),
+}
+
+/// Data store errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// Not enough free capacity.
+    Full {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes free.
+        free: u64,
+    },
+    /// No such object.
+    NotFound,
+    /// Object already stored (keys are unique).
+    Duplicate,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Full { requested, free } => {
+                write!(f, "store full: requested {requested} B, free {free} B")
+            }
+            StoreError::NotFound => write!(f, "object not found"),
+            StoreError::Duplicate => write!(f, "object already stored"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A capacity-bounded object store on one node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskDataStore {
+    capacity: u64,
+    used: u64,
+    objects: HashMap<ObjectKey, u64>,
+}
+
+impl TaskDataStore {
+    /// A store with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        TaskDataStore {
+            capacity,
+            used: 0,
+            objects: HashMap::new(),
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes in use.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Store an object of `bytes`.
+    pub fn put(&mut self, key: ObjectKey, bytes: u64) -> Result<(), StoreError> {
+        if self.objects.contains_key(&key) {
+            return Err(StoreError::Duplicate);
+        }
+        if bytes > self.free() {
+            return Err(StoreError::Full {
+                requested: bytes,
+                free: self.free(),
+            });
+        }
+        self.objects.insert(key, bytes);
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Does the store hold this object?
+    pub fn contains(&self, key: &ObjectKey) -> bool {
+        self.objects.contains_key(key)
+    }
+
+    /// Size of a stored object.
+    pub fn size_of(&self, key: &ObjectKey) -> Option<u64> {
+        self.objects.get(key).copied()
+    }
+
+    /// Delete an object, returning its size.
+    pub fn delete(&mut self, key: &ObjectKey) -> Result<u64, StoreError> {
+        let bytes = self.objects.remove(key).ok_or(StoreError::NotFound)?;
+        self.used -= bytes;
+        Ok(bytes)
+    }
+
+    /// Drop all scratch objects (used when a job leaves a node); returns
+    /// bytes reclaimed.
+    pub fn purge_scratch(&mut self) -> u64 {
+        let mut reclaimed = 0;
+        self.objects.retain(|k, v| {
+            if matches!(k, ObjectKey::Scratch(_)) {
+                reclaimed += *v;
+                false
+            } else {
+                true
+            }
+        });
+        self.used -= reclaimed;
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_accounting() {
+        let mut s = TaskDataStore::new(1000);
+        s.put(ObjectKey::Scratch(1), 300).unwrap();
+        s.put(ObjectKey::Checkpoint(CheckpointId(1)), 500).unwrap();
+        assert_eq!(s.used(), 800);
+        assert_eq!(s.free(), 200);
+        assert_eq!(s.size_of(&ObjectKey::Scratch(1)), Some(300));
+        assert_eq!(s.delete(&ObjectKey::Scratch(1)).unwrap(), 300);
+        assert_eq!(s.used(), 500);
+        assert_eq!(
+            s.delete(&ObjectKey::Scratch(1)).unwrap_err(),
+            StoreError::NotFound
+        );
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut s = TaskDataStore::new(100);
+        assert_eq!(
+            s.put(ObjectKey::Scratch(1), 101).unwrap_err(),
+            StoreError::Full {
+                requested: 101,
+                free: 100
+            }
+        );
+        s.put(ObjectKey::Scratch(1), 100).unwrap();
+        assert_eq!(s.free(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let mut s = TaskDataStore::new(100);
+        s.put(ObjectKey::Scratch(1), 10).unwrap();
+        assert_eq!(
+            s.put(ObjectKey::Scratch(1), 10).unwrap_err(),
+            StoreError::Duplicate
+        );
+    }
+
+    #[test]
+    fn purge_scratch_keeps_checkpoints() {
+        let mut s = TaskDataStore::new(1000);
+        s.put(ObjectKey::Scratch(1), 100).unwrap();
+        s.put(ObjectKey::Scratch(2), 150).unwrap();
+        s.put(ObjectKey::Checkpoint(CheckpointId(7)), 200).unwrap();
+        assert_eq!(s.purge_scratch(), 250);
+        assert_eq!(s.used(), 200);
+        assert!(s.contains(&ObjectKey::Checkpoint(CheckpointId(7))));
+    }
+
+    proptest::proptest! {
+        /// used + free == capacity under arbitrary operations.
+        #[test]
+        fn prop_capacity_conservation(ops in proptest::collection::vec((0u64..400, proptest::bool::ANY), 1..60)) {
+            let mut s = TaskDataStore::new(4000);
+            let mut next_key = 0u64;
+            let mut live: Vec<ObjectKey> = Vec::new();
+            for (bytes, do_delete) in ops {
+                if do_delete && !live.is_empty() {
+                    let k = live.pop().unwrap();
+                    s.delete(&k).unwrap();
+                } else {
+                    let k = ObjectKey::Scratch(next_key);
+                    next_key += 1;
+                    if s.put(k, bytes).is_ok() {
+                        live.push(k);
+                    }
+                }
+                proptest::prop_assert_eq!(s.used() + s.free(), s.capacity());
+            }
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The checkpoint repository: metadata, chains, retention and placement.
+//!
+//! Per the paper, checkpoints "can be stored in a LAN-accessible file system
+//! or a specific node", and "users can specify specific nodes for data
+//! storage and backup according to their own needs". The repository tracks
+//! where every checkpoint of every job lives, resolves the restore chain
+//! (latest full snapshot + subsequent incrementals), and applies retention.
+
+use crate::snapshot::Snapshot;
+use gpunion_container::sha256::Digest;
+use gpunion_des::SimTime;
+use gpunion_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a checkpoint within the repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CheckpointId(pub u64);
+
+/// A job handle as seen by the storage layer (decoupled from the
+/// scheduler's richer job type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobTag(pub u64);
+
+/// Full or incremental checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckpointKind {
+    /// Self-contained.
+    Full,
+    /// Applies on top of a parent checkpoint.
+    Incremental {
+        /// The checkpoint this delta chains off.
+        parent: CheckpointId,
+    },
+}
+
+/// Checkpoint metadata record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointMeta {
+    /// Repository id.
+    pub id: CheckpointId,
+    /// Owning job.
+    pub job: JobTag,
+    /// Monotone per-job sequence.
+    pub seq: u64,
+    /// Capture time.
+    pub created_at: SimTime,
+    /// Full or incremental.
+    pub kind: CheckpointKind,
+    /// Logical size of the full state at capture.
+    pub logical_bytes: u64,
+    /// Bytes actually moved (== logical for full; delta size otherwise).
+    pub transfer_bytes: u64,
+    /// Primary storage node.
+    pub location: NodeId,
+    /// Replicas (user-designated backup nodes).
+    pub replicas: Vec<NodeId>,
+    /// Content digest for restore-time verification.
+    pub digest: Digest,
+}
+
+/// Storage placement policy a user attaches to a job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoragePolicy {
+    /// Nodes the user wants checkpoints on, in preference order. Empty means
+    /// "the campus shared filesystem node chosen by the platform".
+    pub preferred_nodes: Vec<NodeId>,
+    /// How many replicas beyond the primary.
+    pub replicas: usize,
+    /// Keep at most this many checkpoints per job (≥ 1).
+    pub keep_last: usize,
+    /// Take a full checkpoint every `full_every` captures (1 = always full).
+    pub full_every: u32,
+}
+
+impl Default for StoragePolicy {
+    fn default() -> Self {
+        StoragePolicy {
+            preferred_nodes: Vec::new(),
+            replicas: 0,
+            keep_last: 4,
+            full_every: 8,
+        }
+    }
+}
+
+/// Repository errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepoError {
+    /// No checkpoint for that job.
+    NoCheckpoint,
+    /// The chain from the latest full to the requested checkpoint is broken
+    /// (a parent was garbage-collected or its node is gone).
+    BrokenChain {
+        /// The checkpoint whose parent is missing.
+        at: CheckpointId,
+    },
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::NoCheckpoint => write!(f, "no checkpoint recorded for job"),
+            RepoError::BrokenChain { at } => write!(f, "restore chain broken at {at:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+/// What a restore has to fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestorePlan {
+    /// Checkpoints to fetch, full first, then incrementals in order.
+    pub chain: Vec<CheckpointMeta>,
+    /// Total bytes to move.
+    pub transfer_bytes: u64,
+}
+
+/// The campus-wide checkpoint metadata store (lives in the coordinator's
+/// database in the real system; standalone and embeddable here).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointRepository {
+    by_id: HashMap<CheckpointId, CheckpointMeta>,
+    by_job: HashMap<JobTag, Vec<CheckpointId>>,
+    next_id: u64,
+}
+
+impl CheckpointRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retained checkpoints across all jobs.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Record a new checkpoint from a captured snapshot. Chooses the kind by
+    /// `policy.full_every` and chains incrementals off the previous capture.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        now: SimTime,
+        job: JobTag,
+        snapshot: &Snapshot,
+        transfer_bytes: u64,
+        location: NodeId,
+        replicas: Vec<NodeId>,
+        policy: &StoragePolicy,
+    ) -> CheckpointMeta {
+        let seq_index = self.by_job.get(&job).map(|v| v.len() as u64).unwrap_or(0);
+        let prev = self.latest(job).map(|m| m.id);
+        let kind = match prev {
+            Some(parent)
+                if policy.full_every > 1 && seq_index % policy.full_every as u64 != 0 =>
+            {
+                CheckpointKind::Incremental { parent }
+            }
+            _ => CheckpointKind::Full,
+        };
+        let transfer = match kind {
+            CheckpointKind::Full => snapshot.full_bytes(),
+            CheckpointKind::Incremental { .. } => transfer_bytes,
+        };
+        let id = CheckpointId(self.next_id);
+        self.next_id += 1;
+        let meta = CheckpointMeta {
+            id,
+            job,
+            seq: snapshot.seq,
+            created_at: now,
+            kind,
+            logical_bytes: snapshot.full_bytes(),
+            transfer_bytes: transfer,
+            location,
+            replicas,
+            digest: snapshot.digest(),
+        };
+        self.by_id.insert(id, meta.clone());
+        self.by_job.entry(job).or_default().push(id);
+        self.gc(job, policy);
+        meta
+    }
+
+    /// The most recent checkpoint of a job.
+    pub fn latest(&self, job: JobTag) -> Option<&CheckpointMeta> {
+        self.by_job
+            .get(&job)?
+            .last()
+            .and_then(|id| self.by_id.get(id))
+    }
+
+    /// All retained checkpoints of a job, oldest first.
+    pub fn all(&self, job: JobTag) -> Vec<&CheckpointMeta> {
+        self.by_job
+            .get(&job)
+            .map(|ids| ids.iter().filter_map(|id| self.by_id.get(id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Resolve the restore plan for the latest checkpoint of a job:
+    /// walk parents back to the most recent full, then list forward.
+    /// `node_alive` filters out checkpoints stored only on dead nodes
+    /// (a replica on a live node rescues the chain).
+    pub fn restore_plan(
+        &self,
+        job: JobTag,
+        node_alive: impl Fn(NodeId) -> bool,
+    ) -> Result<RestorePlan, RepoError> {
+        let latest = self.latest(job).ok_or(RepoError::NoCheckpoint)?;
+        let mut rev = Vec::new();
+        let mut cur = latest;
+        loop {
+            let readable = std::iter::once(cur.location)
+                .chain(cur.replicas.iter().copied())
+                .any(&node_alive);
+            if !readable {
+                return Err(RepoError::BrokenChain { at: cur.id });
+            }
+            rev.push(cur.clone());
+            match cur.kind {
+                CheckpointKind::Full => break,
+                CheckpointKind::Incremental { parent } => {
+                    cur = self
+                        .by_id
+                        .get(&parent)
+                        .ok_or(RepoError::BrokenChain { at: cur.id })?;
+                }
+            }
+        }
+        rev.reverse();
+        let transfer_bytes = rev.iter().map(|m| m.transfer_bytes).sum();
+        Ok(RestorePlan {
+            chain: rev,
+            transfer_bytes,
+        })
+    }
+
+    /// Retention: keep the last `policy.keep_last` checkpoints, but never
+    /// drop a checkpoint that a retained incremental still chains through.
+    fn gc(&mut self, job: JobTag, policy: &StoragePolicy) {
+        let Some(ids) = self.by_job.get(&job) else {
+            return;
+        };
+        if ids.len() <= policy.keep_last {
+            return;
+        }
+        // Determine which checkpoints are needed by the retained window.
+        let keep_window: Vec<CheckpointId> =
+            ids[ids.len() - policy.keep_last..].to_vec();
+        let mut needed: std::collections::HashSet<CheckpointId> =
+            keep_window.iter().copied().collect();
+        for id in &keep_window {
+            let mut cur = *id;
+            while let Some(meta) = self.by_id.get(&cur) {
+                needed.insert(cur);
+                match meta.kind {
+                    CheckpointKind::Incremental { parent } => cur = parent,
+                    CheckpointKind::Full => break,
+                }
+            }
+        }
+        let ids = self.by_job.get_mut(&job).expect("checked above");
+        ids.retain(|id| needed.contains(id));
+        self.by_id.retain(|id, m| m.job != job || needed.contains(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::StateModel;
+
+    const MB: u64 = 1 << 20;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn record_n(
+        repo: &mut CheckpointRepository,
+        policy: &StoragePolicy,
+        n: u64,
+        loc: NodeId,
+    ) -> StateModel {
+        let mut m = StateModel::new(64 * MB, 4 * MB);
+        let mut prev = m.capture(0);
+        for i in 0..n {
+            m.touch_fraction(0.2);
+            let snap = m.capture(i);
+            let transfer = if i == 0 {
+                snap.full_bytes()
+            } else {
+                snap.delta_from(&prev).transfer_bytes()
+            };
+            repo.record(t(i * 600), JobTag(1), &snap, transfer, loc, vec![], policy);
+            prev = snap;
+        }
+        m
+    }
+
+    #[test]
+    fn first_checkpoint_is_full() {
+        let mut repo = CheckpointRepository::new();
+        let policy = StoragePolicy::default();
+        record_n(&mut repo, &policy, 1, NodeId(5));
+        let latest = repo.latest(JobTag(1)).unwrap();
+        assert_eq!(latest.kind, CheckpointKind::Full);
+        assert_eq!(latest.transfer_bytes, latest.logical_bytes);
+    }
+
+    #[test]
+    fn incrementals_chain_and_restore_plan_resolves() {
+        let mut repo = CheckpointRepository::new();
+        let policy = StoragePolicy {
+            keep_last: 10,
+            full_every: 8,
+            ..Default::default()
+        };
+        record_n(&mut repo, &policy, 5, NodeId(5));
+        let plan = repo.restore_plan(JobTag(1), |_| true).unwrap();
+        assert_eq!(plan.chain.len(), 5, "full + 4 incrementals");
+        assert_eq!(plan.chain[0].kind, CheckpointKind::Full);
+        for m in &plan.chain[1..] {
+            assert!(matches!(m.kind, CheckpointKind::Incremental { .. }));
+        }
+        // Incremental restore moves far less than 5 fulls.
+        assert!(plan.transfer_bytes < 2 * plan.chain[0].logical_bytes);
+    }
+
+    #[test]
+    fn full_every_schedules_fulls() {
+        let mut repo = CheckpointRepository::new();
+        let policy = StoragePolicy {
+            keep_last: 100,
+            full_every: 3,
+            ..Default::default()
+        };
+        record_n(&mut repo, &policy, 7, NodeId(5));
+        let kinds: Vec<bool> = repo
+            .all(JobTag(1))
+            .iter()
+            .map(|m| matches!(m.kind, CheckpointKind::Full))
+            .collect();
+        assert_eq!(kinds, vec![true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn retention_never_breaks_chains() {
+        let mut repo = CheckpointRepository::new();
+        let policy = StoragePolicy {
+            keep_last: 2,
+            full_every: 8,
+            ..Default::default()
+        };
+        record_n(&mut repo, &policy, 6, NodeId(5));
+        // Only 2 in the window, but the full at seq 0 must survive because
+        // the retained incrementals chain through it.
+        let plan = repo.restore_plan(JobTag(1), |_| true).unwrap();
+        assert_eq!(plan.chain[0].kind, CheckpointKind::Full);
+        assert!(repo.len() >= 3, "window + chain ancestors retained");
+    }
+
+    #[test]
+    fn dead_node_breaks_chain_unless_replicated() {
+        let mut repo = CheckpointRepository::new();
+        let policy = StoragePolicy {
+            keep_last: 10,
+            full_every: 8,
+            ..Default::default()
+        };
+        record_n(&mut repo, &policy, 3, NodeId(5));
+        let err = repo.restore_plan(JobTag(1), |n| n != NodeId(5)).unwrap_err();
+        assert!(matches!(err, RepoError::BrokenChain { .. }));
+
+        // With a replica on node 9 everything restores.
+        let mut repo2 = CheckpointRepository::new();
+        let mut m = StateModel::new(64 * MB, 4 * MB);
+        let snap = m.capture(0);
+        repo2.record(
+            t(0),
+            JobTag(2),
+            &snap,
+            snap.full_bytes(),
+            NodeId(5),
+            vec![NodeId(9)],
+            &policy,
+        );
+        m.touch_pages(3);
+        let s1 = m.capture(1);
+        repo2.record(
+            t(600),
+            JobTag(2),
+            &s1,
+            s1.delta_from(&snap).transfer_bytes(),
+            NodeId(5),
+            vec![NodeId(9)],
+            &policy,
+        );
+        let plan = repo2.restore_plan(JobTag(2), |n| n != NodeId(5)).unwrap();
+        assert_eq!(plan.chain.len(), 2);
+    }
+
+    #[test]
+    fn no_checkpoint_error() {
+        let repo = CheckpointRepository::new();
+        assert_eq!(
+            repo.restore_plan(JobTag(404), |_| true).unwrap_err(),
+            RepoError::NoCheckpoint
+        );
+    }
+
+    #[test]
+    fn jobs_are_isolated() {
+        let mut repo = CheckpointRepository::new();
+        let policy = StoragePolicy::default();
+        let mut m = StateModel::new(8 * MB, 4 * MB);
+        let s = m.capture(0);
+        repo.record(t(0), JobTag(1), &s, s.full_bytes(), NodeId(1), vec![], &policy);
+        assert!(repo.latest(JobTag(2)).is_none());
+        assert_eq!(repo.all(JobTag(1)).len(), 1);
+    }
+}

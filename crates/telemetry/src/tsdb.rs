@@ -1,0 +1,226 @@
+//! A small time-series store for scraped samples.
+//!
+//! The coordinator keeps "historical monitoring data, enabling both
+//! operational decision making and capacity planning" (§3.2). Each series
+//! (name + labels) holds a bounded ring of `(time, value)` points with
+//! queries for the aggregations the scheduler and the experiment harnesses
+//! need: latest value, window means, and counter rates.
+
+use crate::expo::Sample;
+use crate::metrics::Labels;
+use gpunion_des::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Series identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeriesKey {
+    /// Metric name.
+    pub name: String,
+    /// Label set (sorted by construction).
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// Build from name + labels.
+    pub fn new(name: impl Into<String>, labels: &Labels) -> Self {
+        SeriesKey {
+            name: name.into(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Value of one label, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One stored point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Sample time.
+    pub at: SimTime,
+    /// Value.
+    pub value: f64,
+}
+
+/// Bounded multi-series store.
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    capacity_per_series: usize,
+    series: HashMap<SeriesKey, VecDeque<Point>>,
+}
+
+impl TimeSeriesStore {
+    /// Store keeping at most `capacity_per_series` points per series.
+    pub fn new(capacity_per_series: usize) -> Self {
+        assert!(capacity_per_series > 0);
+        TimeSeriesStore {
+            capacity_per_series,
+            series: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Insert one point.
+    pub fn insert(&mut self, key: SeriesKey, at: SimTime, value: f64) {
+        let ring = self.series.entry(key).or_default();
+        ring.push_back(Point { at, value });
+        if ring.len() > self.capacity_per_series {
+            ring.pop_front();
+        }
+    }
+
+    /// Ingest a batch of scraped samples at scrape time.
+    pub fn ingest(&mut self, at: SimTime, samples: &[Sample]) {
+        for s in samples {
+            let labels: Labels = s.labels.clone();
+            self.insert(SeriesKey::new(s.name.clone(), &labels), at, s.value);
+        }
+    }
+
+    /// Latest point of a series.
+    pub fn latest(&self, key: &SeriesKey) -> Option<Point> {
+        self.series.get(key)?.back().copied()
+    }
+
+    /// Points within `[now - window, now]`, oldest first.
+    pub fn range(&self, key: &SeriesKey, now: SimTime, window: SimDuration) -> Vec<Point> {
+        let start = now.checked_sub(window).unwrap_or(SimTime::ZERO);
+        self.series
+            .get(key)
+            .map(|ring| {
+                ring.iter()
+                    .filter(|p| p.at >= start && p.at <= now)
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Arithmetic mean over the window (None when empty).
+    pub fn window_mean(&self, key: &SeriesKey, now: SimTime, window: SimDuration) -> Option<f64> {
+        let pts = self.range(key, now, window);
+        if pts.is_empty() {
+            return None;
+        }
+        Some(pts.iter().map(|p| p.value).sum::<f64>() / pts.len() as f64)
+    }
+
+    /// Counter rate (per second) over the window: handles resets by treating
+    /// a decrease as a restart from zero, like PromQL `rate()`.
+    pub fn rate(&self, key: &SeriesKey, now: SimTime, window: SimDuration) -> Option<f64> {
+        let pts = self.range(key, now, window);
+        if pts.len() < 2 {
+            return None;
+        }
+        let mut increase = 0.0;
+        for w in pts.windows(2) {
+            let d = w[1].value - w[0].value;
+            increase += if d >= 0.0 { d } else { w[1].value };
+        }
+        let secs = pts.last().unwrap().at.since(pts[0].at).as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(increase / secs)
+    }
+
+    /// All series keys matching a metric name.
+    pub fn keys_for(&self, name: &str) -> Vec<&SeriesKey> {
+        self.series.keys().filter(|k| k.name == name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::labels;
+
+    fn key(name: &str) -> SeriesKey {
+        SeriesKey::new(name, &Labels::new())
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn insert_latest_range() {
+        let mut db = TimeSeriesStore::new(100);
+        for i in 0..10 {
+            db.insert(key("x"), t(i * 10), i as f64);
+        }
+        assert_eq!(db.latest(&key("x")).unwrap().value, 9.0);
+        let pts = db.range(&key("x"), t(90), SimDuration::from_secs(25));
+        assert_eq!(pts.len(), 3); // t=70,80,90
+        assert_eq!(pts[0].value, 7.0);
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest() {
+        let mut db = TimeSeriesStore::new(3);
+        for i in 0..10 {
+            db.insert(key("x"), t(i), i as f64);
+        }
+        let pts = db.range(&key("x"), t(100), SimDuration::from_secs(100));
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].value, 7.0);
+    }
+
+    #[test]
+    fn window_mean() {
+        let mut db = TimeSeriesStore::new(100);
+        db.insert(key("u"), t(0), 0.2);
+        db.insert(key("u"), t(10), 0.4);
+        db.insert(key("u"), t(20), 0.9);
+        let m = db.window_mean(&key("u"), t(20), SimDuration::from_secs(12)).unwrap();
+        assert!((m - 0.65).abs() < 1e-12);
+        assert_eq!(db.window_mean(&key("nope"), t(20), SimDuration::from_secs(10)), None);
+    }
+
+    #[test]
+    fn rate_with_counter_reset() {
+        let mut db = TimeSeriesStore::new(100);
+        db.insert(key("c"), t(0), 100.0);
+        db.insert(key("c"), t(10), 150.0); // +50
+        db.insert(key("c"), t(20), 20.0); // reset; counts as +20
+        db.insert(key("c"), t(30), 50.0); // +30
+        let r = db.rate(&key("c"), t(30), SimDuration::from_secs(30)).unwrap();
+        assert!((r - 100.0 / 30.0).abs() < 1e-9, "r={r}");
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let mut db = TimeSeriesStore::new(10);
+        let a = SeriesKey::new("gpu_util", &labels([("node", "ws-1")]));
+        let b = SeriesKey::new("gpu_util", &labels([("node", "ws-2")]));
+        db.insert(a.clone(), t(0), 0.1);
+        db.insert(b.clone(), t(0), 0.9);
+        assert_eq!(db.latest(&a).unwrap().value, 0.1);
+        assert_eq!(db.latest(&b).unwrap().value, 0.9);
+        assert_eq!(db.series_count(), 2);
+        assert_eq!(db.keys_for("gpu_util").len(), 2);
+        assert_eq!(a.label("node"), Some("ws-1"));
+    }
+
+    #[test]
+    fn ingest_scraped_samples() {
+        use crate::expo::parse;
+        let mut db = TimeSeriesStore::new(10);
+        let samples = parse("gpu_util{node=\"ws-1\"} 0.7\nbeats_total 12\n").unwrap();
+        db.ingest(t(5), &samples);
+        let k = SeriesKey::new("gpu_util", &labels([("node", "ws-1")]));
+        assert_eq!(db.latest(&k).unwrap().value, 0.7);
+    }
+}

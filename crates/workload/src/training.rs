@@ -1,0 +1,338 @@
+//! Live training-run state: progress, checkpoints, lost work.
+//!
+//! A [`TrainingRun`] tracks completed iterations and the iteration recorded
+//! in the last durable checkpoint. On an emergency departure the run resumes
+//! from the checkpointed iteration — the difference is the paper's "work
+//! loss equivalent to the checkpoint interval". The run also owns the
+//! job's [`StateModel`] so checkpoint deltas reflect training activity.
+
+use crate::job::{iter_secs, ModelClass, TrainingJobSpec};
+use gpunion_des::{SimDuration, SimTime};
+use gpunion_storage::{Snapshot, StateModel};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of advancing a run for some wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunProgress {
+    /// Still training.
+    InProgress,
+    /// All iterations finished.
+    Complete,
+}
+
+/// Mutable state of one training job while placed on a device.
+#[derive(Debug, Clone)]
+pub struct TrainingRun {
+    spec: TrainingJobSpec,
+    done_iters: u64,
+    checkpointed_iters: u64,
+    checkpoint_seq: u64,
+    state: StateModel,
+    last_snapshot: Option<Snapshot>,
+    /// Cumulative wall-clock spent actually training (excludes downtime).
+    compute_time: SimDuration,
+    /// Fractional progress toward the next iteration, in seconds. Without
+    /// this carry, advancing by exactly one iteration-time would floor to
+    /// zero iterations and the run could never finish (Zeno's paradox).
+    carry_secs: f64,
+}
+
+impl TrainingRun {
+    /// Fresh run for a spec.
+    pub fn new(spec: TrainingJobSpec) -> Self {
+        let state = StateModel::with_default_pages(spec.model.profile().state_bytes);
+        TrainingRun {
+            spec,
+            done_iters: 0,
+            checkpointed_iters: 0,
+            checkpoint_seq: 0,
+            state,
+            last_snapshot: None,
+            compute_time: SimDuration::ZERO,
+            carry_secs: 0.0,
+        }
+    }
+
+    /// The spec this run executes.
+    pub fn spec(&self) -> &TrainingJobSpec {
+        &self.spec
+    }
+
+    /// Completed iterations.
+    pub fn done_iters(&self) -> u64 {
+        self.done_iters
+    }
+
+    /// Iterations captured by the last durable checkpoint.
+    pub fn checkpointed_iters(&self) -> u64 {
+        self.checkpointed_iters
+    }
+
+    /// Latest checkpoint sequence number (0 = none yet).
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq
+    }
+
+    /// Fraction of iterations complete.
+    pub fn progress(&self) -> f64 {
+        if self.spec.iterations == 0 {
+            1.0
+        } else {
+            self.done_iters as f64 / self.spec.iterations as f64
+        }
+    }
+
+    /// Total time spent computing (for overhead accounting).
+    pub fn compute_time(&self) -> SimDuration {
+        self.compute_time
+    }
+
+    /// Is the run finished?
+    pub fn is_complete(&self) -> bool {
+        self.done_iters >= self.spec.iterations
+    }
+
+    /// Train for `dt` of wall-clock on a device of `tflops`; returns the new
+    /// status. Dirties state pages proportionally to iterations executed.
+    pub fn advance(&mut self, dt: SimDuration, tflops: f64) -> RunProgress {
+        if self.is_complete() {
+            return RunProgress::Complete;
+        }
+        let per_iter = iter_secs(self.spec.model, tflops, self.spec.gpus);
+        let total = self.carry_secs + dt.as_secs_f64();
+        let can_do = (total / per_iter + 1e-9).floor() as u64;
+        let doing = can_do.min(self.spec.iterations - self.done_iters);
+        self.carry_secs = (total - doing as f64 * per_iter).max(0.0);
+        self.done_iters += doing;
+        self.compute_time += SimDuration::from_secs_f64(doing as f64 * per_iter);
+        // Each optimizer step rewrites a slice of the state; spread touches
+        // so the dirty fraction between checkpoints matches the profile.
+        let dirty = self.spec.model.profile().dirty_fraction;
+        let page_count = self.state.page_count() as f64;
+        let iters_per_interval = (self.spec.checkpoint_interval.as_secs_f64() / per_iter).max(1.0);
+        let pages_per_iter = (page_count * dirty / iters_per_interval).max(0.05);
+        self.state
+            .touch_pages((pages_per_iter * doing as f64).round() as usize);
+        self.state.append_file("train.log", doing * 256);
+        if self.is_complete() {
+            RunProgress::Complete
+        } else {
+            RunProgress::InProgress
+        }
+    }
+
+    /// Wall-clock needed to finish on a device of `tflops`.
+    pub fn remaining_time(&self, tflops: f64) -> SimDuration {
+        let per_iter = iter_secs(self.spec.model, tflops, self.spec.gpus);
+        let remaining = (self.spec.iterations - self.done_iters.min(self.spec.iterations)) as f64
+            * per_iter
+            - self.carry_secs;
+        SimDuration::from_secs_f64(remaining.max(0.0))
+    }
+
+    /// Capture an application-level checkpoint. Returns the snapshot and the
+    /// incremental transfer size relative to the previous checkpoint.
+    pub fn capture_checkpoint(&mut self) -> (Snapshot, u64) {
+        self.checkpoint_seq += 1;
+        let snap = self.state.capture(self.checkpoint_seq);
+        let transfer = match &self.last_snapshot {
+            Some(prev) => snap.delta_from(prev).transfer_bytes(),
+            None => snap.full_bytes(),
+        };
+        self.checkpointed_iters = self.done_iters;
+        self.last_snapshot = Some(snap.clone());
+        (snap, transfer)
+    }
+
+    /// Roll back to the last durable checkpoint (emergency departure: all
+    /// work since then is lost). Returns the iterations lost.
+    pub fn rollback_to_checkpoint(&mut self) -> u64 {
+        let lost = self.done_iters - self.checkpointed_iters;
+        self.done_iters = self.checkpointed_iters;
+        lost
+    }
+
+    /// Ideal uninterrupted duration on `tflops` (baseline for the paper's
+    /// training-impact percentages).
+    pub fn ideal_duration(&self, tflops: f64) -> SimDuration {
+        self.spec.expected_duration(tflops)
+    }
+}
+
+/// The paper's Fig. 3 workload: 20 training jobs, CNN and transformer mixed.
+pub fn fig3_job_set() -> Vec<TrainingJobSpec> {
+    let mut jobs = Vec::new();
+    for i in 0..20u64 {
+        let model = match i % 4 {
+            0 => ModelClass::CnnSmall,
+            1 => ModelClass::CnnLarge,
+            2 => ModelClass::TransformerSmall,
+            _ => ModelClass::TransformerLarge,
+        };
+        // 6–14 h of single-GPU work on a 3090, varied deterministic sizes.
+        let per_iter = iter_secs(model, 35.6, 1);
+        let hours = 6.0 + (i % 5) as f64 * 2.0;
+        let iterations = (hours * 3600.0 / per_iter) as u64;
+        jobs.push(TrainingJobSpec::new(model, iterations));
+    }
+    jobs
+}
+
+/// Interruption bookkeeping for the training-impact analysis.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InterruptionLedger {
+    /// (time, iterations lost, downtime) per interruption.
+    pub events: Vec<InterruptionRecord>,
+}
+
+/// One interruption's cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterruptionRecord {
+    /// When the interruption hit.
+    pub at: SimTime,
+    /// Iterations rolled back.
+    pub iters_lost: u64,
+    /// Wall-clock from interruption to resumed training.
+    pub downtime: SimDuration,
+}
+
+impl InterruptionLedger {
+    /// Record one interruption.
+    pub fn record(&mut self, at: SimTime, iters_lost: u64, downtime: SimDuration) {
+        self.events.push(InterruptionRecord {
+            at,
+            iters_lost,
+            downtime,
+        });
+    }
+
+    /// Number of interruptions.
+    pub fn count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total downtime across interruptions.
+    pub fn total_downtime(&self) -> SimDuration {
+        self.events
+            .iter()
+            .fold(SimDuration::ZERO, |acc, e| acc + e.downtime)
+    }
+
+    /// Total iterations lost.
+    pub fn total_iters_lost(&self) -> u64 {
+        self.events.iter().map(|e| e.iters_lost).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TrainingJobSpec {
+        TrainingJobSpec::new(ModelClass::CnnSmall, 1000)
+    }
+
+    #[test]
+    fn advance_accumulates_iterations() {
+        let mut run = TrainingRun::new(spec());
+        let per_iter = iter_secs(ModelClass::CnnSmall, 35.6, 1);
+        let status = run.advance(SimDuration::from_secs_f64(per_iter * 100.5), 35.6);
+        assert_eq!(status, RunProgress::InProgress);
+        assert_eq!(run.done_iters(), 100);
+        assert!((run.progress() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_detected_and_capped() {
+        let mut run = TrainingRun::new(spec());
+        let status = run.advance(SimDuration::from_hours(100), 35.6);
+        assert_eq!(status, RunProgress::Complete);
+        assert_eq!(run.done_iters(), 1000);
+        assert!(run.is_complete());
+        // Further advance is a no-op.
+        assert_eq!(run.advance(SimDuration::from_secs(60), 35.6), RunProgress::Complete);
+        assert_eq!(run.done_iters(), 1000);
+    }
+
+    #[test]
+    fn rollback_loses_uncheckpointed_work() {
+        let mut run = TrainingRun::new(spec());
+        let per_iter = iter_secs(ModelClass::CnnSmall, 35.6, 1);
+        run.advance(SimDuration::from_secs_f64(per_iter * 300.5), 35.6);
+        run.capture_checkpoint();
+        let checkpointed = run.checkpointed_iters();
+        assert_eq!(checkpointed, run.done_iters());
+        run.advance(SimDuration::from_secs_f64(per_iter * 200.5), 35.6);
+        let before = run.done_iters();
+        assert!(before > checkpointed);
+        let lost = run.rollback_to_checkpoint();
+        assert_eq!(lost, before - checkpointed);
+        assert_eq!(run.done_iters(), checkpointed);
+    }
+
+    #[test]
+    fn first_checkpoint_full_then_incremental() {
+        let mut run = TrainingRun::new(TrainingJobSpec::new(ModelClass::TransformerLarge, 100_000));
+        run.advance(SimDuration::from_mins(10), 35.6);
+        let (s1, t1) = run.capture_checkpoint();
+        assert_eq!(s1.seq, 1);
+        assert_eq!(t1, s1.full_bytes(), "first checkpoint is full");
+        run.advance(SimDuration::from_mins(10), 35.6);
+        let (s2, t2) = run.capture_checkpoint();
+        assert_eq!(s2.seq, 2);
+        assert!(t2 < t1 / 2, "incremental {t2} must be ≪ full {t1}");
+        assert!(t2 > 0);
+    }
+
+    #[test]
+    fn dirty_fraction_close_to_profile() {
+        // After exactly one checkpoint interval of training, the delta
+        // should be roughly dirty_fraction × state size.
+        let spec = TrainingJobSpec::new(ModelClass::TransformerLarge, 1_000_000);
+        let mut run = TrainingRun::new(spec.clone());
+        run.advance(spec.checkpoint_interval, 35.6);
+        let (s1, _) = run.capture_checkpoint();
+        run.advance(spec.checkpoint_interval, 35.6);
+        let (s2, t2) = run.capture_checkpoint();
+        let frac = t2 as f64 / s2.full_bytes() as f64;
+        let expect = ModelClass::TransformerLarge.profile().dirty_fraction;
+        assert!(
+            (frac - expect).abs() < expect * 0.5,
+            "measured dirty {frac:.3}, profile {expect}"
+        );
+        assert_ne!(s1.digest(), s2.digest());
+    }
+
+    #[test]
+    fn remaining_time_shrinks() {
+        let mut run = TrainingRun::new(spec());
+        let before = run.remaining_time(35.6);
+        run.advance(SimDuration::from_secs(60), 35.6);
+        assert!(run.remaining_time(35.6) < before);
+    }
+
+    #[test]
+    fn fig3_jobs_match_paper_setup() {
+        let jobs = fig3_job_set();
+        assert_eq!(jobs.len(), 20);
+        let cnn = jobs
+            .iter()
+            .filter(|j| matches!(j.model, ModelClass::CnnSmall | ModelClass::CnnLarge))
+            .count();
+        assert_eq!(cnn, 10, "half CNN, half transformer");
+        for j in &jobs {
+            let h = j.expected_duration(35.6).as_secs_f64() / 3600.0;
+            assert!(h > 4.0 && h < 16.0, "job length {h} h");
+        }
+    }
+
+    #[test]
+    fn ledger_totals() {
+        let mut l = InterruptionLedger::default();
+        l.record(SimTime::from_secs(10), 100, SimDuration::from_secs(30));
+        l.record(SimTime::from_secs(90), 50, SimDuration::from_secs(45));
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.total_iters_lost(), 150);
+        assert_eq!(l.total_downtime(), SimDuration::from_secs(75));
+    }
+}

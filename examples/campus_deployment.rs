@@ -1,0 +1,25 @@
+//! The paper's §4 deployment: 11 GPU servers + coordinator, six weeks of
+//! campus demand, manual coordination vs GPUnion (Fig. 2).
+//!
+//!     cargo run --release --example campus_deployment -- [weeks]
+
+use gpunion_core::run_fig2;
+
+fn main() {
+    let weeks = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let r = run_fig2(weeks, 42);
+    println!("campus GPU utilization over {weeks} week(s):");
+    println!("  manual coordination: {:.1}%", r.manual_mean * 100.0);
+    println!("  GPUnion:             {:.1}%", r.gpunion_mean * 100.0);
+    println!(
+        "  interactive sessions: {} → {}",
+        r.sessions_manual, r.sessions_gpunion
+    );
+    println!("per-server utilization (manual → GPUnion):");
+    for (name, m, g) in &r.per_server {
+        println!("  {name:<12} {:.0}% → {:.0}%", m * 100.0, g * 100.0);
+    }
+}

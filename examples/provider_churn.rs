@@ -1,0 +1,48 @@
+//! Provider autonomy in action: a training job survives a kill-switch, an
+//! emergency departure, and migrates back when the provider returns.
+//!
+//!     cargo run --release --example provider_churn
+
+use gpunion_core::{PlatformConfig, Scenario};
+use gpunion_des::{SimDuration, SimTime};
+use gpunion_gpu::{GpuModel, ServerSpec};
+use gpunion_workload::{ModelClass, TrainingJobSpec};
+
+fn main() {
+    let specs = vec![
+        ServerSpec::workstation("volunteer", GpuModel::Rtx3090),
+        ServerSpec::workstation("stable", GpuModel::Rtx3090),
+    ];
+    let mut s = Scenario::new(PlatformConfig::default(), &specs);
+    let volunteer = s.hosts()[0];
+
+    let mut job = TrainingJobSpec::new(ModelClass::CnnLarge, 60_000); // hours
+    job.checkpoint_interval = SimDuration::from_mins(5);
+    s.submit_training_at(SimTime::from_secs(5), 0, job);
+
+    // 40 min in, the volunteer's owner yanks the machine (emergency).
+    s.schedule(SimTime::from_secs(2400), move |w, now| {
+        println!("[{now}] volunteer pulls the plug (emergency departure)");
+        w.emergency_departure(now, volunteer);
+    });
+    // They return 30 minutes later.
+    s.schedule(SimTime::from_secs(2400 + 1800), move |w, now| {
+        println!("[{now}] volunteer returns");
+        w.provider_return(now, volunteer);
+    });
+
+    s.run_until(SimTime::from_secs(8 * 3600));
+
+    let job = s.job_of(0).unwrap();
+    println!("\njob event log:");
+    for (t, e) in &s.world.stats.job_log[&job] {
+        println!("  {t}  {e:?}");
+    }
+    for d in &s.world.stats.displacements {
+        println!(
+            "displaced at {} → restore from seq {:?}, restarted {:?}, migrated back: {}",
+            d.at, d.restore_seq, d.restarted_at, d.migrated_back
+        );
+    }
+    println!("jobs completed: {}", s.world.stats.jobs_completed);
+}

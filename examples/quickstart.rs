@@ -1,0 +1,40 @@
+//! Quickstart: deploy a two-workstation campus, submit a training job and
+//! an interactive session, and watch them complete.
+//!
+//!     cargo run --release --example quickstart
+
+use gpunion_core::{PlatformConfig, Scenario};
+use gpunion_des::{SimDuration, SimTime};
+use gpunion_gpu::{GpuModel, ServerSpec};
+use gpunion_workload::{InteractiveSpec, ModelClass, TrainingJobSpec};
+
+fn main() {
+    let specs = vec![
+        ServerSpec::workstation("lab-a", GpuModel::Rtx3090),
+        ServerSpec::workstation("lab-b", GpuModel::Rtx4090),
+    ];
+    let mut s = Scenario::new(PlatformConfig::default(), &specs);
+
+    // A 30-minute CNN fine-tune with 5-minute checkpoints.
+    let mut job = TrainingJobSpec::new(ModelClass::CnnSmall, 12_000);
+    job.checkpoint_interval = SimDuration::from_mins(5);
+    s.submit_training_at(SimTime::from_secs(10), 0, job);
+
+    // A student debugging session.
+    s.submit_interactive_at(SimTime::from_secs(120), 1, InteractiveSpec::typical());
+
+    s.run_until(SimTime::from_secs(2 * 3600));
+
+    let end = SimTime::from_secs(2 * 3600);
+    println!("jobs completed:     {}", s.world.stats.jobs_completed);
+    println!("sessions served:    {}", s.world.stats.sessions_served);
+    println!("sessions abandoned: {}", s.world.stats.sessions_abandoned);
+    for (_, name, util) in s.world.utilization_by_host(end) {
+        println!("utilization {name}: {:.1}%", util * 100.0);
+    }
+    let job = s.job_of(0).expect("job registered");
+    println!("job {job:?} event log:");
+    for (t, e) in &s.world.stats.job_log[&job] {
+        println!("  {t}  {e:?}");
+    }
+}

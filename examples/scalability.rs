@@ -1,0 +1,22 @@
+//! Sweep the coordinator across node counts and watch scheduling latency
+//! hit the paper's §5.2 wall past ~200 nodes.
+//!
+//!     cargo run --release --example scalability
+
+fn main() {
+    // The full sweep lives in the bench harness; this example prints the
+    // latency model directly.
+    use gpunion_db::ContentionModel;
+    use gpunion_des::SimDuration;
+    let m = ContentionModel::default();
+    println!("{:<8} {:>10} {:>14}", "nodes", "db util", "tx latency");
+    for n in [10, 50, 100, 200, 300, 400] {
+        let rate = ContentionModel::heartbeat_write_rate(n, SimDuration::from_secs(5), 2.0);
+        println!(
+            "{:<8} {:>9.0}% {:>14}",
+            n,
+            m.utilization(rate) * 100.0,
+            format!("{}", m.transaction_latency(rate))
+        );
+    }
+}
