@@ -14,9 +14,7 @@
 //! simulated campus LAN and over real TCP in live mode.
 
 use crate::config::AgentConfig;
-use gpunion_container::{
-    ContainerConfigBuilder, ContainerId, ContainerRuntime, ImageRegistry,
-};
+use gpunion_container::{ContainerConfigBuilder, ContainerId, ContainerRuntime, ImageRegistry};
 use gpunion_des::{SimDuration, SimTime};
 use gpunion_gpu::{ComputeCapability, GpuIndex, GpuServer, MemAllocId};
 use gpunion_protocol::{
@@ -256,10 +254,7 @@ impl Agent {
     /// Fire all timers due at or before `now`.
     pub fn on_wake(&mut self, now: SimTime) -> Vec<Action> {
         let mut actions = Vec::new();
-        loop {
-            let Some((&(at, seq), _)) = self.timers.first_key_value() else {
-                break;
-            };
+        while let Some((&(at, seq), _)) = self.timers.first_key_value() {
             if at > now {
                 break;
             }
@@ -283,7 +278,7 @@ impl Agent {
             Timer::VerifyDone(job) => self.verify_done(now, job, actions),
             Timer::StartDone(job) => self.start_done(now, job, actions),
             Timer::RestoreDone(job) => self.restore_done(now, job, actions),
-            Timer::CheckpointDue(job) => self.checkpoint_due(now, job, actions),
+            Timer::CheckpointDue(job) => self.checkpoint_due(now, job),
             Timer::CaptureDone(job) => self.capture_done(now, job, actions),
             Timer::JobComplete(job) => self.job_complete(now, job, actions),
             Timer::DepartureDeadline => self.departure_deadline_hit(now, actions),
@@ -375,8 +370,7 @@ impl Agent {
             } => {
                 self.uid = Some(node);
                 self.token = token;
-                self.config.heartbeat_period =
-                    SimDuration::from_millis(heartbeat_period_ms as u64);
+                self.config.heartbeat_period = SimDuration::from_millis(heartbeat_period_ms as u64);
                 self.phase = AgentPhase::Active;
                 // First heartbeat immediately; then periodic.
                 actions.push(Action::Send(self.heartbeat(now)));
@@ -388,7 +382,7 @@ impl Agent {
                 if let Some(w) = self.workloads.get(&job) {
                     if matches!(w.phase, WorkPhase::Running { .. }) {
                         self.disarm_checkpoint_timer(job);
-                        self.begin_capture(now, job, &mut actions);
+                        self.begin_capture(now, job);
                     }
                 }
             }
@@ -704,17 +698,17 @@ impl Agent {
         }
     }
 
-    fn checkpoint_due(&mut self, now: SimTime, job: JobId, actions: &mut Vec<Action>) {
+    fn checkpoint_due(&mut self, now: SimTime, job: JobId) {
         let Some(w) = self.workloads.get(&job) else {
             return;
         };
         if !matches!(w.phase, WorkPhase::Running { .. }) {
             return; // checkpoint collides with something else; skip cycle
         }
-        self.begin_capture(now, job, actions);
+        self.begin_capture(now, job);
     }
 
-    fn begin_capture(&mut self, now: SimTime, job: JobId, _actions: &mut [Action]) {
+    fn begin_capture(&mut self, now: SimTime, job: JobId) {
         self.advance_runs(now);
         let Some(w) = self.workloads.get_mut(&job) else {
             return;
@@ -986,10 +980,7 @@ impl Agent {
             _ => return actions,
         }
         if let Some(uid) = self.uid {
-            actions.push(Action::Send(Message::PauseScheduling {
-                node: uid,
-                paused,
-            }));
+            actions.push(Action::Send(Message::PauseScheduling { node: uid, paused }));
         }
         actions
     }
@@ -1029,7 +1020,7 @@ impl Agent {
                     if let Some(w) = self.workloads.get_mut(job) {
                         w.departing_checkpoint = true;
                     }
-                    self.begin_capture(now, *job, &mut actions);
+                    self.begin_capture(now, *job);
                 }
                 if jobs.is_empty() && self.no_pending_uploads() {
                     self.finish_departure(&mut actions);
@@ -1040,9 +1031,9 @@ impl Agent {
     }
 
     fn no_pending_uploads(&self) -> bool {
-        self.workloads.values().all(|w| {
-            w.pending_upload.is_none() && !matches!(w.phase, WorkPhase::Checkpointing)
-        })
+        self.workloads
+            .values()
+            .all(|w| w.pending_upload.is_none() && !matches!(w.phase, WorkPhase::Checkpointing))
     }
 
     fn maybe_finish_departure(&mut self, _now: SimTime, actions: &mut Vec<Action>) {

@@ -62,7 +62,10 @@ mod tests {
             heartbeat_period_ms: 5_000,
         };
         let actions = agent.handle_message(t(1), ack, &registry);
-        assert!(matches!(actions[0], Action::Send(Message::Heartbeat { .. })));
+        assert!(matches!(
+            actions[0],
+            Action::Send(Message::Heartbeat { .. })
+        ));
         assert_eq!(agent.phase(), AgentPhase::Active);
         (agent, registry, refs)
     }
@@ -192,7 +195,10 @@ mod tests {
         );
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::DispatchReply { accepted: false, .. })
+            Action::Send(Message::DispatchReply {
+                accepted: false,
+                ..
+            })
         )));
     }
 
@@ -204,7 +210,10 @@ mod tests {
         let actions = agent.handle_message(t(2), Message::Dispatch { spec }, &registry);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::DispatchReply { accepted: false, .. })
+            Action::Send(Message::DispatchReply {
+                accepted: false,
+                ..
+            })
         )));
         assert_eq!(agent.workload_count(), 0);
     }
@@ -260,7 +269,12 @@ mod tests {
             JobId(9),
             TrainingRun::new(TrainingJobSpec::new(ModelClass::CnnSmall, 500_000)),
         );
-        agent.on_flow_done(t(60), FlowPurpose::ImagePull { job: JobId(9) }, true, &registry);
+        agent.on_flow_done(
+            t(60),
+            FlowPurpose::ImagePull { job: JobId(9) },
+            true,
+            &registry,
+        );
         drive(&mut agent, &registry, t(90));
 
         let req = HttpRequest::new(Method::Post, "/depart?mode=graceful");
@@ -325,7 +339,12 @@ mod tests {
             JobId(3),
             TrainingRun::new(TrainingJobSpec::new(ModelClass::MemoryIntensive, 500_000)),
         );
-        agent.on_flow_done(t(60), FlowPurpose::ImagePull { job: JobId(3) }, true, &registry);
+        agent.on_flow_done(
+            t(60),
+            FlowPurpose::ImagePull { job: JobId(3) },
+            true,
+            &registry,
+        );
         drive(&mut agent, &registry, t(120));
 
         // Depart with a 1-second grace — far too short for a 14 GB capture.
@@ -348,7 +367,11 @@ mod tests {
         assert_eq!(resp.status, 200);
         let body = String::from_utf8(resp.body).unwrap();
         assert!(body.contains("\"phase\":\"Active\""), "{body}");
-        let (resp, _) = rest::handle(&mut agent, t(10), &HttpRequest::new(Method::Get, "/metrics"));
+        let (resp, _) = rest::handle(
+            &mut agent,
+            t(10),
+            &HttpRequest::new(Method::Get, "/metrics"),
+        );
         let body = String::from_utf8(resp.body).unwrap();
         assert!(body.contains("agent_heartbeats_total"), "{body}");
     }
@@ -393,7 +416,12 @@ mod tests {
             JobId(11),
             TrainingRun::new(TrainingJobSpec::new(ModelClass::CnnLarge, 2_000_000)),
         );
-        agent.on_flow_done(t(30), FlowPurpose::ImagePull { job: JobId(11) }, true, &registry);
+        agent.on_flow_done(
+            t(30),
+            FlowPurpose::ImagePull { job: JobId(11) },
+            true,
+            &registry,
+        );
         drive(&mut agent, &registry, t(40));
         // Two checkpoint intervals later there should be ≥ 2 uploads.
         let actions = drive(&mut agent, &registry, t(40 + 150));
@@ -422,7 +450,12 @@ mod tests {
             JobId(21),
             TrainingRun::new(TrainingJobSpec::new(ModelClass::CnnSmall, 10)),
         );
-        agent.on_flow_done(t(30), FlowPurpose::ImagePull { job: JobId(21) }, true, &registry);
+        agent.on_flow_done(
+            t(30),
+            FlowPurpose::ImagePull { job: JobId(21) },
+            true,
+            &registry,
+        );
         let actions = drive(&mut agent, &registry, t(600));
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -459,7 +492,12 @@ mod tests {
             JobId(30),
             TrainingRun::new(TrainingJobSpec::new(ModelClass::CnnSmall, 1_000_000)),
         );
-        agent.on_flow_done(t(30), FlowPurpose::ImagePull { job: JobId(30) }, true, &registry);
+        agent.on_flow_done(
+            t(30),
+            FlowPurpose::ImagePull { job: JobId(30) },
+            true,
+            &registry,
+        );
         drive(&mut agent, &registry, t(60));
         let (resp, actions) = rest::handle(
             &mut agent,
@@ -498,7 +536,12 @@ mod tests {
             JobId(40),
             TrainingRun::new(TrainingJobSpec::new(ModelClass::CnnSmall, 1_000_000)),
         );
-        agent.on_flow_done(t(30), FlowPurpose::ImagePull { job: JobId(40) }, true, &registry);
+        agent.on_flow_done(
+            t(30),
+            FlowPurpose::ImagePull { job: JobId(40) },
+            true,
+            &registry,
+        );
         drive(&mut agent, &registry, t(60));
         // Run for a while, checkpoint once.
         let _ = drive(&mut agent, &registry, t(60 + 700));

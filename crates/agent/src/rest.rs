@@ -85,7 +85,12 @@ pub fn handle(agent: &mut Agent, now: SimTime, req: &HttpRequest) -> (HttpRespon
             match path["/workloads/".len()..].parse::<u64>() {
                 Ok(id) => {
                     let mut actions = Vec::new();
-                    agent.kill_workload(now, JobId(id), KillReason::ProviderKillSwitch, &mut actions);
+                    agent.kill_workload(
+                        now,
+                        JobId(id),
+                        KillReason::ProviderKillSwitch,
+                        &mut actions,
+                    );
                     (HttpResponse::ok_json("{\"killed\":true}"), actions)
                 }
                 Err(_) => (HttpResponse::bad_request("bad workload id"), Vec::new()),

@@ -137,7 +137,13 @@ impl PoolWorld {
         }
     }
 
-    fn find_slot(&self, lab: LabId, mem: u64, borrow_unlocked: bool, now: SimTime) -> Option<(usize, usize)> {
+    fn find_slot(
+        &self,
+        lab: LabId,
+        mem: u64,
+        borrow_unlocked: bool,
+        now: SimTime,
+    ) -> Option<(usize, usize)> {
         for h in self.visible_hosts(lab, borrow_unlocked) {
             let host = &self.hosts[h];
             if !host.up || now < host.usable_at {
@@ -215,9 +221,12 @@ pub fn run_capacity_model(
         sim.schedule_at(ev.at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
             host_down(w, sim, host);
         });
-        sim.schedule_at(returns, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-            host_up(w, sim, host);
-        });
+        sim.schedule_at(
+            returns,
+            move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+                host_up(w, sim, host);
+            },
+        );
     }
     // Schedule reclaim probes.
     for (at, host) in reclaim_probes.iter().copied() {
@@ -246,8 +255,7 @@ pub fn run_capacity_model(
         / total_gpus.max(1) as f64;
     world.outcome.per_host_utilization = per_host;
     world.outcome.mean_utilization = mean;
-    world.outcome.jobs_unfinished =
-        world.job_queue.len() as u64 + world.units.len() as u64;
+    world.outcome.jobs_unfinished = world.job_queue.len() as u64 + world.units.len() as u64;
     world.outcome
 }
 
@@ -318,11 +326,7 @@ fn enqueue_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob) {
             && w.find_slot(job.lab, job.mem, false, sim.now()).is_none()
             && chance(&mut w.rng, borrow_success)
         {
-            let delay = log_normal(
-                &mut w.rng,
-                negotiation_median.as_secs_f64(),
-                0.5,
-            );
+            let delay = log_normal(&mut w.rng, negotiation_median.as_secs_f64(), 0.5);
             let mut unlocked = job.clone();
             unlocked.borrow_unlocked = true;
             sim.schedule_in(
@@ -360,7 +364,13 @@ fn try_place_session_anywhere(
     true
 }
 
-fn place_session(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, qs: &QueuedSession, h: usize, g: usize) {
+fn place_session(
+    w: &mut PoolWorld,
+    sim: &mut Sim<PoolWorld>,
+    qs: &QueuedSession,
+    h: usize,
+    g: usize,
+) {
     let id = qs.id;
     let ends_at = sim.now() + qs.duration;
     w.hosts[h].gpus[g] = Some(id);
@@ -384,12 +394,15 @@ fn place_session(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, qs: &QueuedSession
         },
     );
     w.outcome.sessions_served += 1;
-    sim.schedule_at(ends_at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-        if w.units.get(&id).map(|u| u.incarnation) == Some(incarnation) {
-            let u = w.units.remove(&id).expect("checked");
-            free_slot(w, sim, u.host, u.gpu);
-        }
-    });
+    sim.schedule_at(
+        ends_at,
+        move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+            if w.units.get(&id).map(|u| u.incarnation) == Some(incarnation) {
+                let u = w.units.remove(&id).expect("checked");
+                free_slot(w, sim, u.host, u.gpu);
+            }
+        },
+    );
 }
 
 fn drain_queues(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>) {
@@ -437,8 +450,8 @@ fn place_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob, h: usi
     let rate = w.hosts[h].tflops[g] / REF_TFLOPS;
     let remaining_wall = (job.total_ref - job.done_ref).max(0.0) / rate;
     let finish_at = now + SimDuration::from_secs_f64(remaining_wall);
-    let release_at = now
-        + SimDuration::from_secs_f64(remaining_wall * w.policy.reservation_padding);
+    let release_at =
+        now + SimDuration::from_secs_f64(remaining_wall * w.policy.reservation_padding);
     let id = job.id;
     let incarnation = w.next_incarnation;
     w.next_incarnation += 1;
@@ -466,25 +479,31 @@ fn place_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob, h: usi
     );
     // Completion (guarded by incarnation: a displaced-and-replaced unit
     // must not be completed by this placement's stale event).
-    sim.schedule_at(finish_at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-        let Some(u) = w.units.get(&id) else { return };
-        if u.incarnation != incarnation {
-            return;
-        }
-        let (host, gpu, release_at) = (u.host, u.gpu, u.release_at);
-        w.units.remove(&id);
-        w.outcome.jobs_completed += 1;
-        if release_at > sim.now() {
-            // Reservation padding: GPU stays blocked (reserved-idle).
-            w.hosts[host].working[gpu] = false;
-            w.hosts[host].update_util(sim.now());
-            sim.schedule_at(release_at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+    sim.schedule_at(
+        finish_at,
+        move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+            let Some(u) = w.units.get(&id) else { return };
+            if u.incarnation != incarnation {
+                return;
+            }
+            let (host, gpu, release_at) = (u.host, u.gpu, u.release_at);
+            w.units.remove(&id);
+            w.outcome.jobs_completed += 1;
+            if release_at > sim.now() {
+                // Reservation padding: GPU stays blocked (reserved-idle).
+                w.hosts[host].working[gpu] = false;
+                w.hosts[host].update_util(sim.now());
+                sim.schedule_at(
+                    release_at,
+                    move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+                        free_slot(w, sim, host, gpu);
+                    },
+                );
+            } else {
                 free_slot(w, sim, host, gpu);
-            });
-        } else {
-            free_slot(w, sim, host, gpu);
-        }
-    });
+            }
+        },
+    );
 }
 
 fn free_slot(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize, g: usize) {
@@ -524,27 +543,31 @@ fn host_down(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
                 let rate = w.hosts[h].tflops[u.gpu] / REF_TFLOPS;
                 let ran_ref = now.since(u.started_at).as_secs_f64() * rate;
                 let done_now = (u.done_ref + ran_ref).min(total_ref);
-                let requeue = |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, done: f64, delay: SimDuration| {
-                    let job = QueuedJob {
-                        id,
-                        lab: u.lab,
-                        total_ref,
-                        done_ref: done,
-                        ckpt_interval,
-                        mem,
-                        queued_at: sim.now() + delay,
-                        first_queued_at: u.started_at,
-                        borrow_unlocked: false,
+                let requeue =
+                    |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, done: f64, delay: SimDuration| {
+                        let job = QueuedJob {
+                            id,
+                            lab: u.lab,
+                            total_ref,
+                            done_ref: done,
+                            ckpt_interval,
+                            mem,
+                            queued_at: sim.now() + delay,
+                            first_queued_at: u.started_at,
+                            borrow_unlocked: false,
+                        };
+                        if delay.is_zero() {
+                            w.job_queue.push_back(job);
+                        } else {
+                            sim.schedule_in(
+                                delay,
+                                move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
+                                    w.job_queue.push_back(job.clone());
+                                    drain_queues(w, sim);
+                                },
+                            );
+                        }
                     };
-                    if delay.is_zero() {
-                        w.job_queue.push_back(job);
-                    } else {
-                        sim.schedule_in(delay, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-                            w.job_queue.push_back(job.clone());
-                            drain_queues(w, sim);
-                        });
-                    }
-                };
                 match w.policy.churn {
                     ChurnReaction::RestartFromScratch => {
                         requeue(w, sim, 0.0, SimDuration::ZERO);
@@ -560,11 +583,7 @@ fn host_down(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
                         requeue(w, sim, checkpointed.min(done_now), SimDuration::ZERO);
                     }
                     ChurnReaction::ManualResubmit { median_delay } => {
-                        let delay = log_normal(
-                            &mut w.rng,
-                            median_delay.as_secs_f64(),
-                            0.6,
-                        );
+                        let delay = log_normal(&mut w.rng, median_delay.as_secs_f64(), 0.6);
                         requeue(w, sim, 0.0, SimDuration::from_secs_f64(delay));
                     }
                 }
@@ -672,19 +691,20 @@ mod tests {
         assert_eq!(out.jobs_completed, 1);
         assert_eq!(out.jobs_unfinished, 0);
         // Utilization ≈ 49 min / 4 h ≈ 0.2.
-        assert!(out.mean_utilization > 0.15 && out.mean_utilization < 0.25,
-            "{}", out.mean_utilization);
+        assert!(
+            out.mean_utilization > 0.15 && out.mean_utilization < 0.25,
+            "{}",
+            out.mean_utilization
+        );
     }
 
     #[test]
     fn own_lab_only_blocks_cross_lab_use() {
-        let campus = campus(2); // host0 owned by lab0, host1 by lab1
-        // Lab 0 submits two jobs; with global visibility both run in
-        // parallel, with own-lab-only (and borrow disabled) they serialize.
-        let trace = vec![
-            training_event(0, 0, 20_000),
-            training_event(0, 0, 20_000),
-        ];
+        // host0 owned by lab0, host1 by lab1. Lab 0 submits two jobs;
+        // with global visibility both run in parallel, with own-lab-only
+        // (and borrow disabled) they serialize.
+        let campus = campus(2);
+        let trace = vec![training_event(0, 0, 20_000), training_event(0, 0, 20_000)];
         let mut manual = PlatformPolicy::manual();
         manual.visibility = Visibility::OwnLabOnly {
             borrow_success: 0.0,
@@ -703,10 +723,7 @@ mod tests {
     fn reservation_padding_wastes_capacity() {
         let campus = campus(1);
         // Two jobs, each ~49 min; padding 1.5 blocks the GPU ~25 min extra.
-        let trace = vec![
-            training_event(0, 0, 20_000),
-            training_event(60, 0, 20_000),
-        ];
+        let trace = vec![training_event(0, 0, 20_000), training_event(60, 0, 20_000)];
         let slurm = run(PlatformPolicy::reservation(), &campus, &trace, &[], 6);
         let k8s = run(PlatformPolicy::centralized(), &campus, &trace, &[], 6);
         assert_eq!(slurm.jobs_completed, 2);
@@ -753,6 +770,7 @@ mod tests {
     fn restart_from_scratch_loses_work() {
         let campus = campus(2);
         let trace = vec![training_event(0, 0, 40_000)]; // ~98 min
+
         // Host 0 dies 30 min in, returns hours later.
         let churn = vec![InterruptionEvent {
             at: SimTime::from_secs(1800),

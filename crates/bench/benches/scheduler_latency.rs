@@ -16,7 +16,9 @@ fn spec() -> DispatchSpec {
         gpus: 1,
         gpu_mem_bytes: 8 << 30,
         min_cc: None,
-        mode: ExecMode::Batch { entrypoint: vec!["x".into()] },
+        mode: ExecMode::Batch {
+            entrypoint: vec!["x".into()],
+        },
         checkpoint_interval_secs: 600,
         storage_nodes: vec![],
         state_bytes_hint: 0,

@@ -16,7 +16,12 @@ fn main() {
     println!("== Fig. 2 — research-group GPU utilization comparison ==");
     println!("{:<14} {:>10} {:>10}", "server", "manual", "gpunion");
     for (name, manual, gpunion) in &r.per_server {
-        println!("{:<14} {:>9.1}% {:>9.1}%", name, manual * 100.0, gpunion * 100.0);
+        println!(
+            "{:<14} {:>9.1}% {:>9.1}%",
+            name,
+            manual * 100.0,
+            gpunion * 100.0
+        );
     }
     println!("{:-<38}", "");
     println!(

@@ -21,10 +21,16 @@ fn main() {
     let horizon = SimDuration::from_days(days);
     let trace = generate(
         &labs,
-        &TraceConfig { horizon, ..Default::default() },
+        &TraceConfig {
+            horizon,
+            ..Default::default()
+        },
         &RngPool::new(seed),
     );
-    let mut config = PlatformConfig { seed, ..Default::default() };
+    let mut config = PlatformConfig {
+        seed,
+        ..Default::default()
+    };
     config.coordinator.heartbeat_period = SimDuration::from_secs(30);
     let backbone_bps = config.backbone.bytes_per_sec();
     let mut s = Scenario::new(config, &specs);
@@ -71,8 +77,11 @@ fn main() {
     let incr_total = acct.class_total(TrafficClass::Checkpoint);
     println!(
         "incremental transfers moved {:.1} GB across {} checkpointing jobs;",
-        incr_total / 1e9, n_ckpts
+        incr_total / 1e9,
+        n_ckpts
     );
     println!("full-snapshot transfers would move the complete state every interval —");
-    println!("for a 6 GB transformer at 10-min intervals that is 36 GB/h/job vs ~4 GB/h incremental.");
+    println!(
+        "for a 6 GB transformer at 10-min intervals that is 36 GB/h/job vs ~4 GB/h incremental."
+    );
 }

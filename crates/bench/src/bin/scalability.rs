@@ -18,7 +18,9 @@ fn spec() -> DispatchSpec {
         gpus: 1,
         gpu_mem_bytes: 8 << 30,
         min_cc: None,
-        mode: ExecMode::Batch { entrypoint: vec!["python".into()] },
+        mode: ExecMode::Batch {
+            entrypoint: vec!["python".into()],
+        },
         checkpoint_interval_secs: 600,
         storage_nodes: vec![],
         state_bytes_hint: 1 << 30,
@@ -49,11 +51,7 @@ fn main() {
         }
         let tx = coord.current_db_latency();
         let util = gpunion_db::ContentionModel::default().utilization(
-            gpunion_db::ContentionModel::heartbeat_write_rate(
-                n,
-                SimDuration::from_secs(5),
-                2.0,
-            ),
+            gpunion_db::ContentionModel::heartbeat_write_rate(n, SimDuration::from_secs(5), 2.0),
         );
         // Simulated end-to-end pass latency for a 100-job backlog.
         for _ in 0..100 {

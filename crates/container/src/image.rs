@@ -143,7 +143,10 @@ impl fmt::Display for ImageError {
                 write!(f, "layer {layer} failed SHA256 verification")
             }
             ImageError::NotAllowListed { repository } => {
-                write!(f, "repository '{repository}' is not on the trusted allow list")
+                write!(
+                    f,
+                    "repository '{repository}' is not on the trusted allow list"
+                )
             }
         }
     }
@@ -246,12 +249,7 @@ pub fn standard_catalogue() -> (ImageRegistry, Vec<ImageRef>) {
             4_200_000_000,
             &["jupyter", "lab", "--ip=0.0.0.0"],
         ),
-        (
-            "nvidia/cuda",
-            "12.4-runtime",
-            2_900_000_000,
-            &["bash"],
-        ),
+        ("nvidia/cuda", "12.4-runtime", 2_900_000_000, &["bash"]),
     ];
     for (i, (repo, tag, size, entry)) in catalogue.into_iter().enumerate() {
         reg.allow_repository(repo);
@@ -336,7 +334,10 @@ mod tests {
         // Attacker swaps a whole layer (content + matching digest).
         let mut swapped = m.clone();
         swapped.layers[0] = Layer::new(synthetic_content(99, 256), 5_000_000_000);
-        assert_eq!(reg.admit(&r, &swapped), Err(ImageError::ManifestDigestMismatch));
+        assert_eq!(
+            reg.admit(&r, &swapped),
+            Err(ImageError::ManifestDigestMismatch)
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ pub struct TransitionError {
 
 impl fmt::Display for TransitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "illegal container transition {} → {}", self.from, self.to)
+        write!(
+            f,
+            "illegal container transition {} → {}",
+            self.from, self.to
+        )
     }
 }
 
@@ -170,11 +174,7 @@ impl Lifecycle {
     }
 
     /// Attempt a transition at `now`.
-    pub fn transition(
-        &mut self,
-        now: SimTime,
-        to: ContainerState,
-    ) -> Result<(), TransitionError> {
+    pub fn transition(&mut self, now: SimTime, to: ContainerState) -> Result<(), TransitionError> {
         if !Self::allowed(self.state, to) {
             return Err(TransitionError {
                 from: self.state,
@@ -234,9 +234,11 @@ mod tests {
         lc.transition(t(2), ContainerState::Verifying).unwrap();
         lc.transition(t(3), ContainerState::Starting).unwrap();
         lc.transition(t(4), ContainerState::Running).unwrap();
-        lc.transition(t(100), ContainerState::Checkpointing).unwrap();
+        lc.transition(t(100), ContainerState::Checkpointing)
+            .unwrap();
         lc.transition(t(110), ContainerState::Running).unwrap();
-        lc.transition(t(200), ContainerState::Checkpointing).unwrap();
+        lc.transition(t(200), ContainerState::Checkpointing)
+            .unwrap();
         lc.transition(t(210), ContainerState::Running).unwrap();
         assert_eq!(lc.state(), ContainerState::Running);
     }
@@ -269,9 +271,10 @@ mod tests {
         lc.transition(t(1), ContainerState::Failed).unwrap();
         let err = lc.transition(t(2), ContainerState::Pulling).unwrap_err();
         assert_eq!(err.from, ContainerState::Failed);
-        assert!(lc
-            .transition(t(3), ContainerState::Killed)
-            .is_err(), "can't kill a failed container");
+        assert!(
+            lc.transition(t(3), ContainerState::Killed).is_err(),
+            "can't kill a failed container"
+        );
     }
 
     #[test]
@@ -302,6 +305,9 @@ mod tests {
     #[test]
     fn display_strings() {
         assert_eq!(ContainerState::Running.to_string(), "running");
-        assert_eq!(ContainerState::Exited { code: 137 }.to_string(), "exited(137)");
+        assert_eq!(
+            ContainerState::Exited { code: 137 }.to_string(),
+            "exited(137)"
+        );
     }
 }

@@ -293,7 +293,8 @@ impl ContainerRuntime {
         code: i32,
     ) -> Result<Vec<GpuIndex>, RuntimeError> {
         let c = self.containers.get_mut(&id).ok_or(RuntimeError::NotFound)?;
-        c.lifecycle.transition(now, ContainerState::Exited { code })?;
+        c.lifecycle
+            .transition(now, ContainerState::Exited { code })?;
         self.counters.exited += 1;
         Ok(std::mem::take(&mut c.bound_gpus))
     }
@@ -306,7 +307,8 @@ impl ContainerRuntime {
         code: i32,
     ) -> Result<Vec<GpuIndex>, RuntimeError> {
         let c = self.containers.get_mut(&id).ok_or(RuntimeError::NotFound)?;
-        c.lifecycle.transition(now, ContainerState::Exited { code })?;
+        c.lifecycle
+            .transition(now, ContainerState::Exited { code })?;
         self.counters.exited += 1;
         Ok(std::mem::take(&mut c.bound_gpus))
     }
@@ -370,7 +372,9 @@ mod tests {
     fn setup() -> (ContainerRuntime, ImageRegistry, ImageManifest, ContainerId) {
         let (reg, refs) = standard_catalogue();
         let manifest = reg.manifest(&refs[0]).unwrap().clone();
-        let config = ContainerConfigBuilder::new(refs[0].clone()).build().unwrap();
+        let config = ContainerConfigBuilder::new(refs[0].clone())
+            .build()
+            .unwrap();
         let mut rt = ContainerRuntime::new();
         let id = rt.create(t(0), config);
         (rt, reg, manifest, id)
@@ -404,7 +408,9 @@ mod tests {
         rt.exited(t(5), id, 0).unwrap();
 
         // Second container with the same image: zero pull bytes.
-        let config = ContainerConfigBuilder::new(manifest.image_ref()).build().unwrap();
+        let config = ContainerConfigBuilder::new(manifest.image_ref())
+            .build()
+            .unwrap();
         let id2 = rt.create(t(10), config);
         assert_eq!(rt.begin_pull(t(11), id2).unwrap(), 0);
     }
@@ -421,9 +427,15 @@ mod tests {
             err,
             RuntimeError::Image(ImageError::LayerDigestMismatch { layer: 0 })
         ));
-        assert_eq!(rt.get(id).unwrap().lifecycle.state(), ContainerState::Failed);
+        assert_eq!(
+            rt.get(id).unwrap().lifecycle.state(),
+            ContainerState::Failed
+        );
         assert_eq!(rt.counters().failed, 1);
-        assert!(!rt.image_cached(&manifest.digest()), "corrupt image not cached");
+        assert!(
+            !rt.image_cached(&manifest.digest()),
+            "corrupt image not cached"
+        );
     }
 
     #[test]
@@ -432,10 +444,14 @@ mod tests {
         rt.begin_pull(t(1), id).unwrap();
         rt.finish_pull(t(2), id, &manifest).unwrap();
         rt.finish_verify(t(3), id, &reg, &manifest).unwrap();
-        rt.started(t(4), id, vec![GpuIndex(0), GpuIndex(1)]).unwrap();
+        rt.started(t(4), id, vec![GpuIndex(0), GpuIndex(1)])
+            .unwrap();
         let gpus = rt.kill(t(5), id).unwrap();
         assert_eq!(gpus.len(), 2);
-        assert_eq!(rt.get(id).unwrap().lifecycle.state(), ContainerState::Killed);
+        assert_eq!(
+            rt.get(id).unwrap().lifecycle.state(),
+            ContainerState::Killed
+        );
         // Double-kill is an error.
         assert!(matches!(
             rt.kill(t(6), id),

@@ -102,9 +102,7 @@ pub fn run_fig2(weeks: u64, seed: u64) -> Fig2Report {
     let mut scenario = Scenario::new(config, &specs);
     for (i, ev) in trace.iter().enumerate() {
         match &ev.request {
-            Request::Training(spec) => {
-                scenario.submit_training_at(ev.at, i as u64, spec.clone())
-            }
+            Request::Training(spec) => scenario.submit_training_at(ev.at, i as u64, spec.clone()),
             Request::Interactive(spec) => {
                 scenario.submit_interactive_at(ev.at, i as u64, spec.clone())
             }
@@ -323,7 +321,10 @@ pub fn run_table1(weeks: u64, seed: u64) -> Vec<Outcome> {
     // Reclaim probes: owners of hosts 0..4 want their machines back daily.
     let mut probes = Vec::new();
     for day in 1..weeks * 7 {
-        probes.push((SimTime::from_secs(day * 86_400 + 3600 * 14), (day % 4) as usize));
+        probes.push((
+            SimTime::from_secs(day * 86_400 + 3600 * 14),
+            (day % 4) as usize,
+        ));
     }
     [
         ("manual-coordination", PlatformPolicy::manual()),
@@ -337,7 +338,15 @@ pub fn run_table1(weeks: u64, seed: u64) -> Vec<Outcome> {
     .into_iter()
     .map(|(name, policy)| {
         run_capacity_model(
-            name, &shape, &trace, &churn, &churn_hosts, &probes, policy, horizon, &pool,
+            name,
+            &shape,
+            &trace,
+            &churn,
+            &churn_hosts,
+            &probes,
+            policy,
+            horizon,
+            &pool,
         )
     })
     .collect()

@@ -12,9 +12,7 @@ use gpunion_agent::{Action, Agent, AgentConfig, FlowPeer, FlowPurpose};
 use gpunion_container::ImageRegistry;
 use gpunion_des::{RngPool, Sim, SimDuration, SimTime};
 use gpunion_gpu::{GpuServer, ServerSpec};
-use gpunion_protocol::{
-    DispatchSpec, Envelope, ExecMode, JobId, Message, NodeUid, WorkloadState,
-};
+use gpunion_protocol::{DispatchSpec, Envelope, ExecMode, JobId, Message, NodeUid, WorkloadState};
 use gpunion_scheduler::{CoordAction, Coordinator, CoordinatorConfig, JobEvent};
 use gpunion_simnet::{
     star_campus, Bandwidth, FlowOutcome, NetEvent, Network, NodeId, TrafficClass,
@@ -95,12 +93,7 @@ impl PlatformStats {
                 }
             }
             JobEvent::MigratedBack { .. } => {
-                if let Some(d) = self
-                    .displacements
-                    .iter_mut()
-                    .rev()
-                    .find(|d| d.job == job)
-                {
+                if let Some(d) = self.displacements.iter_mut().rev().find(|d| d.job == job) {
                     d.migrated_back = true;
                 }
             }
@@ -389,12 +382,7 @@ impl Platform {
         let Some(agent) = self.agents.get_mut(&addr) else {
             return;
         };
-        let jobs: Vec<JobId> = self
-            .stats
-            .job_log
-            .keys()
-            .copied()
-            .collect();
+        let jobs: Vec<JobId> = self.stats.job_log.keys().copied().collect();
         for job in jobs {
             if let Some(mut run) = agent.take_run(job) {
                 run.rollback_to_checkpoint();
@@ -547,7 +535,11 @@ impl Platform {
                     }
                 },
                 NetEvent::FlowEnded { outcome, tag, .. } => {
-                    if let Payload::FlowTag { agent_addr, purpose } = tag {
+                    if let Payload::FlowTag {
+                        agent_addr,
+                        purpose,
+                    } = tag
+                    {
                         let ok = outcome == FlowOutcome::Completed;
                         let actions = self
                             .agents

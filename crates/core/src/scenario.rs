@@ -65,11 +65,7 @@ impl Scenario {
     }
 
     /// Schedule an arbitrary action against the platform.
-    pub fn schedule(
-        &mut self,
-        at: SimTime,
-        f: impl FnOnce(&mut Platform, SimTime) + 'static,
-    ) {
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut Platform, SimTime) + 'static) {
         self.sim
             .schedule_at(at, move |w: &mut Platform, sim: &mut Sim<Platform>| {
                 f(w, sim.now());
@@ -94,29 +90,32 @@ impl Scenario {
             .schedule_at(at, move |w: &mut Platform, sim: &mut Sim<Platform>| {
                 let job = w.submit_interactive(sim.now(), tag, &spec);
                 // Patience check.
-                sim.schedule_in(patience, move |w: &mut Platform, sim: &mut Sim<Platform>| {
-                    let started = w
-                        .stats
-                        .first_event(job, |e| matches!(e, JobEvent::Started { .. }));
-                    match started {
-                        Some(start) => {
-                            w.stats.sessions_served += 1;
-                            let end = start + duration;
-                            sim.schedule_at(
-                                end.max(sim.now()),
-                                move |w: &mut Platform, sim: &mut Sim<Platform>| {
-                                    w.cancel(sim.now(), job);
-                                    w.pump(sim);
-                                },
-                            );
+                sim.schedule_in(
+                    patience,
+                    move |w: &mut Platform, sim: &mut Sim<Platform>| {
+                        let started = w
+                            .stats
+                            .first_event(job, |e| matches!(e, JobEvent::Started { .. }));
+                        match started {
+                            Some(start) => {
+                                w.stats.sessions_served += 1;
+                                let end = start + duration;
+                                sim.schedule_at(
+                                    end.max(sim.now()),
+                                    move |w: &mut Platform, sim: &mut Sim<Platform>| {
+                                        w.cancel(sim.now(), job);
+                                        w.pump(sim);
+                                    },
+                                );
+                            }
+                            None => {
+                                w.stats.sessions_abandoned += 1;
+                                w.cancel(sim.now(), job);
+                            }
                         }
-                        None => {
-                            w.stats.sessions_abandoned += 1;
-                            w.cancel(sim.now(), job);
-                        }
-                    }
-                    w.pump(sim);
-                });
+                        w.pump(sim);
+                    },
+                );
                 w.pump(sim);
             });
     }
@@ -143,9 +142,7 @@ impl Scenario {
             self.schedule(ev.at, move |w, now| match kind {
                 InterruptionKind::ScheduledDeparture => w.scheduled_departure(now, host),
                 InterruptionKind::EmergencyDeparture
-                | InterruptionKind::TemporaryUnavailability => {
-                    w.emergency_departure(now, host)
-                }
+                | InterruptionKind::TemporaryUnavailability => w.emergency_departure(now, host),
             });
             self.schedule(returns, move |w, now| {
                 w.provider_return(now, host);

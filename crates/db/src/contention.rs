@@ -53,7 +53,11 @@ impl ContentionModel {
     /// The write rate produced by `n_nodes` heartbeating every
     /// `heartbeat_period` (each heartbeat is one status write) plus
     /// `extra_hz` of scheduling/monitoring traffic.
-    pub fn heartbeat_write_rate(n_nodes: usize, heartbeat_period: SimDuration, extra_hz: f64) -> f64 {
+    pub fn heartbeat_write_rate(
+        n_nodes: usize,
+        heartbeat_period: SimDuration,
+        extra_hz: f64,
+    ) -> f64 {
         n_nodes as f64 / heartbeat_period.as_secs_f64() + extra_hz
     }
 }

@@ -200,11 +200,7 @@ impl SystemDb {
     /// Remove a job from the pending queue (it was allocated or cancelled).
     /// Returns false when it was not pending.
     pub fn take_pending(&mut self, job: JobId) -> bool {
-        let found = self
-            .pending
-            .iter()
-            .find(|(_, _, j)| *j == job)
-            .copied();
+        let found = self.pending.iter().find(|(_, _, j)| *j == job).copied();
         match found {
             Some(entry) => {
                 self.pending.remove(&entry);
@@ -320,7 +316,10 @@ mod tests {
         db.submit_job(JobId(2), t(1), 5);
         db.submit_job(JobId(3), t(2), 1);
         db.submit_job(JobId(4), t(3), 5);
-        assert_eq!(db.pending_in_order(), vec![JobId(2), JobId(4), JobId(1), JobId(3)]);
+        assert_eq!(
+            db.pending_in_order(),
+            vec![JobId(2), JobId(4), JobId(1), JobId(3)]
+        );
         assert_eq!(db.peek_pending(), Some(JobId(2)));
     }
 

@@ -102,31 +102,63 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let pool = RngPool::new(42);
-        let a: Vec<u32> = pool.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = pool.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = pool
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = pool
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_names_differ() {
         let pool = RngPool::new(42);
-        let a: Vec<u32> = pool.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = pool.stream("y").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = pool
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = pool
+            .stream("y")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_ne!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a: Vec<u32> = RngPool::new(1).stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = RngPool::new(2).stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = RngPool::new(1)
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = RngPool::new(2)
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_ne!(a, b);
     }
 
     #[test]
     fn numeric_discriminators_are_independent() {
         let pool = RngPool::new(7);
-        let a: Vec<u32> = pool.stream_n("node", 0).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = pool.stream_n("node", 1).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = pool
+            .stream_n("node", 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = pool
+            .stream_n("node", 1)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_ne!(a, b);
     }
 
@@ -142,7 +174,9 @@ mod tests {
     #[test]
     fn log_normal_median_close() {
         let mut rng = RngPool::new(9).stream("ln");
-        let mut v: Vec<f64> = (0..10_001).map(|_| log_normal(&mut rng, 30.0, 0.8)).collect();
+        let mut v: Vec<f64> = (0..10_001)
+            .map(|_| log_normal(&mut rng, 30.0, 0.8))
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[v.len() / 2];
         assert!((median - 30.0).abs() / 30.0 < 0.1, "median {median}");

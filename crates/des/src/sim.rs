@@ -298,7 +298,10 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_secs(2));
         let n = sim.run_until(&mut w, SimTime::from_secs(10));
         assert_eq!(n, 1);
-        assert_eq!(w.log, vec![(1_000_000_000, "one"), (3_000_000_000, "three")]);
+        assert_eq!(
+            w.log,
+            vec![(1_000_000_000, "one"), (3_000_000_000, "three")]
+        );
         // Queue empty: clock advances to the deadline.
         assert_eq!(sim.now(), SimTime::from_secs(10));
     }

@@ -177,8 +177,7 @@ impl Online {
         let n = self.n + other.n;
         let d = other.mean - self.mean;
         let mean = self.mean + d * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -290,6 +289,7 @@ mod tests {
         tw.set(SimTime::from_secs(10), 1.0); // 0.0 held for 10s
         tw.set(SimTime::from_secs(30), 0.5); // 1.0 held for 20s
         tw.finish(SimTime::from_secs(40)); // 0.5 held for 10s
+
         // mean = (0*10 + 1*20 + 0.5*10) / 40 = 25/40
         assert!((tw.mean().unwrap() - 0.625).abs() < 1e-12);
         assert_eq!(tw.min(), Some(0.0));
@@ -312,8 +312,7 @@ mod tests {
             o.record(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((o.mean().unwrap() - mean).abs() < 1e-12);
         assert!((o.stddev().unwrap() - var.sqrt()).abs() < 1e-12);
         assert_eq!(o.min(), Some(1.0));

@@ -34,7 +34,10 @@ impl std::fmt::Display for GpuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GpuError::OutOfMemory { requested, free } => {
-                write!(f, "CUDA out of memory: requested {requested} B, free {free} B")
+                write!(
+                    f,
+                    "CUDA out of memory: requested {requested} B, free {free} B"
+                )
             }
             GpuError::UnknownAllocation => write!(f, "unknown allocation handle"),
         }
@@ -279,8 +282,7 @@ mod tests {
     fn mean_utilization_time_weighted() {
         let mut d = GpuDevice::new(GpuModel::Rtx3090);
         d.set_utilization(SimTime::ZERO, 0.0);
-        d.set_utilization(SimTime::from_secs(100), 1.0); // idle 100 s
-        // busy 300 s
+        d.set_utilization(SimTime::from_secs(100), 1.0); // idle 100 s, then busy 300 s
         let u = d.mean_utilization(SimTime::from_secs(400));
         assert!((u - 0.75).abs() < 1e-9, "u={u}");
     }

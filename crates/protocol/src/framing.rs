@@ -27,7 +27,10 @@ impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FrameError::Oversized { declared } => {
-                write!(f, "frame of {declared} bytes exceeds maximum {MAX_FRAME_LEN}")
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds maximum {MAX_FRAME_LEN}"
+                )
             }
         }
     }

@@ -151,10 +151,7 @@ impl HttpRequest {
                 continue;
             }
             let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
-            headers.push((
-                name.trim().to_ascii_lowercase(),
-                value.trim().to_string(),
-            ));
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
         let content_length = headers
             .iter()

@@ -49,46 +49,68 @@ mod proptests {
     }
 
     fn arb_status() -> impl Strategy<Value = WorkloadStatus> {
-        (any::<u64>(), arb_workload_state(), 0.0f64..1.0, any::<u64>()).prop_map(
-            |(j, state, progress, seq)| WorkloadStatus {
+        (
+            any::<u64>(),
+            arb_workload_state(),
+            0.0f64..1.0,
+            any::<u64>(),
+        )
+            .prop_map(|(j, state, progress, seq)| WorkloadStatus {
                 job: JobId(j),
                 state,
                 progress,
                 checkpoint_seq: seq,
-            },
-        )
+            })
     }
 
     fn arb_gpu_stat() -> impl Strategy<Value = GpuStat> {
-        (any::<u64>(), any::<u64>(), 0.0f64..1.0, 20.0f64..100.0, 0.0f64..500.0).prop_map(
-            |(used, total, util, temp, power)| GpuStat {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            0.0f64..1.0,
+            20.0f64..100.0,
+            0.0f64..500.0,
+        )
+            .prop_map(|(used, total, util, temp, power)| GpuStat {
                 memory_used: used,
                 memory_total: total,
                 utilization: util,
                 temperature_c: temp,
                 power_w: power,
-            },
-        )
+            })
     }
 
     fn arb_message() -> impl Strategy<Value = Message> {
         prop_oneof![
-            ("[a-z0-9-]{1,20}", "[a-z0-9.-]{1,20}", proptest::collection::vec(
-                ("[A-Za-z0-9 ]{1,30}", 1u64..1 << 40, 0u8..10, 0u8..10, 1.0f64..100.0)
-                    .prop_map(|(name, vram, maj, min, tf)| GpuInfo {
-                        model_name: name,
-                        vram_bytes: vram,
-                        cc_major: maj,
-                        cc_minor: min,
-                        fp32_tflops: tf,
-                    }),
-                0..8
-            ), any::<u32>())
-                .prop_map(|(machine_id, hostname, gpus, agent_version)| Message::Register {
-                    machine_id,
-                    hostname,
-                    gpus,
-                    agent_version
+            (
+                "[a-z0-9-]{1,20}",
+                "[a-z0-9.-]{1,20}",
+                proptest::collection::vec(
+                    (
+                        "[A-Za-z0-9 ]{1,30}",
+                        1u64..1 << 40,
+                        0u8..10,
+                        0u8..10,
+                        1.0f64..100.0
+                    )
+                        .prop_map(|(name, vram, maj, min, tf)| GpuInfo {
+                            model_name: name,
+                            vram_bytes: vram,
+                            cc_major: maj,
+                            cc_minor: min,
+                            fp32_tflops: tf,
+                        }),
+                    0..8
+                ),
+                any::<u32>()
+            )
+                .prop_map(|(machine_id, hostname, gpus, agent_version)| {
+                    Message::Register {
+                        machine_id,
+                        hostname,
+                        gpus,
+                        agent_version,
+                    }
                 }),
             (any::<u64>(), any::<[u8; 16]>(), any::<u32>()).prop_map(|(n, t, p)| {
                 Message::RegisterAck {
@@ -104,18 +126,26 @@ mod proptests {
                 proptest::collection::vec(arb_gpu_stat(), 0..9),
                 proptest::collection::vec(arb_status(), 0..6)
             )
-                .prop_map(|(n, seq, accepting, gpu_stats, workloads)| Message::Heartbeat {
-                    node: NodeUid(n),
-                    seq,
-                    accepting,
-                    gpu_stats,
-                    workloads
+                .prop_map(|(n, seq, accepting, gpu_stats, workloads)| {
+                    Message::Heartbeat {
+                        node: NodeUid(n),
+                        seq,
+                        accepting,
+                        gpu_stats,
+                        workloads,
+                    }
                 }),
-            (any::<u64>(), prop_oneof![
-                (0u32..100_000).prop_map(|g| DepartureMode::Graceful { grace_secs: g }),
-                Just(DepartureMode::Emergency)
-            ])
-                .prop_map(|(n, mode)| Message::DepartureNotice { node: NodeUid(n), mode }),
+            (
+                any::<u64>(),
+                prop_oneof![
+                    (0u32..100_000).prop_map(|g| DepartureMode::Graceful { grace_secs: g }),
+                    Just(DepartureMode::Emergency)
+                ]
+            )
+                .prop_map(|(n, mode)| Message::DepartureNotice {
+                    node: NodeUid(n),
+                    mode
+                }),
             (any::<u64>(), any::<bool>(), "[ -~]{0,60}").prop_map(|(j, accepted, reason)| {
                 Message::DispatchReply {
                     job: JobId(j),
@@ -123,7 +153,12 @@ mod proptests {
                     reason,
                 }
             }),
-            (any::<u64>(), any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u64>(), 0..5))
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                proptest::collection::vec(any::<u64>(), 0..5)
+            )
                 .prop_map(|(j, seq, bytes, nodes)| Message::CheckpointDone {
                     job: JobId(j),
                     seq,
@@ -132,7 +167,8 @@ mod proptests {
                 }),
             (arb_status(), proptest::option::of(any::<i32>()))
                 .prop_map(|(status, exit_code)| Message::WorkloadUpdate { status, exit_code }),
-            (any::<u16>(), "[ -~]{0,80}").prop_map(|(code, detail)| Message::Error { code, detail }),
+            (any::<u16>(), "[ -~]{0,80}")
+                .prop_map(|(code, detail)| Message::Error { code, detail }),
         ]
     }
 

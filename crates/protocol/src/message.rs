@@ -1075,7 +1075,10 @@ mod tests {
     fn token_never_in_debug_output() {
         let t = AuthToken([0xAA; 16]);
         let dbg = format!("{t:?}");
-        assert!(!dbg.contains("aa, aa"), "debug must not dump token bytes: {dbg}");
+        assert!(
+            !dbg.contains("aa, aa"),
+            "debug must not dump token bytes: {dbg}"
+        );
     }
 
     #[test]

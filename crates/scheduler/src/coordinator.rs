@@ -177,7 +177,10 @@ impl Coordinator {
 
     /// Start periodic duties (heartbeat sweep). Call once at boot.
     pub fn start(&mut self, now: SimTime) {
-        self.arm(now + self.config.heartbeat_period, CoordTimer::HeartbeatSweep);
+        self.arm(
+            now + self.config.heartbeat_period,
+            CoordTimer::HeartbeatSweep,
+        );
     }
 
     /// The node directory (read access for harnesses).
@@ -238,10 +241,7 @@ impl Coordinator {
     /// Fire due timers.
     pub fn on_wake(&mut self, now: SimTime) -> Vec<CoordAction> {
         let mut actions = Vec::new();
-        loop {
-            let Some((&(at, seq), _)) = self.timers.first_key_value() else {
-                break;
-            };
+        while let Some((&(at, seq), _)) = self.timers.first_key_value() {
             if at > now {
                 break;
             }
@@ -249,7 +249,10 @@ impl Coordinator {
             match timer {
                 CoordTimer::HeartbeatSweep => {
                     self.heartbeat_sweep(now, &mut actions);
-                    self.arm(now + self.config.heartbeat_period, CoordTimer::HeartbeatSweep);
+                    self.arm(
+                        now + self.config.heartbeat_period,
+                        CoordTimer::HeartbeatSweep,
+                    );
                 }
                 CoordTimer::SchedulePass => {
                     self.pass_armed = false;
@@ -266,7 +269,11 @@ impl Coordinator {
     // ---- user entry point ------------------------------------------------
 
     /// Submit a job (from a user client). The coordinator assigns the id.
-    pub fn submit_job(&mut self, now: SimTime, mut spec: DispatchSpec) -> (JobId, Vec<CoordAction>) {
+    pub fn submit_job(
+        &mut self,
+        now: SimTime,
+        mut spec: DispatchSpec,
+    ) -> (JobId, Vec<CoordAction>) {
         let job = JobId(self.next_job);
         self.next_job += 1;
         spec.job = job;
@@ -286,15 +293,18 @@ impl Coordinator {
                 submitted_at: now,
             },
         );
-        let mut actions = vec![CoordAction::JobEvent {
+        let actions = vec![CoordAction::JobEvent {
             job,
             event: JobEvent::Queued,
         }];
         self.arm_pass(now);
-        if let Ok(c) = self.metrics.counter("jobs_submitted_total", "jobs submitted", labels([])) {
+        if let Ok(c) = self
+            .metrics
+            .counter("jobs_submitted_total", "jobs submitted", labels([]))
+        {
             c.inc();
         }
-        (job, actions.drain(..).collect())
+        (job, actions)
     }
 
     /// Cancel a job on user request.
@@ -618,7 +628,10 @@ impl Coordinator {
         for job in displaced {
             self.displace_job(now, job, actions);
         }
-        if let Ok(c) = self.metrics.counter("nodes_lost_total", "node losses", labels([])) {
+        if let Ok(c) = self
+            .metrics
+            .counter("nodes_lost_total", "node losses", labels([]))
+        {
             c.inc();
         }
     }
@@ -766,9 +779,7 @@ impl Coordinator {
             // Each decision is one DB transaction.
             cumulative += db_latency;
             self.decision_latency.record(db_latency.as_secs_f64());
-            let mut ranked = self
-                .selector
-                .rank(&self.dir, &meta.spec, &meta.excluded);
+            let mut ranked = self.selector.rank(&self.dir, &meta.spec, &meta.excluded);
             if let Some(pref) = meta.preferred {
                 if let Some(pos) = ranked.iter().position(|u| *u == pref) {
                     let p = ranked.remove(pos);
@@ -787,7 +798,10 @@ impl Coordinator {
                 e.reserve(job, spec.gpus, spec.gpu_mem_bytes);
             }
             self.db.take_pending(job);
-            self.arm(now + cumulative + self.config.offer_timeout, CoordTimer::OfferTimeout(job));
+            self.arm(
+                now + cumulative + self.config.offer_timeout,
+                CoordTimer::OfferTimeout(job),
+            );
             actions.push(CoordAction::Send {
                 to: target,
                 msg: Message::Dispatch { spec },
@@ -819,7 +833,9 @@ impl Coordinator {
 
     /// Latest durable checkpoint of a job.
     pub fn job_checkpoint(&self, job: JobId) -> Option<(u64, Vec<NodeUid>)> {
-        self.jobs.get(&job).and_then(|m| m.latest_checkpoint.clone())
+        self.jobs
+            .get(&job)
+            .and_then(|m| m.latest_checkpoint.clone())
     }
 }
 

@@ -53,8 +53,7 @@ impl Reliability {
         } else {
             1.0
         };
-        self.ewma_per_day =
-            Self::ALPHA * observed_rate + (1.0 - Self::ALPHA) * self.ewma_per_day;
+        self.ewma_per_day = Self::ALPHA * observed_rate + (1.0 - Self::ALPHA) * self.ewma_per_day;
     }
 
     /// Score in (0, 1]: 1 = never interrupts.
@@ -159,9 +158,8 @@ impl NodeEntry {
             .iter()
             .filter(|s| {
                 s.effective_free() >= mem
-                    && min_cc.is_none_or(|(maj, min)| {
-                        (s.info.cc_major, s.info.cc_minor) >= (maj, min)
-                    })
+                    && min_cc
+                        .is_none_or(|(maj, min)| (s.info.cc_major, s.info.cc_minor) >= (maj, min))
             })
             .count()
     }
@@ -337,7 +335,10 @@ mod tests {
     fn returning_node_keeps_reliability_history() {
         let mut d = Directory::new();
         let (uid, _) = d.register("m-1", "ws-1", gpus(1, GpuModel::Rtx3090), t(0));
-        d.get_mut(uid).unwrap().reliability.record_interruption(t(3600));
+        d.get_mut(uid)
+            .unwrap()
+            .reliability
+            .record_interruption(t(3600));
         let before = d.get(uid).unwrap().reliability.interruptions;
         let (_, ret) = d.register("m-1", "ws-1", gpus(1, GpuModel::Rtx3090), t(7200));
         assert!(ret);
@@ -364,7 +365,9 @@ mod tests {
                 power_w: 25.0,
             },
         ];
-        d.get_mut(uid).unwrap().apply_heartbeat(t(5), 1, true, &stats);
+        d.get_mut(uid)
+            .unwrap()
+            .apply_heartbeat(t(5), 1, true, &stats);
         let e = d.get(uid).unwrap();
         assert_eq!(e.eligible_gpus(8 << 30, None), 1);
         assert_eq!(e.eligible_gpus(1 << 30, None), 2);

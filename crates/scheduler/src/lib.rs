@@ -120,9 +120,13 @@ mod tests {
         let node = register(&mut coord, t(1), "m-1");
         heartbeat(&mut coord, t(2), node, 1);
         let (job, actions) = coord.submit_job(t(3), spec());
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, CoordAction::JobEvent { event: JobEvent::Queued, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CoordAction::JobEvent {
+                event: JobEvent::Queued,
+                ..
+            }
+        )));
         // The pass fires shortly after.
         let actions = drive(&mut coord, t(4));
         let (to, j) = find_dispatch(&actions).expect("dispatch");
@@ -160,7 +164,10 @@ mod tests {
                 reason: "busy".into(),
             },
         );
-        assert!(find_dispatch(&actions).is_none(), "pass is re-armed, not inline");
+        assert!(
+            find_dispatch(&actions).is_none(),
+            "pass is re-armed, not inline"
+        );
         let actions = drive(&mut coord, t(6));
         let (second, _) = find_dispatch(&actions).expect("second dispatch");
         assert_ne!(first, second, "rejected node excluded");
@@ -337,9 +344,13 @@ mod tests {
                 exit_code: Some(0),
             },
         );
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, CoordAction::JobEvent { event: JobEvent::Completed, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CoordAction::JobEvent {
+                event: JobEvent::Completed,
+                ..
+            }
+        )));
         assert_eq!(coord.live_jobs(), 0);
         assert_eq!(
             coord.db().job(job).unwrap().state,
@@ -394,7 +405,11 @@ mod tests {
         let actions = coord.handle_message(
             t(300),
             Message::Register {
-                machine_id: if home == n1 { "m-1".into() } else { "m-2".into() },
+                machine_id: if home == n1 {
+                    "m-1".into()
+                } else {
+                    "m-2".into()
+                },
                 hostname: "back".into(),
                 gpus: vec![GpuModel::Rtx3090.into()],
                 agent_version: 1,
@@ -510,11 +525,10 @@ mod tests {
         let (job, _) = coord.submit_job(t(3), spec());
         let mut first = None;
         let mut second = None;
-        let mut hb = 1u64;
         for s in 2..40u64 {
+            let hb = s - 1;
             heartbeat(&mut coord, t(s), n1, hb);
             heartbeat(&mut coord, t(s), n2, hb);
-            hb += 1;
             for a in coord.on_wake(t(s)) {
                 if let CoordAction::Send {
                     to,

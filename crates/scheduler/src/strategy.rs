@@ -81,11 +81,7 @@ impl Selector {
                 }
             }
             Strategy::LeastLoaded => {
-                nodes.sort_by(|a, b| {
-                    b.total_free()
-                        .cmp(&a.total_free())
-                        .then(a.uid.cmp(&b.uid))
-                });
+                nodes.sort_by(|a, b| b.total_free().cmp(&a.total_free()).then(a.uid.cmp(&b.uid)));
             }
             Strategy::ReliabilityAware => {
                 nodes.sort_by(|a, b| {

@@ -190,9 +190,10 @@ impl FlowTable {
     pub fn fail_broken_paths(&mut self, topo: &Topology) -> Vec<FlowEnd> {
         let mut lost = Vec::new();
         self.flows.retain(|id, f| {
-            let broken = f.path.iter().any(|ch| {
-                !topo.link_up(ch.link) || !topo.node_up(ch.from) || !topo.node_up(ch.to)
-            });
+            let broken = f
+                .path
+                .iter()
+                .any(|ch| !topo.link_up(ch.link) || !topo.node_up(ch.from) || !topo.node_up(ch.to));
             if broken {
                 lost.push(FlowEnd {
                     id: *id,
@@ -403,10 +404,7 @@ mod tests {
         ft.reallocate(&topo);
         // Big had 10 - 0.5*2 = 9 MB left, now at full 1 MB/s ⇒ 9 s more.
         let next2 = ft.next_completion().unwrap();
-        assert!(
-            (next2.as_secs_f64() - 11.0).abs() < 1e-3,
-            "next2 {next2}"
-        );
+        assert!((next2.as_secs_f64() - 11.0).abs() < 1e-3, "next2 {next2}");
         let done2 = ft.advance(next2, &mut ac);
         assert_eq!(done2.len(), 1);
         assert_eq!(done2[0].id, big);

@@ -165,7 +165,9 @@ impl<M> Network<M> {
         for ch in &path {
             at += self.topo.link_latency(ch.link);
             at += SimDuration::from_secs_f64(
-                self.topo.link_capacity(ch.link).transfer_secs(size_bytes as u64),
+                self.topo
+                    .link_capacity(ch.link)
+                    .transfer_secs(size_bytes as u64),
             );
             self.accounting
                 .record_instant(ch.link, class, at, size_bytes as f64);
@@ -320,8 +322,15 @@ mod tests {
     #[test]
     fn message_roundtrip_latency() {
         let (mut net, hosts, coord) = campus(3);
-        net.send(SimTime::ZERO, hosts[0], coord, 200, TrafficClass::Control, "hb")
-            .unwrap();
+        net.send(
+            SimTime::ZERO,
+            hosts[0],
+            coord,
+            200,
+            TrafficClass::Control,
+            "hb",
+        )
+        .unwrap();
         let at = net.next_event_at().unwrap();
         // Two hops: 2×50 µs propagation + 2×(200 B / capacity) transmission.
         assert!(at > SimTime::from_nanos(100_000), "{at}");
@@ -341,8 +350,15 @@ mod tests {
     #[test]
     fn loopback_messages_work() {
         let (mut net, hosts, _) = campus(1);
-        net.send(SimTime::ZERO, hosts[0], hosts[0], 64, TrafficClass::Control, "self")
-            .unwrap();
+        net.send(
+            SimTime::ZERO,
+            hosts[0],
+            hosts[0],
+            64,
+            TrafficClass::Control,
+            "self",
+        )
+        .unwrap();
         let at = net.next_event_at().unwrap();
         assert_eq!(at, SimTime::ZERO + LOOPBACK_LATENCY);
         assert_eq!(net.poll(at).len(), 1);
@@ -353,20 +369,41 @@ mod tests {
         let (mut net, hosts, coord) = campus(2);
         net.set_node_up(SimTime::ZERO, hosts[1], false);
         let err = net
-            .send(SimTime::ZERO, hosts[0], hosts[1], 64, TrafficClass::Control, "x")
+            .send(
+                SimTime::ZERO,
+                hosts[0],
+                hosts[1],
+                64,
+                TrafficClass::Control,
+                "x",
+            )
             .unwrap_err();
         assert_eq!(err, NetError::Unreachable);
         // Coordinator still reachable.
         assert!(net
-            .send(SimTime::ZERO, hosts[0], coord, 64, TrafficClass::Control, "y")
+            .send(
+                SimTime::ZERO,
+                hosts[0],
+                coord,
+                64,
+                TrafficClass::Control,
+                "y"
+            )
             .is_ok());
     }
 
     #[test]
     fn message_to_node_that_dies_in_flight_is_dropped() {
         let (mut net, hosts, coord) = campus(2);
-        net.send(SimTime::ZERO, coord, hosts[0], 64, TrafficClass::Control, "kill-order")
-            .unwrap();
+        net.send(
+            SimTime::ZERO,
+            coord,
+            hosts[0],
+            64,
+            TrafficClass::Control,
+            "kill-order",
+        )
+        .unwrap();
         // Node dies before delivery.
         net.set_node_up(SimTime::from_nanos(1), hosts[0], false);
         let evs = net.poll(SimTime::from_secs(1));
@@ -392,7 +429,11 @@ mod tests {
         let evs = net.poll(at);
         assert_eq!(evs.len(), 1);
         match &evs[0] {
-            NetEvent::FlowEnded { id: fid, outcome, tag } => {
+            NetEvent::FlowEnded {
+                id: fid,
+                outcome,
+                tag,
+            } => {
                 assert_eq!(*fid, id);
                 assert_eq!(*outcome, FlowOutcome::Completed);
                 assert_eq!(*tag, "ckpt-42");
@@ -405,12 +446,21 @@ mod tests {
     fn node_down_fails_flow_with_event() {
         let (mut net, hosts, coord) = campus(2);
         let id = net
-            .start_flow(SimTime::ZERO, hosts[0], coord, 1 << 30, TrafficClass::Migration, "m")
+            .start_flow(
+                SimTime::ZERO,
+                hosts[0],
+                coord,
+                1 << 30,
+                TrafficClass::Migration,
+                "m",
+            )
             .unwrap();
         let evs = net.set_node_up(SimTime::from_millis(100), hosts[0], false);
         assert_eq!(evs.len(), 1);
         match &evs[0] {
-            NetEvent::FlowEnded { id: fid, outcome, .. } => {
+            NetEvent::FlowEnded {
+                id: fid, outcome, ..
+            } => {
                 assert_eq!(*fid, id);
                 assert_eq!(*outcome, FlowOutcome::PathLost);
             }
@@ -422,7 +472,14 @@ mod tests {
     fn cancel_flow_returns_tag() {
         let (mut net, hosts, coord) = campus(2);
         let id = net
-            .start_flow(SimTime::ZERO, hosts[0], coord, 1 << 30, TrafficClass::ImagePull, "img")
+            .start_flow(
+                SimTime::ZERO,
+                hosts[0],
+                coord,
+                1 << 30,
+                TrafficClass::ImagePull,
+                "img",
+            )
             .unwrap();
         let tag = net.cancel_flow(SimTime::from_millis(5), id).unwrap();
         assert_eq!(tag, "img");
@@ -437,8 +494,15 @@ mod tests {
         let (mut net, hosts, coord) = campus(2);
         net.set_default_loss(1.0);
         for _ in 0..10 {
-            net.send(SimTime::ZERO, hosts[0], coord, 64, TrafficClass::Control, "x")
-                .unwrap();
+            net.send(
+                SimTime::ZERO,
+                hosts[0],
+                coord,
+                64,
+                TrafficClass::Control,
+                "x",
+            )
+            .unwrap();
         }
         assert!(net.poll(SimTime::from_secs(1)).is_empty());
         assert_eq!(net.messages_dropped(), 10);
@@ -450,8 +514,15 @@ mod tests {
         let (mut net, hosts, coord) = campus(2);
         net.set_default_loss(0.3);
         for _ in 0..200 {
-            net.send(SimTime::ZERO, hosts[0], coord, 64, TrafficClass::Control, "x")
-                .unwrap();
+            net.send(
+                SimTime::ZERO,
+                hosts[0],
+                coord,
+                64,
+                TrafficClass::Control,
+                "x",
+            )
+            .unwrap();
         }
         let delivered = net.poll(SimTime::from_secs(1)).len();
         // Two lossy hops at 30 % each ⇒ ~49 % delivery. Allow wide margin.
@@ -465,8 +536,15 @@ mod tests {
         let (mut net, hosts, coord) = campus(4);
         let bytes = 125_000_000u64; // 1 s at full access rate
         for h in &hosts {
-            net.start_flow(SimTime::ZERO, *h, coord, bytes, TrafficClass::Checkpoint, "c")
-                .unwrap();
+            net.start_flow(
+                SimTime::ZERO,
+                *h,
+                coord,
+                bytes,
+                TrafficClass::Checkpoint,
+                "c",
+            )
+            .unwrap();
         }
         let at = net.next_event_at().unwrap();
         assert!((at.as_secs_f64() - 1.0).abs() < 0.01, "{at}");

@@ -160,7 +160,7 @@ impl CheckpointRepository {
         let prev = self.latest(job).map(|m| m.id);
         let kind = match prev {
             Some(parent)
-                if policy.full_every > 1 && seq_index % policy.full_every as u64 != 0 =>
+                if policy.full_every > 1 && !seq_index.is_multiple_of(policy.full_every as u64) =>
             {
                 CheckpointKind::Incremental { parent }
             }
@@ -254,8 +254,7 @@ impl CheckpointRepository {
             return;
         }
         // Determine which checkpoints are needed by the retained window.
-        let keep_window: Vec<CheckpointId> =
-            ids[ids.len() - policy.keep_last..].to_vec();
+        let keep_window: Vec<CheckpointId> = ids[ids.len() - policy.keep_last..].to_vec();
         let mut needed: std::collections::HashSet<CheckpointId> =
             keep_window.iter().copied().collect();
         for id in &keep_window {
@@ -270,7 +269,8 @@ impl CheckpointRepository {
         }
         let ids = self.by_job.get_mut(&job).expect("checked above");
         ids.retain(|id| needed.contains(id));
-        self.by_id.retain(|id, m| m.job != job || needed.contains(id));
+        self.by_id
+            .retain(|id, m| m.job != job || needed.contains(id));
     }
 }
 
@@ -378,7 +378,9 @@ mod tests {
             ..Default::default()
         };
         record_n(&mut repo, &policy, 3, NodeId(5));
-        let err = repo.restore_plan(JobTag(1), |n| n != NodeId(5)).unwrap_err();
+        let err = repo
+            .restore_plan(JobTag(1), |n| n != NodeId(5))
+            .unwrap_err();
         assert!(matches!(err, RepoError::BrokenChain { .. }));
 
         // With a replica on node 9 everything restores.
@@ -422,9 +424,17 @@ mod tests {
     fn jobs_are_isolated() {
         let mut repo = CheckpointRepository::new();
         let policy = StoragePolicy::default();
-        let mut m = StateModel::new(8 * MB, 4 * MB);
+        let m = StateModel::new(8 * MB, 4 * MB);
         let s = m.capture(0);
-        repo.record(t(0), JobTag(1), &s, s.full_bytes(), NodeId(1), vec![], &policy);
+        repo.record(
+            t(0),
+            JobTag(1),
+            &s,
+            s.full_bytes(),
+            NodeId(1),
+            vec![],
+            &policy,
+        );
         assert!(repo.latest(JobTag(2)).is_none());
         assert_eq!(repo.all(JobTag(1)).len(), 1);
     }

@@ -53,8 +53,7 @@ impl StateModel {
 
     /// Total logical bytes (pages + files).
     pub fn total_bytes(&self) -> u64 {
-        self.pages.len() as u64 * self.page_bytes
-            + self.files.values().map(|(s, _)| s).sum::<u64>()
+        self.pages.len() as u64 * self.page_bytes + self.files.values().map(|(s, _)| s).sum::<u64>()
     }
 
     /// Number of logical pages.
@@ -177,18 +176,24 @@ impl Snapshot {
                     // Changed: appended bytes transfer as the difference when
                     // the file grew; a shrink/rewrite retransmits fully.
                     let moved = if size >= bsize { size - bsize } else { *size };
-                    file_changes.insert(name.clone(), FileChange::Updated {
-                        new_size: *size,
-                        new_version: *ver,
-                        transfer: moved.max(1),
-                    });
+                    file_changes.insert(
+                        name.clone(),
+                        FileChange::Updated {
+                            new_size: *size,
+                            new_version: *ver,
+                            transfer: moved.max(1),
+                        },
+                    );
                 }
                 None => {
-                    file_changes.insert(name.clone(), FileChange::Updated {
-                        new_size: *size,
-                        new_version: *ver,
-                        transfer: *size,
-                    });
+                    file_changes.insert(
+                        name.clone(),
+                        FileChange::Updated {
+                            new_size: *size,
+                            new_version: *ver,
+                            transfer: *size,
+                        },
+                    );
                 }
             }
         }
@@ -297,6 +302,14 @@ impl Delta {
 }
 
 #[cfg(test)]
+impl StateModel {
+    /// Test helper: copy page versions from another model (same geometry).
+    fn pages_from(&mut self, other: &StateModel) {
+        self.pages = other.pages.clone();
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -354,7 +367,9 @@ mod tests {
         let s1 = m.capture(1);
         let d = s1.delta_from(&s0);
         match &d.file_changes["train.log"] {
-            FileChange::Updated { transfer, new_size, .. } => {
+            FileChange::Updated {
+                transfer, new_size, ..
+            } => {
                 assert_eq!(*transfer, 500);
                 assert_eq!(*new_size, 1500);
             }
@@ -467,13 +482,5 @@ mod tests {
                 delta.transfer_bytes() <= next.full_bytes() + 256 + 8 * next.page_versions.len() as u64
             );
         }
-    }
-}
-
-#[cfg(test)]
-impl StateModel {
-    /// Test helper: copy page versions from another model (same geometry).
-    fn pages_from(&mut self, other: &StateModel) {
-        self.pages = other.pages.clone();
     }
 }

@@ -75,7 +75,11 @@ fn parse_line(line: &str) -> Result<Sample, &'static str> {
         }
         None => (head, Labels::new()),
     };
-    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
         return Err("bad metric name");
     }
     Ok(Sample {

@@ -46,12 +46,10 @@ impl Counter {
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
-            match self.bits.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }
@@ -308,10 +306,8 @@ impl Registry {
     /// Render the Prometheus text exposition format.
     pub fn render(&self) -> String {
         fn fmt_labels(labels: &Labels, extra: Option<(&str, String)>) -> String {
-            let mut parts: Vec<String> = labels
-                .iter()
-                .map(|(k, v)| format!("{k}=\"{v}\""))
-                .collect();
+            let mut parts: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
             if let Some((k, v)) = extra {
                 parts.push(format!("{k}=\"{v}\""));
             }

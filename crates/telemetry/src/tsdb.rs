@@ -25,10 +25,7 @@ impl SeriesKey {
     pub fn new(name: impl Into<String>, labels: &Labels) -> Self {
         SeriesKey {
             name: name.into(),
-            labels: labels
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
+            labels: labels.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
         }
     }
 
@@ -184,9 +181,14 @@ mod tests {
         db.insert(key("u"), t(0), 0.2);
         db.insert(key("u"), t(10), 0.4);
         db.insert(key("u"), t(20), 0.9);
-        let m = db.window_mean(&key("u"), t(20), SimDuration::from_secs(12)).unwrap();
+        let m = db
+            .window_mean(&key("u"), t(20), SimDuration::from_secs(12))
+            .unwrap();
         assert!((m - 0.65).abs() < 1e-12);
-        assert_eq!(db.window_mean(&key("nope"), t(20), SimDuration::from_secs(10)), None);
+        assert_eq!(
+            db.window_mean(&key("nope"), t(20), SimDuration::from_secs(10)),
+            None
+        );
     }
 
     #[test]
@@ -196,7 +198,9 @@ mod tests {
         db.insert(key("c"), t(10), 150.0); // +50
         db.insert(key("c"), t(20), 20.0); // reset; counts as +20
         db.insert(key("c"), t(30), 50.0); // +30
-        let r = db.rate(&key("c"), t(30), SimDuration::from_secs(30)).unwrap();
+        let r = db
+            .rate(&key("c"), t(30), SimDuration::from_secs(30))
+            .unwrap();
         assert!((r - 100.0 / 30.0).abs() < 1e-9, "r={r}");
     }
 

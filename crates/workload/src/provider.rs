@@ -99,8 +99,8 @@ impl ChurnModel {
                 let kind = self.pick_kind(&mut rng);
                 let away = match kind {
                     InterruptionKind::TemporaryUnavailability => {
-                        let mins =
-                            log_normal(&mut rng, self.temp_outage_median_mins, 0.6).clamp(3.0, 240.0);
+                        let mins = log_normal(&mut rng, self.temp_outage_median_mins, 0.6)
+                            .clamp(3.0, 240.0);
                         SimDuration::from_secs_f64(mins * 60.0)
                     }
                     _ => {

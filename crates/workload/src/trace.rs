@@ -131,8 +131,7 @@ pub fn generate(labs: &[LabProfile], cfg: &TraceConfig, pool: &RngPool) -> Vec<T
         // uses multiplier/peak, cancelling peak) and the log-normal
         // mean/median ratio exp(σ²/2) ≈ 1.197 for σ = 0.6. Net ≈ 0.85.
         const DEMAND_CALIBRATION: f64 = 0.85;
-        let base_rate_per_hour =
-            lab.mean_gpu_demand / (cfg.mean_job_hours * DEMAND_CALIBRATION);
+        let base_rate_per_hour = lab.mean_gpu_demand / (cfg.mean_job_hours * DEMAND_CALIBRATION);
         if base_rate_per_hour > 0.0 && !lab.model_mix.is_empty() {
             let peak_rate = base_rate_per_hour * peak;
             let mut t = 0.0f64;

@@ -250,7 +250,10 @@ mod tests {
         assert_eq!(run.done_iters(), 1000);
         assert!(run.is_complete());
         // Further advance is a no-op.
-        assert_eq!(run.advance(SimDuration::from_secs(60), 35.6), RunProgress::Complete);
+        assert_eq!(
+            run.advance(SimDuration::from_secs(60), 35.6),
+            RunProgress::Complete
+        );
         assert_eq!(run.done_iters(), 1000);
     }
 

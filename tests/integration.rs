@@ -120,7 +120,10 @@ fn telemetry_pipeline_scrapes_agent_metrics() {
     db.ingest(now, &samples);
     let beats: Vec<&SeriesKey> = db.keys_for("agent_heartbeats_total");
     assert_eq!(beats.len(), 1);
-    assert!(db.latest(beats[0]).unwrap().value > 10.0, "heartbeats flowed");
+    assert!(
+        db.latest(beats[0]).unwrap().value > 10.0,
+        "heartbeats flowed"
+    );
 }
 
 #[test]
@@ -151,7 +154,10 @@ fn kill_switch_via_rest_displaces_to_other_node() {
         }
     });
     s.run_until(SimTime::from_secs(4 * 3600));
-    assert_eq!(s.world.stats.jobs_completed, 1, "job survives the kill-switch");
+    assert_eq!(
+        s.world.stats.jobs_completed, 1,
+        "job survives the kill-switch"
+    );
     assert!(!s.world.stats.displacements.is_empty());
 }
 

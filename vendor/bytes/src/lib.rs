@@ -1,0 +1,284 @@
+//! Vendored stand-in for `bytes` (see `vendor/README.md`).
+//!
+//! Implements the subset the wire protocol uses: an immutable [`Bytes`]
+//! buffer, a growable [`BytesMut`] with little-endian put/get helpers, and
+//! the [`Buf`]/[`BufMut`] traits. Backed by plain `Vec<u8>` — `clone` is a
+//! copy, not a refcount bump, which is irrelevant at control-plane message
+//! sizes. Swapping in the real crates.io `bytes` is a manifest-only change.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a contiguous buffer, mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes remaining to be consumed.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Discard the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when nothing remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+/// Append access to a growable buffer, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian u16.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian i32.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian f64 bit pattern.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable byte buffer, mirroring `bytes::Bytes`.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Borrow a static slice (copied here; the real crate borrows).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.data {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.data.len(), "advance past end of buffer");
+        self.data.drain(..cnt);
+    }
+}
+
+/// Growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Remove all bytes.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to past end of buffer");
+        let tail = self.data.split_off(at);
+        let head = std::mem::replace(&mut self.data, tail);
+        BytesMut { data: head }
+    }
+
+    /// Split off and return everything from `at` on, keeping the head.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_off past end of buffer");
+        BytesMut {
+            data: self.data.split_off(at),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Bytes {
+            data: self.data.clone(),
+        }
+        .fmt(f)
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.data.len(), "advance past end of buffer");
+        self.data.drain(..cnt);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(1);
+        b.put_u16_le(0x0203);
+        b.put_u32_le(0x04050607);
+        b.put_u64_le(0x08090a0b0c0d0e0f);
+        assert_eq!(b.len(), 15);
+        assert_eq!(&b[..3], &[1, 0x03, 0x02]);
+    }
+
+    #[test]
+    fn split_and_freeze() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"hello world");
+        b.advance(6);
+        let head = b.split_to(5);
+        assert_eq!(head.freeze().as_ref(), b"world");
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::copy_from_slice(b"a\x00b");
+        assert_eq!(format!("{b:?}"), "b\"a\\x00b\"");
+    }
+}

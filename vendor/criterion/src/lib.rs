@@ -1,0 +1,287 @@
+//! Vendored stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the harness subset the benches use — `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! throughput annotation and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple adaptive timer instead of criterion's full
+//! statistical machinery. Reported numbers are the minimum observed
+//! per-iteration wall time, which is the conventional low-noise point
+//! estimate.
+//!
+//! Two modes, chosen by the `CRITERION_QUICK` environment variable:
+//!
+//! * unset (default): calibrated measurement — target ≈ 300 ms per bench.
+//! * set: smoke mode — a handful of iterations, so `cargo test` (which
+//!   runs `harness = false` bench targets) finishes fast. CI sets it.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some()
+}
+
+/// Per-target measurement budget.
+fn budget() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the stand-in runs one
+/// input per batch regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Medium per-iteration input.
+    MediumInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `nodes/200`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Best observed per-iteration time, in nanoseconds.
+    best_ns: f64,
+    /// Total iterations executed.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let deadline = Instant::now() + budget();
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.observe(start.elapsed(), 1);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + budget();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.observe(start.elapsed(), 1);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes the input by
+    /// mutable reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let deadline = Instant::now() + budget();
+        loop {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.observe(start.elapsed(), 1);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn observe(&mut self, elapsed: Duration, iters: u64) {
+        let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        if self.iters == 0 || per_iter < self.best_ns {
+            self.best_ns = per_iter;
+        }
+        self.iters += iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput so results can be
+    /// reported as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// End the group (parity with the real API; nothing to flush here).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if b.best_ns > 0.0 => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / b.best_ns * 1e9 / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) if b.best_ns > 0.0 => {
+                format!("  {:>10.1} Melem/s", n as f64 / b.best_ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        self.criterion.results.push(format!(
+            "{}/{:<28} {:>12.0} ns/iter  ({} iters){}",
+            self.name, id, b.best_ns, b.iters, rate
+        ));
+        println!("{}", self.criterion.results.last().expect("just pushed"));
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<String>,
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, &mut f);
+        g.finish();
+        self
+    }
+
+    /// Lines reported so far (used by the vendored harness tests).
+    pub fn result_lines(&self) -> &[String] {
+        &self.results
+    }
+}
+
+/// Define a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running benchmark groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags the stand-in
+            // doesn't implement; `--list` must print nothing and succeed.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_result() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &n| {
+            b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.result_lines().len(), 2);
+        assert!(c.result_lines()[1].contains("param/3"));
+    }
+}

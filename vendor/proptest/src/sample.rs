@@ -1,0 +1,26 @@
+//! Sampling helpers, mirroring `proptest::sample`.
+
+use crate::{Arbitrary, TestRng};
+
+/// A position into a collection whose length is not known at generation
+/// time; resolve with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Resolve to a concrete index in `[0, len)`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.raw % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index {
+            raw: rng.next_u64() as usize,
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Regex-literal string generation.
+//!
+//! `&'static str` is a [`crate::Strategy`] whose value is a `String`
+//! matching the pattern, as in the real crate. The supported grammar is
+//! the subset the workspace's tests use: a concatenation of atoms, where
+//! an atom is a character class (`[a-z0-9-]`, `[ -~]`, …) or a literal
+//! character, optionally followed by a repetition (`{m}`, `{m,n}`, `*`,
+//! `+`, `?`). Unbounded repetitions cap at 8.
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug)]
+enum Atom {
+    /// Candidate characters, expanded from a class or a single literal.
+    Chars(Vec<char>),
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+/// Generate a string matching `pattern` (panics on unsupported syntax, as
+/// the real crate errors on invalid regexes).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let span = u64::from(p.max - p.min) + 1;
+        let n = p.min + rng.below(span) as u32;
+        let Atom::Chars(chars) = &p.atom;
+        for _ in 0..n {
+            out.push(chars[rng.below(chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in regex {pattern:?}"))
+                    + i;
+                let set = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Chars(set)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing escape in regex {pattern:?}");
+                let c = chars[i + 1];
+                i += 2;
+                Atom::Chars(vec![c])
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '.' | '^' | '$'),
+                    "unsupported regex syntax {c:?} in {pattern:?}"
+                );
+                i += 1;
+                Atom::Chars(vec![c])
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed repetition in regex {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("repetition lower bound"),
+                        hi.parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repetition in regex {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in regex {pattern:?}");
+    assert!(
+        body[0] != '^',
+        "negated classes unsupported in regex {pattern:?}"
+    );
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // `X-Y` is a range unless the `-` is first or last in the class.
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted class range in regex {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str) -> String {
+        generate_matching(pattern, &mut TestRng::from_name(pattern))
+    }
+
+    #[test]
+    fn fixed_repetition() {
+        assert_eq!(gen("a{3}").len(), 3);
+    }
+
+    #[test]
+    fn class_with_trailing_dash() {
+        for _ in 0..50 {
+            let s = gen("[a-c-]{4}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '-')));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let s = gen("[ -~]{10,10}");
+        assert_eq!(s.len(), 10);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let s = gen("ab?c*d+");
+        assert!(s.starts_with('a'));
+        assert!(s.ends_with('d'));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_rejected() {
+        gen("a|b");
+    }
+}

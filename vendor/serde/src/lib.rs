@@ -1,0 +1,21 @@
+//! Vendored stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its wire-adjacent
+//! types to mark them as serialization-ready, but all actual encoding goes
+//! through the hand-rolled binary codec in `gpunion-protocol`. This crate
+//! therefore only has to make the derives and trait bounds *compile*:
+//! the traits are empty and blanket-implemented, and the derive macros
+//! expand to nothing. Swapping in the real crates.io `serde` is a
+//! manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

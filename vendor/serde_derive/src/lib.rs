@@ -1,0 +1,21 @@
+//! Vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! This workspace builds fully offline (see `vendor/README.md`). The code
+//! base only ever *derives* `Serialize`/`Deserialize` — nothing serializes
+//! through the traits yet — so the derives expand to nothing and the
+//! blanket impls in the vendored `serde` crate satisfy any trait bounds.
+//! Replacing this crate with the real one requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
