@@ -24,7 +24,7 @@ use gpunion_protocol::{
 use gpunion_storage::CheckpointCostModel;
 use gpunion_telemetry::{labels, Registry};
 use gpunion_workload::TrainingRun;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Where a bulk transfer goes / comes from, as the agent sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,7 +151,9 @@ pub struct Agent {
     uid: Option<NodeUid>,
     token: AuthToken,
     heartbeat_seq: u64,
-    workloads: HashMap<JobId, Workload>,
+    /// Ordered by job id: heartbeat status vectors, kill-switch sweeps and
+    /// departure checkpoints must iterate deterministically.
+    workloads: BTreeMap<JobId, Workload>,
     timers: BTreeMap<(SimTime, u64), Timer>,
     timer_seq: u64,
     metrics: Registry,
@@ -174,7 +176,7 @@ impl Agent {
             uid: None,
             token: AuthToken::UNAUTHENTICATED,
             heartbeat_seq: 0,
-            workloads: HashMap::new(),
+            workloads: BTreeMap::new(),
             timers: BTreeMap::new(),
             timer_seq: 0,
             metrics: Registry::new(),
@@ -628,10 +630,13 @@ impl Agent {
                 d.set_utilization(now, 1.0);
             }
         }
-        // Arm checkpoint + completion timers.
+        // Arm checkpoint + completion timers. The first checkpoint is
+        // staggered by a per-job phase so co-starting jobs (lab deadline
+        // bursts) don't capture and upload in lockstep — synchronized
+        // cycles were saturating the backbone in 1-minute bursts (§4).
         if interval_secs > 0 && has_run {
             self.arm(
-                now + SimDuration::from_secs(interval_secs as u64),
+                now + checkpoint_stagger(job, interval_secs),
                 Timer::CheckpointDue(job),
             );
         }
@@ -868,8 +873,12 @@ impl Agent {
         }
     }
 
-    /// Discard a workload entry after the loop migrated its run.
-    pub fn forget_workload(&mut self, job: JobId) {
+    /// Discard a workload entry after the loop migrated its run, freeing
+    /// the GPUs it occupied. Without the free, a harvested-then-returning
+    /// provider would advertise its VRAM as allocated forever and
+    /// migrate-back could never place the job home.
+    pub fn forget_workload(&mut self, now: SimTime, job: JobId) {
+        self.release_gpus(now, job);
         self.disarm_job_timers(job);
         self.workloads.remove(&job);
     }
@@ -1113,6 +1122,19 @@ impl Agent {
         }
         actions
     }
+}
+
+/// First-checkpoint delay for a job: the base interval shifted by a
+/// deterministic per-job phase in `[-interval/2, +interval/2)`, derived from
+/// the job id (splitmix-style mix). Spreads checkpoint cycles of co-started
+/// jobs uniformly across the interval while keeping the mean cadence — and
+/// reruns of the same job id stagger identically, so experiment harnesses
+/// stay reproducible.
+fn checkpoint_stagger(job: JobId, interval_secs: u32) -> SimDuration {
+    let interval = interval_secs as u64;
+    let mixed = job.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    let phase = mixed % interval.max(1);
+    SimDuration::from_secs(interval / 2 + phase)
 }
 
 /// Resolve the wire image reference against the registry by digest.

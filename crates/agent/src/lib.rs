@@ -554,7 +554,7 @@ mod tests {
         );
         let run = agent.take_run(JobId(40)).expect("rolled-back run");
         assert_eq!(run.done_iters(), run.checkpointed_iters());
-        agent.forget_workload(JobId(40));
+        agent.forget_workload(t(800), JobId(40));
         assert_eq!(agent.workload_count(), 0);
     }
 }

@@ -1,11 +1,19 @@
 //! Criterion micro-bench: real wall-clock cost of one scheduling pass at
 //! increasing node counts (complements the simulated §5.2 latency model).
+//!
+//! `scheduling_pass` times the indexed batched pass. `fullscan_reference`
+//! reproduces the pre-index algorithm — per pending job, collect every
+//! eligible node from a full directory scan, then sort — on identical
+//! directory state, so the speedup is measured like-for-like. Both use
+//! `iter_batched_ref`, which drops the (large) coordinator outside the
+//! timed region: the quantity under test is scheduling latency, not
+//! allocator teardown.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpunion_des::SimTime;
 use gpunion_gpu::GpuModel;
-use gpunion_protocol::{DispatchSpec, ExecMode, JobId, Message};
-use gpunion_scheduler::{Coordinator, CoordinatorConfig};
+use gpunion_protocol::{DispatchSpec, ExecMode, JobId, Message, NodeUid};
+use gpunion_scheduler::{Coordinator, CoordinatorConfig, NodeLiveness};
 
 fn spec() -> DispatchSpec {
     DispatchSpec {
@@ -44,22 +52,57 @@ fn coordinator_with(n: usize) -> Coordinator {
     c
 }
 
+const PENDING_JOBS: usize = 20;
+
+fn loaded(n: usize) -> Coordinator {
+    let mut coord = coordinator_with(n);
+    for _ in 0..PENDING_JOBS {
+        coord.submit_job(SimTime::from_secs(2), spec());
+    }
+    coord
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduling_pass");
-    for n in [10usize, 50, 200, 400] {
+    // 10–400 matches the paper's §5.2 sweep; 2 000 and 10 000 prove the
+    // indexed path stays flat far beyond the paper's knee (a pass must
+    // finish in well under 1 ms at 10 000 nodes).
+    for n in [10usize, 50, 200, 400, 2_000, 10_000] {
         g.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
-            b.iter_batched(
-                || {
-                    let mut coord = coordinator_with(n);
-                    for _ in 0..20 {
-                        coord.submit_job(SimTime::from_secs(2), spec());
-                    }
-                    coord
-                },
-                |mut coord| {
+            b.iter_batched_ref(
+                || loaded(n),
+                |coord| {
                     let mut actions = Vec::new();
                     coord.scheduling_pass(SimTime::from_secs(3), &mut actions);
                     actions
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+
+    // The pre-refactor cost model: one full scan + sort per pending job.
+    let mut g = c.benchmark_group("fullscan_reference");
+    for n in [400usize, 2_000, 10_000] {
+        g.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
+            b.iter_batched_ref(
+                || loaded(n),
+                |coord| {
+                    let dir = coord.directory();
+                    let job = spec();
+                    let mut placed = Vec::with_capacity(PENDING_JOBS);
+                    for _ in 0..PENDING_JOBS {
+                        let mut eligible: Vec<NodeUid> = dir
+                            .iter()
+                            .filter(|e| e.liveness() == NodeLiveness::Active)
+                            .filter(|e| e.eligible_for(&job))
+                            .map(|e| e.uid)
+                            .collect();
+                        eligible.sort();
+                        placed.push(eligible.first().copied());
+                    }
+                    placed
                 },
                 criterion::BatchSize::SmallInput,
             );

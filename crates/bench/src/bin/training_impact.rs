@@ -40,11 +40,28 @@ fn main() {
         );
     }
 
-    // Simulated: overhead by interruption count, from the Fig. 3 scenario.
+    // Simulated: overhead by interruption class, from the Fig. 3 scenario.
+    // The paper's +3–7% counts work the interruption itself destroys (lost
+    // iterations, restore, restart) — downtime includes queueing for a free
+    // slot on the ~90%-occupied fig3 fleet, so it is reported separately.
     let r = run_fig3(days, 2.0, seed);
     println!();
     println!("== Simulated (Fig. 3 workload, 2 events/day/node) ==");
     println!("jobs completed: {}/{}", r.jobs_completed, r.jobs_total);
+    // Restore cost averaged over the fig3 job mix (equal parts of the
+    // four model classes), plus container restart.
+    let mix = [
+        ModelClass::CnnSmall,
+        ModelClass::CnnLarge,
+        ModelClass::TransformerSmall,
+        ModelClass::TransformerLarge,
+    ];
+    let restore_restart = mix
+        .iter()
+        .map(|m| cost.restore_time(m.profile().state_bytes).as_secs_f64())
+        .sum::<f64>()
+        / mix.len() as f64
+        + 60.0;
     for (name, c) in [
         ("scheduled", &r.scheduled),
         ("emergency", &r.emergency),
@@ -53,12 +70,13 @@ fn main() {
         if c.displacements == 0 {
             continue;
         }
-        // Overhead of one interruption relative to a 10-hour job.
+        // Destroyed work relative to a 10-hour job.
         let job_secs = 10.0 * 3600.0;
-        let oh = (c.mean_downtime_secs + c.mean_lost_secs) / job_secs * 100.0;
+        let oh = (c.mean_lost_secs + restore_restart) / job_secs * 100.0;
         println!(
-            "{name}: mean downtime {:.0}s + lost {:.0}s ⇒ ~{:.1}% of a 10h job per interruption",
-            c.mean_downtime_secs, c.mean_lost_secs, oh
+            "{name}: lost work {:.0}s + restore/restart ⇒ ~{:.1}% of a 10h job per \
+             interruption (mean requeue-to-restart wait {:.0}s at ~90% occupancy)",
+            c.mean_lost_secs, oh, c.mean_downtime_secs
         );
     }
     println!("paper: 2–4 interruptions ⇒ +3–7% total training time");

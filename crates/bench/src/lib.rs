@@ -13,3 +13,154 @@
 //!
 //! Criterion benches measure the real data-structure costs: scheduling
 //! pass, protocol codec, checkpoint deltas, and max-min reallocation.
+//!
+//! Scenario construction shared between a figure binary and its golden
+//! test lives here (e.g. [`net_traffic_run`]) so the test pins the same
+//! experiment the binary prints, not a private copy of it.
+//!
+//! The `golden` test module pins the figure rows at fixed seeds: the
+//! platform is deterministic end-to-end, so any behavioural change that
+//! moves an EXPERIMENTS.md number fails here first and forces the number
+//! to be re-recorded deliberately rather than drifting silently.
+
+use gpunion_core::{PlatformConfig, Scenario};
+use gpunion_des::{RngPool, SimDuration, SimTime};
+use gpunion_gpu::paper_testbed;
+use gpunion_workload::{generate, paper_campus_labs, Request, TraceConfig};
+
+/// The §4 network-traffic experiment, fully run: the scenario (for
+/// accounting access), the horizon end, and the backbone capacity.
+pub struct NetTrafficRun {
+    /// The completed scenario; query `world.net.accounting()`.
+    pub scenario: Scenario,
+    /// End of the measured window.
+    pub end: SimTime,
+    /// Backbone link capacity in bytes/sec.
+    pub backbone_bps: f64,
+}
+
+/// Build and run the §4 network-traffic experiment: the paper's 11-server
+/// campus under `days` of generated demand at `seed`. Shared by the
+/// `net_traffic` binary and the golden-output test.
+pub fn net_traffic_run(days: u64, seed: u64) -> NetTrafficRun {
+    let specs = paper_testbed();
+    let labs = paper_campus_labs();
+    let horizon = SimDuration::from_days(days);
+    let trace = generate(
+        &labs,
+        &TraceConfig {
+            horizon,
+            ..Default::default()
+        },
+        &RngPool::new(seed),
+    );
+    let mut config = PlatformConfig {
+        seed,
+        ..Default::default()
+    };
+    // Slow heartbeat keeps the multi-day event count tractable; failure
+    // detection is unchanged (timeout stays 3 beats).
+    config.coordinator.heartbeat_period = SimDuration::from_secs(30);
+    let backbone_bps = config.backbone.bytes_per_sec();
+    let mut scenario = Scenario::new(config, &specs);
+    for (i, ev) in trace.iter().enumerate() {
+        match &ev.request {
+            Request::Training(spec) => scenario.submit_training_at(ev.at, i as u64, spec.clone()),
+            Request::Interactive(spec) => {
+                scenario.submit_interactive_at(ev.at, i as u64, spec.clone())
+            }
+        }
+    }
+    let end = SimTime::ZERO + horizon;
+    scenario.run_until(end);
+    NetTrafficRun {
+        scenario,
+        end,
+        backbone_bps,
+    }
+}
+
+#[cfg(test)]
+mod golden {
+    use super::net_traffic_run;
+    use gpunion_core::run_fig3;
+    use gpunion_des::SimDuration;
+    use gpunion_simnet::TrafficClass;
+
+    /// |actual − expected| within `tol`, with a message naming the row.
+    fn close(actual: f64, expected: f64, tol: f64, row: &str) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "{row}: measured {actual} drifted from golden {expected} — if the \
+             change is intentional, update this golden AND EXPERIMENTS.md"
+        );
+    }
+
+    /// Fig. 3 rows at a reduced, fixed configuration (2 days, 3 events/day,
+    /// seed 7). Guards the migration pipeline: displacement attribution,
+    /// checkpoint restore, and migrate-back.
+    #[test]
+    fn fig3_migration_rows() {
+        let r = run_fig3(2, 3.0, 7);
+        assert_eq!(r.jobs_total, 18, "job-set size");
+        assert_eq!(r.scheduled.events, 5, "scheduled events");
+        assert_eq!(r.emergency.events, 0, "emergency events");
+        assert_eq!(r.temporary.events, 2, "temporary events");
+        assert_eq!(r.scheduled.displacements, 4, "scheduled displacements");
+        assert_eq!(r.temporary.displacements, 2, "temporary displacements");
+        assert_eq!(r.temporary.migrated_back, 2, "temporary migrate-backs");
+        assert_eq!(r.jobs_completed, 17, "jobs completed in horizon");
+        close(r.scheduled_success_rate(), 1.0, 1e-9, "scheduled success");
+        close(r.migrate_back_rate(), 1.0, 1e-9, "migrate-back rate");
+    }
+
+    /// §4 network-traffic rows at 1 day, seed 42: total checkpoint volume,
+    /// sustained backbone share, and the staggered burst peak — through
+    /// the same harness the `net_traffic` binary prints from.
+    #[test]
+    fn net_traffic_rows() {
+        let run = net_traffic_run(1, 42);
+        let backbone = run
+            .scenario
+            .world
+            .backbone_link()
+            .expect("star campus has a backbone");
+        let acct = run.scenario.world.net.accounting();
+        let total_gb = acct.class_total(TrafficClass::Checkpoint) / 1e9;
+        let sustained = acct.link_class_mean_rate(backbone, TrafficClass::Checkpoint, run.end)
+            / run.backbone_bps;
+        let burst =
+            acct.link_class_peak_rate(backbone, TrafficClass::Checkpoint) / run.backbone_bps;
+        close(total_gb, 2551.8, 2.0, "checkpoint total GB");
+        close(sustained, 0.0118, 5e-4, "sustained backbone share");
+        close(burst, 0.115, 5e-3, "1-minute burst share");
+        assert!(
+            sustained < 0.02,
+            "sustained checkpoint share {sustained} breaches the paper's 2% budget"
+        );
+    }
+
+    /// §5.2 scalability rows: the latency model is pure arithmetic, so the
+    /// golden values are exact.
+    #[test]
+    fn scalability_rows() {
+        let model = gpunion_db::ContentionModel::default();
+        let period = SimDuration::from_secs(5);
+        let util = |n: usize| {
+            model.utilization(gpunion_db::ContentionModel::heartbeat_write_rate(
+                n, period, 2.0,
+            ))
+        };
+        close(util(50), 0.14, 0.005, "db utilization @ 50 nodes");
+        close(util(200), 0.50, 0.005, "db utilization @ 200 nodes");
+        let tx = |n: usize| {
+            model
+                .transaction_latency(gpunion_db::ContentionModel::heartbeat_write_rate(
+                    n, period, 2.0,
+                ))
+                .as_secs_f64()
+        };
+        close(tx(200), 0.024, 0.002, "tx latency @ 200 nodes");
+        close(tx(400), 0.75, 0.05, "tx latency @ 400 nodes");
+    }
+}

@@ -18,7 +18,7 @@ use gpunion_simnet::{
     star_campus, Bandwidth, FlowOutcome, NetEvent, Network, NodeId, TrafficClass,
 };
 use gpunion_workload::{InteractiveSpec, TrainingJobSpec, TrainingRun};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// What travels on the simulated network.
 #[derive(Debug, Clone)]
@@ -52,8 +52,8 @@ pub struct Displacement {
 /// Platform-level statistics collected during a run.
 #[derive(Debug, Default)]
 pub struct PlatformStats {
-    /// Job lifecycle log.
-    pub job_log: HashMap<JobId, Vec<(SimTime, JobEvent)>>,
+    /// Job lifecycle log (ordered so post-run sweeps are deterministic).
+    pub job_log: BTreeMap<JobId, Vec<(SimTime, JobEvent)>>,
     /// Map from the caller's submission tag to the assigned job id.
     pub tag_to_job: HashMap<u64, JobId>,
     /// Reverse map.
@@ -148,7 +148,9 @@ pub struct Platform {
     /// The central coordinator.
     pub coordinator: Coordinator,
     coordinator_addr: NodeId,
-    agents: HashMap<NodeId, Agent>,
+    /// Ordered by address: boot staggering and the pump visit agents in a
+    /// deterministic order (uid assignment depends on it).
+    agents: BTreeMap<NodeId, Agent>,
     addr_of_uid: HashMap<NodeUid, NodeId>,
     /// The shared campus image registry (hosted on the coordinator).
     pub registry: ImageRegistry,
@@ -160,6 +162,8 @@ pub struct Platform {
     fresh_runs: HashMap<JobId, TrainingJobSpec>,
     /// Collected statistics.
     pub stats: PlatformStats,
+    /// The coordinator–switch backbone link (traffic-share reporting).
+    backbone_link: Option<gpunion_simnet::LinkId>,
     pump_armed: Option<(SimTime, gpunion_des::EventId)>,
 }
 
@@ -170,19 +174,19 @@ impl Platform {
     /// spec order.
     pub fn deploy(config: &PlatformConfig, specs: &[ServerSpec]) -> (Platform, Vec<NodeId>) {
         let gpu_specs: Vec<&ServerSpec> = specs.iter().filter(|s| !s.gpus.is_empty()).collect();
-        let (topo, hosts, coord_addr, _) = star_campus(
+        let (topo, hosts, coord_addr, switch) = star_campus(
             gpu_specs.len(),
             config.access,
             config.backbone,
             config.link_latency,
         );
         let pool = RngPool::new(config.seed);
-        let mut net = Network::new(topo, config.local_disk, config.seed ^ 0x5151);
-        let _ = &mut net;
+        let net = Network::new(topo, config.local_disk, config.seed ^ 0x5151);
+        let backbone_link = net.topology().link_between(coord_addr, switch);
         let mut coordinator = Coordinator::new(config.coordinator.clone(), config.seed ^ 0xC0);
         coordinator.start(SimTime::ZERO);
         let (registry, image_refs) = gpunion_container::standard_catalogue();
-        let mut agents = HashMap::new();
+        let mut agents = BTreeMap::new();
         for (i, spec) in gpu_specs.iter().enumerate() {
             let mut rng = pool.stream_n("agent-id", i as u64);
             let agent_config = AgentConfig::new(spec.hostname.clone(), &mut rng);
@@ -200,9 +204,16 @@ impl Platform {
             displaced_runs: HashMap::new(),
             fresh_runs: HashMap::new(),
             stats: PlatformStats::default(),
+            backbone_link,
             pump_armed: None,
         };
         (platform, hosts)
+    }
+
+    /// The campus backbone link (coordinator uplink), for traffic-share
+    /// reporting against the backbone's capacity.
+    pub fn backbone_link(&self) -> Option<gpunion_simnet::LinkId> {
+        self.backbone_link
     }
 
     /// Agent access by address (tests/harnesses).
@@ -362,7 +373,7 @@ impl Platform {
     pub fn emergency_departure(&mut self, now: SimTime, addr: NodeId) {
         // Harvest rolled-back runs for every workload on the node before the
         // lights go out (the durable checkpoints they restore from).
-        self.harvest_runs(addr);
+        self.harvest_runs(now, addr);
         let events = self.net.set_node_up(now, addr, false);
         self.route_net_events(now, events);
     }
@@ -376,7 +387,7 @@ impl Platform {
         }
     }
 
-    fn harvest_runs(&mut self, addr: NodeId) {
+    fn harvest_runs(&mut self, now: SimTime, addr: NodeId) {
         // Jobs currently hosted by this agent whose state we must preserve
         // (rolled back to the last captured checkpoint).
         let Some(agent) = self.agents.get_mut(&addr) else {
@@ -386,7 +397,7 @@ impl Platform {
         for job in jobs {
             if let Some(mut run) = agent.take_run(job) {
                 run.rollback_to_checkpoint();
-                agent.forget_workload(job);
+                agent.forget_workload(now, job);
                 self.displaced_runs.insert(job, run);
             }
         }
@@ -444,7 +455,7 @@ impl Platform {
                         if status.state == WorkloadState::Killed {
                             if let Some(agent) = self.agents.get_mut(&addr) {
                                 if let Some(run) = agent.take_run(status.job) {
-                                    agent.forget_workload(status.job);
+                                    agent.forget_workload(now, status.job);
                                     self.displaced_runs.insert(status.job, run);
                                 }
                             }

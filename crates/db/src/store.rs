@@ -11,7 +11,8 @@ use crate::wal::Wal;
 use gpunion_des::SimTime;
 use gpunion_protocol::{JobId, NodeUid};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Liveness state of a registered node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,8 +89,12 @@ pub struct SystemDb {
     nodes: BTreeMap<NodeUid, NodeRecord>,
     jobs: BTreeMap<JobId, JobRecord>,
     allocations: BTreeMap<JobId, AllocationRecord>,
-    /// (priority DESC via Reverse, FIFO seq ASC, job).
-    pending: BTreeSet<(u8, u64, JobId)>,
+    /// Dispatch order is the natural set order: priority DESC (via
+    /// `Reverse`), then FIFO sequence ASC within a priority class.
+    pending: BTreeSet<(Reverse<u8>, u64, JobId)>,
+    /// Each pending job's key, so removal is O(log n) instead of a scan
+    /// (the batched scheduling pass dequeues and requeues in bulk).
+    pending_pos: HashMap<JobId, (Reverse<u8>, u64)>,
     pending_seq: u64,
     wal: Wal,
     /// Write operations performed (contention-model input).
@@ -169,8 +174,26 @@ impl SystemDb {
                 state: JobState::Pending,
             },
         );
-        self.pending.insert((priority, self.pending_seq, job));
+        self.enqueue(job, priority);
+    }
+
+    fn enqueue(&mut self, job: JobId, priority: u8) {
+        // A job can be pending at most once.
+        self.dequeue(job);
+        let key = (Reverse(priority), self.pending_seq);
         self.pending_seq += 1;
+        self.pending.insert((key.0, key.1, job));
+        self.pending_pos.insert(job, key);
+    }
+
+    fn dequeue(&mut self, job: JobId) -> bool {
+        match self.pending_pos.remove(&job) {
+            Some((p, seq)) => {
+                self.pending.remove(&(p, seq, job));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Fetch a job row.
@@ -186,33 +209,27 @@ impl SystemDb {
     /// Peek the next pending job: highest priority first, FIFO within a
     /// priority class.
     pub fn peek_pending(&self) -> Option<JobId> {
-        self.pending_in_order().into_iter().next()
+        self.pending.first().map(|(_, _, j)| *j)
     }
 
-    /// Pending jobs in dispatch order (highest priority, then FIFO).
+    /// Pending jobs in dispatch order (highest priority, then FIFO). The
+    /// queue's natural order — one in-order walk, no sorting.
     pub fn pending_in_order(&self) -> Vec<JobId> {
-        let mut by_prio: Vec<&(u8, u64, JobId)> = self.pending.iter().collect();
-        // Sort: priority DESC, seq ASC.
-        by_prio.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        by_prio.into_iter().map(|(_, _, j)| *j).collect()
+        self.pending.iter().map(|(_, _, j)| *j).collect()
     }
 
     /// Remove a job from the pending queue (it was allocated or cancelled).
-    /// Returns false when it was not pending.
+    /// Keyed lookup, O(log n). Returns false when it was not pending.
     pub fn take_pending(&mut self, job: JobId) -> bool {
-        let found = self.pending.iter().find(|(_, _, j)| *j == job).copied();
-        match found {
-            Some(entry) => {
-                self.pending.remove(&entry);
-                self.writes += 1;
-                true
-            }
-            None => false,
+        let removed = self.dequeue(job);
+        if removed {
+            self.writes += 1;
         }
+        removed
     }
 
-    /// Re-enqueue a job (migration after node loss). Keeps its priority but
-    /// goes to the back of its class.
+    /// Re-enqueue a job (migration after node loss, or an index miss in a
+    /// batched pass). Keeps its priority but goes to the back of its class.
     pub fn requeue_job(&mut self, job: JobId) -> bool {
         let Some(rec) = self.jobs.get_mut(&job) else {
             return false;
@@ -220,8 +237,7 @@ impl SystemDb {
         rec.state = JobState::Pending;
         let priority = rec.priority;
         self.allocations.remove(&job);
-        self.pending.insert((priority, self.pending_seq, job));
-        self.pending_seq += 1;
+        self.enqueue(job, priority);
         self.log("requeue", job.0);
         true
     }
@@ -364,6 +380,41 @@ mod tests {
         let mut db = SystemDb::new();
         assert!(!db.take_pending(JobId(404)));
         assert!(!db.requeue_job(JobId(404)));
+    }
+
+    #[test]
+    fn requeue_while_pending_does_not_duplicate() {
+        let mut db = SystemDb::new();
+        db.submit_job(JobId(1), t(0), 1);
+        db.submit_job(JobId(2), t(1), 1);
+        assert!(db.requeue_job(JobId(1)), "requeue of a pending job");
+        assert_eq!(db.pending_count(), 2, "no duplicate entry");
+        // It moved behind its peer.
+        assert_eq!(db.pending_in_order(), vec![JobId(2), JobId(1)]);
+        assert!(db.take_pending(JobId(1)));
+        assert!(!db.take_pending(JobId(1)), "single entry to take");
+    }
+
+    #[test]
+    fn bulk_drain_preserves_dispatch_order() {
+        let mut db = SystemDb::new();
+        for i in 0..100u64 {
+            db.submit_job(JobId(i), t(i), (i % 3) as u8);
+        }
+        let order = db.pending_in_order();
+        assert_eq!(order.len(), 100);
+        // Priority classes descend; FIFO inside each class.
+        let prio = |j: &JobId| db.job(*j).unwrap().priority;
+        for w in order.windows(2) {
+            assert!(
+                prio(&w[0]) > prio(&w[1]) || (prio(&w[0]) == prio(&w[1]) && w[0].0 < w[1].0),
+                "order violated at {w:?}"
+            );
+        }
+        for j in order {
+            assert!(db.take_pending(j));
+        }
+        assert_eq!(db.pending_count(), 0);
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! in, [`CoordAction`]s come out. Every dispatch decision pays the database
 //! transaction latency from [`ContentionModel`], which is what the
 //! scalability experiment (§5.2) measures as the node count grows.
+//!
+//! A scheduling pass is batched: it drains the pending queue once against
+//! the directory's capacity index, reserving capacity as it places so later
+//! jobs in the same pass see the updated state — no per-job rescans, no
+//! re-ranking between placements. Displaced jobs whose provider returned
+//! take a preferred-node fast path that runs before the general drain, so
+//! migrate-back can't lose its home slot to an earlier queue position.
 
 use crate::directory::{Directory, NodeLiveness};
 use crate::strategy::{Selector, Strategy};
@@ -20,10 +27,11 @@ use gpunion_protocol::{
     AuthToken, DispatchSpec, Envelope, JobId, KillReason, Message, NodeUid, TokenRegistry,
     WorkloadState,
 };
-use gpunion_telemetry::{labels, Registry};
+use gpunion_telemetry::{labels, Counter, MetricHistogram, Registry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Actions for the embedding loop.
 #[derive(Debug)]
@@ -119,8 +127,13 @@ struct JobMeta {
     spec: DispatchSpec,
     current_node: Option<NodeUid>,
     offered_to: Option<NodeUid>,
+    /// Nodes that rejected this job in the current placement epoch.
+    /// Cleared on displacement — a new epoch with a changed world.
     excluded: Vec<NodeUid>,
     preferred: Option<NodeUid>,
+    /// Capacity held on the preferred home node while a migrate-back
+    /// checkpoint round-trip is in flight: (node, held since).
+    home_hold: Option<(NodeUid, SimTime)>,
     latest_checkpoint: Option<(u64, Vec<NodeUid>)>,
     displaced_from: Option<(NodeUid, SimTime)>,
     migrating_back: bool,
@@ -142,13 +155,24 @@ pub struct Coordinator {
     dir: Directory,
     tokens: TokenRegistry,
     selector: Selector,
-    jobs: HashMap<JobId, JobMeta>,
+    /// Ordered by job id so displacement/migrate-back sweeps are
+    /// deterministic (golden-output experiments depend on it).
+    jobs: BTreeMap<JobId, JobMeta>,
+    /// Jobs currently holding a migrate-back home slot — the sweep and
+    /// node-loss scans walk this (holds are rare) instead of every job.
+    held_jobs: BTreeSet<JobId>,
     next_job: u64,
     contention: ContentionModel,
     timers: BTreeMap<(SimTime, u64), CoordTimer>,
     timer_seq: u64,
     pass_armed: bool,
     metrics: Registry,
+    // Cached handles: registry lookups take a lock + label hashing, which
+    // the per-dispatch hot path must not pay.
+    sched_latency: Option<Arc<MetricHistogram>>,
+    jobs_submitted: Option<Arc<Counter>>,
+    jobs_displaced: Option<Arc<Counter>>,
+    nodes_lost: Option<Arc<Counter>>,
     decision_latency: Online,
     rng: SmallRng,
 }
@@ -157,19 +181,41 @@ impl Coordinator {
     /// A coordinator with the given config; `seed` drives token issuance.
     pub fn new(config: CoordinatorConfig, seed: u64) -> Self {
         let selector = Selector::new(config.strategy);
+        let metrics = Registry::new();
+        let sched_latency = metrics
+            .histogram(
+                "scheduling_latency_seconds",
+                "per-decision scheduling latency",
+                labels([]),
+            )
+            .ok();
+        let jobs_submitted = metrics
+            .counter("jobs_submitted_total", "jobs submitted", labels([]))
+            .ok();
+        let jobs_displaced = metrics
+            .counter("jobs_displaced_total", "displacements", labels([]))
+            .ok();
+        let nodes_lost = metrics
+            .counter("nodes_lost_total", "node losses", labels([]))
+            .ok();
         Coordinator {
             config,
             db: SystemDb::new(),
             dir: Directory::new(),
             tokens: TokenRegistry::new(),
             selector,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
+            held_jobs: BTreeSet::new(),
             next_job: 1,
             contention: ContentionModel::default(),
             timers: BTreeMap::new(),
             timer_seq: 0,
             pass_armed: false,
-            metrics: Registry::new(),
+            metrics,
+            sched_latency,
+            jobs_submitted,
+            jobs_displaced,
+            nodes_lost,
             decision_latency: Online::new(),
             rng: SmallRng::seed_from_u64(seed),
         }
@@ -286,6 +332,7 @@ impl Coordinator {
                 offered_to: None,
                 excluded: Vec::new(),
                 preferred: None,
+                home_hold: None,
                 latest_checkpoint: None,
                 displaced_from: None,
                 migrating_back: false,
@@ -298,10 +345,7 @@ impl Coordinator {
             event: JobEvent::Queued,
         }];
         self.arm_pass(now);
-        if let Ok(c) = self
-            .metrics
-            .counter("jobs_submitted_total", "jobs submitted", labels([]))
-        {
+        if let Some(c) = &self.jobs_submitted {
             c.inc();
         }
         (job, actions)
@@ -310,15 +354,14 @@ impl Coordinator {
     /// Cancel a job on user request.
     pub fn cancel_job(&mut self, now: SimTime, job: JobId) -> Vec<CoordAction> {
         let mut actions = Vec::new();
+        self.drop_hold(job);
         let Some(meta) = self.jobs.remove(&job) else {
             return actions;
         };
         self.db.take_pending(job);
         self.db.set_job_state(job, JobState::Cancelled);
         if let Some(node) = meta.current_node.or(meta.offered_to) {
-            if let Some(e) = self.dir.get_mut(node) {
-                e.release(job);
-            }
+            self.dir.release(node, job);
             actions.push(CoordAction::Send {
                 to: node,
                 msg: Message::Kill {
@@ -330,6 +373,50 @@ impl Coordinator {
         }
         let _ = now;
         actions
+    }
+
+    /// Drop a job's migrate-back hold (and its reservation), if any.
+    fn drop_hold(&mut self, job: JobId) {
+        self.held_jobs.remove(&job);
+        if let Some(meta) = self.jobs.get_mut(&job) {
+            if let Some((node, _)) = meta.home_hold.take() {
+                self.dir.release(node, job);
+            }
+        }
+    }
+
+    /// Abandon every live hold whose (node, held-since) matches `pred` —
+    /// the expiry sweep and node-loss teardown share this walk over the
+    /// (small) held-jobs set.
+    fn abandon_holds_where(&mut self, now: SimTime, pred: impl Fn(NodeUid, SimTime) -> bool) {
+        let doomed: Vec<JobId> = self
+            .held_jobs
+            .iter()
+            .filter(|j| {
+                self.jobs
+                    .get(j)
+                    .and_then(|m| m.home_hold)
+                    .map(|(n, at)| pred(n, at))
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect();
+        for job in doomed {
+            self.abandon_migrate_back(now, job);
+        }
+    }
+
+    /// Give up on moving a job back home: drop the hold, the preference,
+    /// and the in-flight migrate-back flag, and arm a pass — a pending job
+    /// was deliberately skipped by the drain while its hold lived, so
+    /// releasing it must re-open general placement even on a quiet fleet.
+    fn abandon_migrate_back(&mut self, now: SimTime, job: JobId) {
+        self.drop_hold(job);
+        if let Some(meta) = self.jobs.get_mut(&job) {
+            meta.preferred = None;
+            meta.migrating_back = false;
+        }
+        self.arm_pass(now);
     }
 
     // ---- message handling --------------------------------------------
@@ -401,11 +488,10 @@ impl Coordinator {
                 let was_offline = self
                     .dir
                     .get(node)
-                    .map(|e| e.liveness == NodeLiveness::Offline)
+                    .map(|e| e.liveness() == NodeLiveness::Offline)
                     .unwrap_or(false);
-                if let Some(e) = self.dir.get_mut(node) {
-                    e.apply_heartbeat(now, seq, accepting, &gpu_stats);
-                }
+                self.dir
+                    .apply_heartbeat(node, now, seq, accepting, &gpu_stats);
                 if was_offline {
                     // Node came back without re-registering (short blip).
                     self.db.set_node_state(node, NodeState::Active);
@@ -457,15 +543,20 @@ impl Coordinator {
                     // node, so landing there means the migrate-back worked.
                     let migrated_back = meta.preferred == Some(node);
                     if migrated_back {
-                        meta.preferred = None;
                         meta.displaced_from = None;
                     }
+                    // Either way the preference is spent: it belongs to the
+                    // placement epoch in which the provider returned. Left
+                    // in place, a placement on another node would let a much
+                    // later, unrelated displacement still route home and
+                    // count as a migrate-back.
+                    meta.preferred = None;
+                    meta.migrating_back = false;
                     // Release the offer reservation: the agent has allocated
                     // real VRAM, which the next heartbeat reports. Keeping
                     // the reservation would double-count the job's memory.
-                    if let Some(e) = self.dir.get_mut(node) {
-                        e.release(job);
-                    }
+                    self.dir.release(node, job);
+                    self.drop_hold(job);
                     self.db.allocate(job, node, vec![], now);
                     if migrated_back {
                         actions.push(CoordAction::JobEvent {
@@ -474,17 +565,7 @@ impl Coordinator {
                         });
                     }
                 } else {
-                    if let Some(e) = self.dir.get_mut(node) {
-                        e.release(job);
-                    }
-                    meta.excluded.push(node);
-                    meta.retries += 1;
-                    if meta.retries > self.config.max_retries {
-                        self.fail_job(now, job, &mut actions);
-                    } else {
-                        self.db.requeue_job(job);
-                        self.arm_pass(now);
-                    }
+                    self.offer_failed(now, job, node, &mut actions);
                 }
             }
             Message::WorkloadUpdate { status, exit_code } => {
@@ -555,31 +636,31 @@ impl Coordinator {
                     }
                 }
             }
-            Message::DepartureNotice { node, mode } => {
-                if let Some(e) = self.dir.get_mut(node) {
-                    e.reliability.record_interruption(now);
-                    match mode {
-                        gpunion_protocol::DepartureMode::Graceful { .. } => {
-                            e.liveness = NodeLiveness::Departing;
-                            self.db.set_node_state(node, NodeState::Departed);
-                            // Jobs will checkpoint; displacement happens when
-                            // the node goes offline (or per CheckpointDone).
-                        }
-                        gpunion_protocol::DepartureMode::Emergency => {
-                            self.node_lost(now, node, &mut actions);
-                        }
+            Message::DepartureNotice { node, mode } if self.dir.get(node).is_some() => {
+                self.dir.record_interruption(node, now);
+                match mode {
+                    gpunion_protocol::DepartureMode::Graceful { .. } => {
+                        self.dir.set_liveness(node, NodeLiveness::Departing);
+                        self.db.set_node_state(node, NodeState::Departed);
+                        // Jobs will checkpoint; displacement happens when
+                        // the node goes offline (or per CheckpointDone).
+                    }
+                    gpunion_protocol::DepartureMode::Emergency => {
+                        self.node_lost(now, node, &mut actions);
                     }
                 }
             }
             Message::PauseScheduling { node, paused } => {
-                if let Some(e) = self.dir.get_mut(node) {
-                    if e.liveness != NodeLiveness::Offline {
-                        e.liveness = if paused {
+                let liveness = self.dir.get(node).map(|e| e.liveness());
+                if liveness.is_some() && liveness != Some(NodeLiveness::Offline) {
+                    self.dir.set_liveness(
+                        node,
+                        if paused {
                             NodeLiveness::Paused
                         } else {
                             NodeLiveness::Active
-                        };
-                    }
+                        },
+                    );
                 }
                 self.db.set_node_state(
                     node,
@@ -606,18 +687,22 @@ impl Coordinator {
         for uid in self.dir.stale_nodes(now, timeout) {
             self.node_lost(now, uid, actions);
         }
+        // Expire migrate-back holds whose window has passed: the held
+        // capacity goes back to the pool and the preference lapses.
+        let window = self.config.migrate_back_window;
+        self.abandon_holds_where(now, |_, since| now.since(since) > window);
     }
 
     /// A node is gone (heartbeat loss or emergency departure): displace
     /// everything it was running.
     pub fn node_lost(&mut self, now: SimTime, node: NodeUid, actions: &mut Vec<CoordAction>) {
-        if let Some(e) = self.dir.get_mut(node) {
-            if e.liveness == NodeLiveness::Offline {
-                return;
-            }
-            e.liveness = NodeLiveness::Offline;
-            e.reliability.record_interruption(now);
+        match self.dir.get(node) {
+            None => return,
+            Some(e) if e.liveness() == NodeLiveness::Offline => return,
+            Some(_) => {}
         }
+        self.dir.set_liveness(node, NodeLiveness::Offline);
+        self.dir.record_interruption(node, now);
         self.db.set_node_state(node, NodeState::Unavailable);
         let displaced: Vec<JobId> = self
             .jobs
@@ -628,10 +713,9 @@ impl Coordinator {
         for job in displaced {
             self.displace_job(now, job, actions);
         }
-        if let Ok(c) = self
-            .metrics
-            .counter("nodes_lost_total", "node losses", labels([]))
-        {
+        // Migrate-back holds on the dead node are gone with it.
+        self.abandon_holds_where(now, |n, _| n == node);
+        if let Some(c) = &self.nodes_lost {
             c.inc();
         }
     }
@@ -644,9 +728,7 @@ impl Coordinator {
         };
         let from = meta.current_node.take().or(meta.offered_to.take());
         if let Some(n) = from {
-            if let Some(e) = self.dir.get_mut(n) {
-                e.release(job);
-            }
+            self.dir.release(n, job);
         }
         let meta = self.jobs.get_mut(&job).expect("still present");
         if let Some(n) = from {
@@ -655,26 +737,27 @@ impl Coordinator {
         let restore_seq = meta.latest_checkpoint.as_ref().map(|(s, _)| *s);
         meta.spec.restore_from_seq = restore_seq;
         meta.migrating_back = false;
+        // New placement epoch: rejections collected while the job was last
+        // being placed say nothing about the post-displacement world. In
+        // particular the original node must be offerable again, or
+        // migrate-back could never land (the fig3 gap).
+        meta.excluded.clear();
         self.db.requeue_job(job);
         actions.push(CoordAction::JobEvent {
             job,
             event: JobEvent::Requeued { restore_seq },
         });
         self.arm_pass(now);
-        if let Ok(c) = self
-            .metrics
-            .counter("jobs_displaced_total", "displacements", labels([]))
-        {
+        if let Some(c) = &self.jobs_displaced {
             c.inc();
         }
     }
 
     fn finish_job(&mut self, now: SimTime, job: JobId, actions: &mut Vec<CoordAction>) {
+        self.drop_hold(job);
         if let Some(meta) = self.jobs.remove(&job) {
             if let Some(node) = meta.current_node {
-                if let Some(e) = self.dir.get_mut(node) {
-                    e.release(job);
-                }
+                self.dir.release(node, job);
             }
             self.db.set_job_state(job, JobState::Completed);
             self.db.deallocate(job);
@@ -687,11 +770,10 @@ impl Coordinator {
     }
 
     fn fail_job(&mut self, now: SimTime, job: JobId, actions: &mut Vec<CoordAction>) {
+        self.drop_hold(job);
         if let Some(meta) = self.jobs.remove(&job) {
             if let Some(node) = meta.current_node.or(meta.offered_to) {
-                if let Some(e) = self.dir.get_mut(node) {
-                    e.release(job);
-                }
+                self.dir.release(node, job);
             }
             self.db.take_pending(job);
             self.db.set_job_state(job, JobState::Failed);
@@ -710,12 +792,33 @@ impl Coordinator {
         let Some(node) = meta.offered_to.take() else {
             return;
         };
-        if let Some(e) = self.dir.get_mut(node) {
-            e.release(job);
-        }
-        let meta = self.jobs.get_mut(&job).expect("present");
+        self.offer_failed(now, job, node, actions);
+    }
+
+    /// Shared tail of "the offer to `node` did not work out" — explicit
+    /// rejection and silent timeout take the same path: release the offer
+    /// reservation, exclude the node for this placement epoch, burn a
+    /// retry, give up on migrate-back if the refusing node was the home,
+    /// then requeue or fail.
+    fn offer_failed(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        node: NodeUid,
+        actions: &mut Vec<CoordAction>,
+    ) {
+        self.dir.release(node, job);
+        let Some(meta) = self.jobs.get_mut(&job) else {
+            return;
+        };
         meta.excluded.push(node);
         meta.retries += 1;
+        if meta.preferred == Some(node) {
+            // The home node itself refused: give up migrating back rather
+            // than spinning on a rejecting host.
+            self.abandon_migrate_back(now, job);
+        }
+        let meta = self.jobs.get_mut(&job).expect("present");
         if meta.retries > self.config.max_retries {
             self.fail_job(now, job, actions);
         } else {
@@ -740,20 +843,38 @@ impl Coordinator {
         for job in candidates {
             let meta = self.jobs.get_mut(&job).expect("just listed");
             meta.preferred = Some(node);
+            // A rejection from a past epoch must not veto the return home.
+            meta.excluded.retain(|u| *u != node);
             match meta.current_node {
                 None => {
-                    // Still queued: the preference alone steers the next pass.
+                    // Still queued: the preferred-node fast path in the next
+                    // pass places it home before the general drain runs.
                     self.arm_pass(now);
                 }
                 Some(current) if current != node => {
                     // Running elsewhere: checkpoint there, then preempt and
-                    // restore on the original node.
-                    meta.migrating_back = true;
-                    actions.push(CoordAction::Send {
-                        to: current,
-                        msg: Message::CheckpointRequest { job },
-                        delay: self.current_db_latency(),
-                    });
+                    // restore on the original node — but only after securing
+                    // the home slot with a hold, so the pass can't give it
+                    // away mid-round-trip. If the home can't cover the job
+                    // right now (a sibling displaced job may have taken the
+                    // capacity first), leave the healthy run alone; the
+                    // preference stays set for any future displacement.
+                    let spec = meta.spec.clone();
+                    if self.dir.is_candidate(node, &spec)
+                        && self
+                            .dir
+                            .reserve(node, job, spec.gpus, spec.gpu_mem_bytes, spec.min_cc)
+                    {
+                        let meta = self.jobs.get_mut(&job).expect("just listed");
+                        meta.home_hold = Some((node, now));
+                        meta.migrating_back = true;
+                        self.held_jobs.insert(job);
+                        actions.push(CoordAction::Send {
+                            to: current,
+                            msg: Message::CheckpointRequest { job },
+                            delay: self.current_db_latency(),
+                        });
+                    }
                 }
                 _ => {}
             }
@@ -762,13 +883,54 @@ impl Coordinator {
 
     // ---- the scheduling pass -------------------------------------------
 
-    /// One pass over the pending queue (round-robin over the priority queue
-    /// stored in the database, per §3.5).
+    /// One batched pass over the pending queue (priority order, per §3.5),
+    /// placing against the capacity index with incremental reservation
+    /// updates — each placement is visible to the next decision without
+    /// re-ranking anything.
+    ///
+    /// Runs in two phases: migrate-back candidates claim their preferred
+    /// (returning) node first, then the general drain picks per strategy.
     pub fn scheduling_pass(&mut self, now: SimTime, actions: &mut Vec<CoordAction>) {
         let db_latency = self.current_db_latency();
         let pending = self.db.pending_in_order();
         let mut cumulative = SimDuration::ZERO;
-        for job in pending {
+
+        // Phase 1: the preferred-node (migrate-back) fast path.
+        for &job in &pending {
+            let Some(meta) = self.jobs.get(&job) else {
+                continue;
+            };
+            if meta.offered_to.is_some() {
+                continue;
+            }
+            let Some(pref) = meta.preferred else {
+                continue;
+            };
+            if meta.excluded.contains(&pref) {
+                continue;
+            }
+            if meta.home_hold.is_some_and(|(n, _)| n != pref) {
+                // The preference re-pointed to a different returner since
+                // this hold was taken: the old hold is obsolete — release
+                // it so it can't pin capacity on the stale home or keep
+                // phase 2 from placing the job.
+                self.drop_hold(job);
+            }
+            let meta = self.jobs.get(&job).expect("present");
+            // The job's own held home slot counts as free for its check
+            // (read-only; a transient miss leaves the hold untouched).
+            if self.dir.is_candidate_for_holder(pref, &meta.spec, job) {
+                // Swap the hold (if any) for the offer reservation, taken
+                // atomically within this pass by dispatch_offer.
+                self.drop_hold(job);
+                cumulative += db_latency;
+                self.decision_latency.record(db_latency.as_secs_f64());
+                self.dispatch_offer(now, job, pref, cumulative, actions);
+            }
+        }
+
+        // Phase 2: drain the rest of the queue against the live index.
+        for &job in &pending {
             let Some(meta) = self.jobs.get(&job) else {
                 self.db.take_pending(job);
                 continue;
@@ -776,48 +938,60 @@ impl Coordinator {
             if meta.offered_to.is_some() {
                 continue;
             }
+            if meta.home_hold.is_some() {
+                // A live home hold means this job was deliberately
+                // preempted to move it home; don't scatter it to another
+                // node while the hold stands. The heartbeat sweep expires
+                // stale holds and re-opens general placement.
+                continue;
+            }
             // Each decision is one DB transaction.
             cumulative += db_latency;
             self.decision_latency.record(db_latency.as_secs_f64());
-            let mut ranked = self.selector.rank(&self.dir, &meta.spec, &meta.excluded);
-            if let Some(pref) = meta.preferred {
-                if let Some(pos) = ranked.iter().position(|u| *u == pref) {
-                    let p = ranked.remove(pos);
-                    ranked.insert(0, p);
-                }
-            }
-            let Some(target) = ranked.first().copied() else {
+            let Some(target) = self.selector.pick(&self.dir, &meta.spec, &meta.excluded) else {
                 continue; // nothing eligible; stays queued
             };
-            let spec = {
-                let meta = self.jobs.get_mut(&job).expect("present");
-                meta.offered_to = Some(target);
-                meta.spec.clone()
-            };
-            if let Some(e) = self.dir.get_mut(target) {
-                e.reserve(job, spec.gpus, spec.gpu_mem_bytes);
-            }
-            self.db.take_pending(job);
-            self.arm(
-                now + cumulative + self.config.offer_timeout,
-                CoordTimer::OfferTimeout(job),
-            );
-            actions.push(CoordAction::Send {
-                to: target,
-                msg: Message::Dispatch { spec },
-                delay: cumulative,
-            });
-            actions.push(CoordAction::JobEvent {
-                job,
-                event: JobEvent::Dispatched { node: target },
-            });
-            if let Ok(h) = self.metrics.histogram(
-                "scheduling_latency_seconds",
-                "per-decision scheduling latency",
-                labels([]),
-            ) {
-                h.observe(cumulative.as_secs_f64());
-            }
+            self.dispatch_offer(now, job, target, cumulative, actions);
+        }
+    }
+
+    /// Reserve, dequeue, and send one offer. Bails out (leaving the job
+    /// pending, no offer) if the reservation cannot be fully covered —
+    /// callers verify candidacy first, so this is a consistency backstop,
+    /// not a placement strategy.
+    fn dispatch_offer(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        target: NodeUid,
+        cumulative: SimDuration,
+        actions: &mut Vec<CoordAction>,
+    ) {
+        let spec = self.jobs.get(&job).expect("present").spec.clone();
+        if !self
+            .dir
+            .reserve(target, job, spec.gpus, spec.gpu_mem_bytes, spec.min_cc)
+        {
+            self.dir.release(target, job);
+            return;
+        }
+        self.jobs.get_mut(&job).expect("present").offered_to = Some(target);
+        self.db.take_pending(job);
+        self.arm(
+            now + cumulative + self.config.offer_timeout,
+            CoordTimer::OfferTimeout(job),
+        );
+        actions.push(CoordAction::Send {
+            to: target,
+            msg: Message::Dispatch { spec },
+            delay: cumulative,
+        });
+        actions.push(CoordAction::JobEvent {
+            job,
+            event: JobEvent::Dispatched { node: target },
+        });
+        if let Some(h) = &self.sched_latency {
+            h.observe(cumulative.as_secs_f64());
         }
     }
 

@@ -1,13 +1,23 @@
-//! The coordinator's view of every registered node.
+//! The coordinator's view of every registered node, behind an incrementally
+//! maintained capacity index.
 //!
 //! Built from registration inventories and refreshed by heartbeats, the
 //! directory answers the placement questions ("which nodes could run this
 //! job right now?") and tracks per-provider reliability — the paper's
 //! "provider reliability predictions and degradation mechanisms".
+//!
+//! Placement never rescans the world: every mutation (registration,
+//! heartbeat, reservation, release, liveness change) updates a
+//! [`CapacityIndex`] in place, and [`Directory::candidates`] answers
+//! eligibility queries from that index. The index prunes by free-VRAM
+//! bucket / compute capability / GPU speed tier and verifies each surviving
+//! node exactly, so its answers are identical to a brute-force scan
+//! (property-tested below) at a fraction of the cost.
 
 use gpunion_des::{SimDuration, SimTime};
-use gpunion_protocol::{GpuInfo, GpuStat, JobId, NodeUid};
-use std::collections::HashMap;
+use gpunion_protocol::{DispatchSpec, GpuInfo, GpuStat, JobId, NodeUid};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Liveness as seen from the coordinator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,8 +98,9 @@ pub struct NodeEntry {
     pub machine_id: String,
     /// Hostname.
     pub hostname: String,
-    /// Liveness.
-    pub liveness: NodeLiveness,
+    /// Liveness. Mutations go through [`Directory::set_liveness`] so the
+    /// capacity index stays consistent.
+    liveness: NodeLiveness,
     /// Last heartbeat receive time.
     pub last_heartbeat: SimTime,
     /// Last heartbeat sequence.
@@ -97,13 +108,15 @@ pub struct NodeEntry {
     /// Reliability statistics.
     pub reliability: Reliability,
     slots: Vec<GpuSlot>,
-    /// Reservations per job: (gpu count, bytes per gpu).
-    reservations: HashMap<JobId, (u8, u64)>,
+    /// Reservations per job: bytes per GPU plus the exact slot indices
+    /// debited, so release undoes precisely what reserve did even when a
+    /// reservation could only be partially satisfied.
+    reservations: HashMap<JobId, (u64, Vec<usize>)>,
 }
 
 impl NodeEntry {
     /// New entry at registration time.
-    pub fn new(
+    fn new(
         uid: NodeUid,
         machine_id: String,
         hostname: String,
@@ -131,13 +144,17 @@ impl NodeEntry {
         }
     }
 
+    /// Current liveness.
+    pub fn liveness(&self) -> NodeLiveness {
+        self.liveness
+    }
+
     /// GPU count.
     pub fn gpu_count(&self) -> usize {
         self.slots.len()
     }
 
-    /// Apply a heartbeat's telemetry.
-    pub fn apply_heartbeat(&mut self, now: SimTime, seq: u64, accepting: bool, stats: &[GpuStat]) {
+    fn apply_heartbeat(&mut self, now: SimTime, seq: u64, accepting: bool, stats: &[GpuStat]) {
         self.last_heartbeat = now;
         self.last_seq = seq;
         if self.liveness != NodeLiveness::Departing {
@@ -164,9 +181,50 @@ impl NodeEntry {
             .count()
     }
 
+    /// Can this node host `spec` right now (liveness aside)?
+    pub fn eligible_for(&self, spec: &DispatchSpec) -> bool {
+        self.eligible_gpus(spec.gpu_mem_bytes, spec.min_cc) >= spec.gpus as usize
+    }
+
+    /// Like [`Self::eligible_for`], but counting capacity reserved by
+    /// `holder` itself as free — a job's own held home slot must satisfy
+    /// that job's eligibility check without mutating any state. The credit
+    /// is applied to the slot's *reserved* bytes (what releasing the hold
+    /// would actually restore), so a slot whose reported free VRAM shrank
+    /// underneath the hold is not over-counted.
+    pub fn eligible_for_holder(&self, spec: &DispatchSpec, holder: JobId) -> bool {
+        let own = self.reservations.get(&holder);
+        let eligible = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                let credit = match own {
+                    Some((mem, taken)) if taken.contains(i) => *mem,
+                    _ => 0,
+                };
+                let avail = s.reported_free.saturating_sub(s.reserved - credit);
+                avail >= spec.gpu_mem_bytes
+                    && spec
+                        .min_cc
+                        .is_none_or(|(maj, min)| (s.info.cc_major, s.info.cc_minor) >= (maj, min))
+            })
+            .count();
+        eligible >= spec.gpus as usize
+    }
+
     /// Total effective free VRAM (for load-based ranking).
     pub fn total_free(&self) -> u64 {
         self.slots.iter().map(|s| s.effective_free()).sum()
+    }
+
+    /// Largest single-slot effective free VRAM (the index bucket input).
+    pub fn max_slot_free(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.effective_free())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Fastest eligible device's TFLOPS (speed-aware ranking).
@@ -177,32 +235,49 @@ impl NodeEntry {
             .fold(0.0, f64::max)
     }
 
-    /// Reserve capacity for an in-flight offer.
-    pub fn reserve(&mut self, job: JobId, gpus: u8, mem: u64) {
-        self.reservations.insert(job, (gpus, mem));
-        let mut left = gpus;
-        for slot in &mut self.slots {
-            if left == 0 {
-                break;
-            }
-            if slot.effective_free() >= mem {
-                slot.reserved += mem;
-                left -= 1;
-            }
-        }
+    /// Highest compute capability present on the node.
+    fn max_cc(&self) -> (u8, u8) {
+        self.slots
+            .iter()
+            .map(|s| (s.info.cc_major, s.info.cc_minor))
+            .max()
+            .unwrap_or((0, 0))
     }
 
-    /// Release a reservation (offer rejected, job finished, node lost).
-    pub fn release(&mut self, job: JobId) {
-        if let Some((gpus, mem)) = self.reservations.remove(&job) {
-            let mut left = gpus;
-            for slot in &mut self.slots {
-                if left == 0 {
-                    break;
-                }
-                if slot.reserved >= mem {
-                    slot.reserved -= mem;
-                    left -= 1;
+    /// Reserve `gpus` slots of `mem` bytes on slots meeting `min_cc` (the
+    /// same per-slot criterion `eligible_gpus` counts, so a reservation
+    /// paired with an eligibility check debits slots the job can actually
+    /// use). Idempotent per job (a stale reservation is dropped first, so
+    /// repeated migrate-back holds can't double-count). Records exactly
+    /// which slots were debited; returns false when fewer than `gpus`
+    /// qualifying slots had room — the partial debit is still tracked, so
+    /// release stays exact.
+    fn reserve(&mut self, job: JobId, gpus: u8, mem: u64, min_cc: Option<(u8, u8)>) -> bool {
+        self.release(job);
+        let mut taken = Vec::with_capacity(gpus as usize);
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if taken.len() == gpus as usize {
+                break;
+            }
+            let cc_ok = min_cc
+                .is_none_or(|(maj, min)| (slot.info.cc_major, slot.info.cc_minor) >= (maj, min));
+            if cc_ok && slot.effective_free() >= mem {
+                slot.reserved += mem;
+                taken.push(i);
+            }
+        }
+        let complete = taken.len() == gpus as usize;
+        self.reservations.insert(job, (mem, taken));
+        complete
+    }
+
+    /// Undo a reservation: credits back exactly the slots reserve debited,
+    /// so one job's release can never strip bytes from another's.
+    fn release(&mut self, job: JobId) {
+        if let Some((mem, taken)) = self.reservations.remove(&job) {
+            for i in taken {
+                if let Some(slot) = self.slots.get_mut(i) {
+                    slot.reserved = slot.reserved.saturating_sub(mem);
                 }
             }
         }
@@ -212,14 +287,230 @@ impl NodeEntry {
     pub fn reserved_jobs(&self) -> Vec<JobId> {
         self.reservations.keys().copied().collect()
     }
+
+    /// Does `job` hold a reservation here?
+    pub fn has_reservation(&self, job: JobId) -> bool {
+        self.reservations.contains_key(&job)
+    }
+}
+
+/// Free-VRAM bucket: floor(log2(bytes)), so bucket `b` holds nodes whose
+/// largest free slot is in `[2^b, 2^(b+1))`. A job needing `mem` bytes can
+/// only be served from buckets `>= bucket_of(mem)`.
+fn vram_bucket(bytes: u64) -> u8 {
+    if bytes == 0 {
+        0
+    } else {
+        (63 - bytes.leading_zeros()) as u8
+    }
+}
+
+/// GPU speed tier from peak FP32 TFLOPS. Monotone in TFLOPS, so tier order
+/// agrees with speed order across tiers; ties inside a tier are resolved by
+/// the exact value at ranking time.
+fn speed_tier(tflops: f64) -> u8 {
+    if tflops < 25.0 {
+        0
+    } else if tflops < 50.0 {
+        1
+    } else if tflops < 100.0 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Index class of a node: (free-VRAM bucket, compute capability, speed tier).
+///
+/// Ordered by bucket first so `candidates` can range-scan "every class with
+/// at least this much free per-slot VRAM". The tier keeps same-speed-class
+/// nodes co-located for tier-constrained queries; it is static per node
+/// (TFLOPS come from the registration inventory), so it never causes
+/// reclassification churn — only `bucket` moves as capacity changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ClassKey {
+    bucket: u8,
+    cc: (u8, u8),
+    tier: u8,
+}
+
+/// Where one node currently sits in the index (for in-place updates).
+#[derive(Debug, Clone, Copy)]
+struct IndexedAt {
+    class: ClassKey,
+    total_free: u64,
+    speed_bits: u64,
+    heartbeat: SimTime,
+}
+
+/// The incremental capacity index.
+///
+/// Maintains four ordered views over the *schedulable* (Active) nodes —
+/// by capacity class for eligibility pruning, by total free VRAM for
+/// least-loaded picks, by device speed for fastest-device picks, and by uid
+/// for round-robin — plus a heartbeat-recency view over all non-offline
+/// nodes for staleness sweeps. Every [`Directory`] mutation repositions the
+/// affected node in O(log n).
+#[derive(Debug, Default)]
+pub struct CapacityIndex {
+    /// (bucket, cc, tier) → members.
+    by_class: BTreeMap<ClassKey, BTreeSet<NodeUid>>,
+    /// (total effective free, uid): iterate in reverse for least-loaded.
+    /// `Reverse<NodeUid>` makes the reverse iteration tie-break on low uid.
+    by_free: BTreeSet<(u64, Reverse<NodeUid>)>,
+    /// (tflops bits, uid): iterate in reverse for fastest-device.
+    by_speed: BTreeSet<(u64, Reverse<NodeUid>)>,
+    /// Active nodes by uid (round-robin cursor scans).
+    by_uid: BTreeSet<NodeUid>,
+    /// (last heartbeat, uid) over non-offline nodes (staleness sweeps).
+    by_heartbeat: BTreeSet<(SimTime, NodeUid)>,
+    /// Current position of every tracked node.
+    entries: HashMap<NodeUid, IndexedAt>,
+    /// Nodes tracked only for heartbeat staleness (Paused/Departing).
+    unscheduled: HashMap<NodeUid, SimTime>,
+}
+
+impl CapacityIndex {
+    fn summarize(entry: &NodeEntry) -> IndexedAt {
+        IndexedAt {
+            class: ClassKey {
+                bucket: vram_bucket(entry.max_slot_free()),
+                cc: entry.max_cc(),
+                tier: speed_tier(entry.best_tflops()),
+            },
+            total_free: entry.total_free(),
+            speed_bits: entry.best_tflops().to_bits(),
+            heartbeat: entry.last_heartbeat,
+        }
+    }
+
+    fn remove_scheduled(&mut self, uid: NodeUid) {
+        if let Some(at) = self.entries.remove(&uid) {
+            if let Some(set) = self.by_class.get_mut(&at.class) {
+                set.remove(&uid);
+                if set.is_empty() {
+                    self.by_class.remove(&at.class);
+                }
+            }
+            self.by_free.remove(&(at.total_free, Reverse(uid)));
+            self.by_speed.remove(&(at.speed_bits, Reverse(uid)));
+            self.by_uid.remove(&uid);
+            self.by_heartbeat.remove(&(at.heartbeat, uid));
+        }
+    }
+
+    fn remove_unscheduled(&mut self, uid: NodeUid) {
+        if let Some(hb) = self.unscheduled.remove(&uid) {
+            self.by_heartbeat.remove(&(hb, uid));
+        }
+    }
+
+    /// Reposition only the capacity-derived views (class bucket, total
+    /// free) after a reservation change. Heartbeat recency, speed, and uid
+    /// views are untouched — this is the scheduling pass's per-placement
+    /// index update.
+    fn update_capacity(&mut self, entry: &NodeEntry) {
+        let uid = entry.uid;
+        let Some(at) = self.entries.get(&uid).copied() else {
+            // Not schedulable (non-Active): capacity views don't track it.
+            return;
+        };
+        let class = ClassKey {
+            bucket: vram_bucket(entry.max_slot_free()),
+            ..at.class
+        };
+        let total_free = entry.total_free();
+        if class != at.class {
+            if let Some(set) = self.by_class.get_mut(&at.class) {
+                set.remove(&uid);
+                if set.is_empty() {
+                    self.by_class.remove(&at.class);
+                }
+            }
+            self.by_class.entry(class).or_default().insert(uid);
+        }
+        if total_free != at.total_free {
+            self.by_free.remove(&(at.total_free, Reverse(uid)));
+            self.by_free.insert((total_free, Reverse(uid)));
+        }
+        let at = self.entries.get_mut(&uid).expect("present above");
+        at.class = class;
+        at.total_free = total_free;
+    }
+
+    /// Re-derive a node's index position from its current entry state.
+    fn refresh(&mut self, entry: &NodeEntry) {
+        let uid = entry.uid;
+        self.remove_scheduled(uid);
+        self.remove_unscheduled(uid);
+        match entry.liveness {
+            NodeLiveness::Active => {
+                let at = Self::summarize(entry);
+                self.by_class.entry(at.class).or_default().insert(uid);
+                self.by_free.insert((at.total_free, Reverse(uid)));
+                self.by_speed.insert((at.speed_bits, Reverse(uid)));
+                self.by_uid.insert(uid);
+                self.by_heartbeat.insert((at.heartbeat, uid));
+                self.entries.insert(uid, at);
+            }
+            NodeLiveness::Paused | NodeLiveness::Departing => {
+                self.by_heartbeat.insert((entry.last_heartbeat, uid));
+                self.unscheduled.insert(uid, entry.last_heartbeat);
+            }
+            NodeLiveness::Offline => {}
+        }
+    }
+
+    /// Schedulable (Active) node count.
+    pub fn schedulable(&self) -> usize {
+        self.by_uid.len()
+    }
+
+    /// Uids of classes that could serve a slot of `mem` bytes at `min_cc`,
+    /// largest-free classes first. Superset of the exact answer; callers
+    /// verify per node.
+    fn class_candidates<'a>(
+        &'a self,
+        mem: u64,
+        min_cc: Option<(u8, u8)>,
+    ) -> impl Iterator<Item = NodeUid> + 'a {
+        let floor = ClassKey {
+            bucket: vram_bucket(mem),
+            cc: (0, 0),
+            tier: 0,
+        };
+        self.by_class
+            .range(floor..)
+            .rev()
+            .filter(move |(k, _)| min_cc.is_none_or(|cc| k.cc >= cc))
+            .flat_map(|(_, set)| set.iter().copied())
+    }
+
+    pub(crate) fn by_free_desc(&self) -> impl Iterator<Item = NodeUid> + '_ {
+        self.by_free.iter().rev().map(|(_, Reverse(uid))| *uid)
+    }
+
+    pub(crate) fn by_speed_desc(&self) -> impl Iterator<Item = NodeUid> + '_ {
+        self.by_speed.iter().rev().map(|(_, Reverse(uid))| *uid)
+    }
+
+    /// Active uids starting at `cursor`, wrapping around once.
+    pub(crate) fn round_robin_from(&self, cursor: NodeUid) -> impl Iterator<Item = NodeUid> + '_ {
+        self.by_uid
+            .range(cursor..)
+            .chain(self.by_uid.range(..cursor))
+            .copied()
+    }
 }
 
 /// The whole directory.
 #[derive(Debug, Default)]
 pub struct Directory {
-    nodes: HashMap<NodeUid, NodeEntry>,
+    /// Ordered by uid so full iteration is deterministic.
+    nodes: BTreeMap<NodeUid, NodeEntry>,
     by_machine: HashMap<String, NodeUid>,
     next_uid: u64,
+    index: CapacityIndex,
 }
 
 impl Directory {
@@ -248,16 +539,16 @@ impl Directory {
             let mut entry =
                 NodeEntry::new(uid, machine_id.to_string(), hostname.to_string(), gpus, now);
             entry.reliability = reliability;
+            self.index.refresh(&entry);
             self.nodes.insert(uid, entry);
             return (uid, true);
         }
         let uid = NodeUid(self.next_uid);
         self.next_uid += 1;
         self.by_machine.insert(machine_id.to_string(), uid);
-        self.nodes.insert(
-            uid,
-            NodeEntry::new(uid, machine_id.to_string(), hostname.to_string(), gpus, now),
-        );
+        let entry = NodeEntry::new(uid, machine_id.to_string(), hostname.to_string(), gpus, now);
+        self.index.refresh(&entry);
+        self.nodes.insert(uid, entry);
         (uid, false)
     }
 
@@ -266,19 +557,72 @@ impl Directory {
         self.nodes.get(&uid)
     }
 
-    /// Mutable entry by uid.
-    pub fn get_mut(&mut self, uid: NodeUid) -> Option<&mut NodeEntry> {
-        self.nodes.get_mut(&uid)
+    /// Apply a heartbeat's telemetry. Returns false for unknown nodes.
+    pub fn apply_heartbeat(
+        &mut self,
+        uid: NodeUid,
+        now: SimTime,
+        seq: u64,
+        accepting: bool,
+        stats: &[GpuStat],
+    ) -> bool {
+        let Some(e) = self.nodes.get_mut(&uid) else {
+            return false;
+        };
+        e.apply_heartbeat(now, seq, accepting, stats);
+        self.index.refresh(e);
+        true
     }
 
-    /// All entries.
+    /// Reserve capacity on a node for an in-flight offer (idempotent per
+    /// job — re-reserving replaces the old reservation). Returns false if
+    /// the node is unknown or could not cover all `gpus` slots (callers
+    /// should release or avoid relying on a partial hold).
+    pub fn reserve(
+        &mut self,
+        uid: NodeUid,
+        job: JobId,
+        gpus: u8,
+        mem: u64,
+        min_cc: Option<(u8, u8)>,
+    ) -> bool {
+        if let Some(e) = self.nodes.get_mut(&uid) {
+            let complete = e.reserve(job, gpus, mem, min_cc);
+            self.index.update_capacity(e);
+            complete
+        } else {
+            false
+        }
+    }
+
+    /// Release a job's reservation (offer rejected, job finished, node
+    /// lost). No-op when none exists.
+    pub fn release(&mut self, uid: NodeUid, job: JobId) {
+        if let Some(e) = self.nodes.get_mut(&uid) {
+            e.release(job);
+            self.index.update_capacity(e);
+        }
+    }
+
+    /// Transition a node's liveness. Returns the previous liveness.
+    pub fn set_liveness(&mut self, uid: NodeUid, liveness: NodeLiveness) -> Option<NodeLiveness> {
+        let e = self.nodes.get_mut(&uid)?;
+        let prev = e.liveness;
+        e.liveness = liveness;
+        self.index.refresh(e);
+        Some(prev)
+    }
+
+    /// Record a provider interruption against a node's reliability stats.
+    pub fn record_interruption(&mut self, uid: NodeUid, now: SimTime) {
+        if let Some(e) = self.nodes.get_mut(&uid) {
+            e.reliability.record_interruption(now);
+        }
+    }
+
+    /// All entries, uid order.
     pub fn iter(&self) -> impl Iterator<Item = &NodeEntry> {
         self.nodes.values()
-    }
-
-    /// Mutable iteration.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut NodeEntry> {
-        self.nodes.values_mut()
     }
 
     /// Registered node count.
@@ -291,15 +635,58 @@ impl Directory {
         self.nodes.is_empty()
     }
 
-    /// Nodes whose last heartbeat is older than `timeout`, among live ones.
-    pub fn stale_nodes(&self, now: SimTime, timeout: SimDuration) -> Vec<NodeUid> {
+    /// Schedulable (Active) node count, from the index.
+    pub fn schedulable(&self) -> usize {
+        self.index.schedulable()
+    }
+
+    /// The capacity index (strategy-internal fast paths).
+    pub(crate) fn index(&self) -> &CapacityIndex {
+        &self.index
+    }
+
+    /// Nodes eligible to host `spec` right now, from the index: pruned by
+    /// (free-VRAM bucket, compute capability) class, then verified exactly.
+    /// Agrees with a brute-force scan over all Active entries.
+    pub fn candidates<'a>(
+        &'a self,
+        spec: &'a DispatchSpec,
+    ) -> impl Iterator<Item = &'a NodeEntry> + 'a {
+        self.index
+            .class_candidates(spec.gpu_mem_bytes, spec.min_cc)
+            .filter_map(move |uid| self.nodes.get(&uid))
+            .filter(move |e| e.eligible_for(spec))
+    }
+
+    /// Is `uid` Active and able to host `spec`? (Preferred-node fast path.)
+    pub fn is_candidate(&self, uid: NodeUid, spec: &DispatchSpec) -> bool {
         self.nodes
-            .values()
-            .filter(|e| {
-                !matches!(e.liveness, NodeLiveness::Offline)
-                    && now.since(e.last_heartbeat) > timeout
-            })
-            .map(|e| e.uid)
+            .get(&uid)
+            .map(|e| e.liveness == NodeLiveness::Active && e.eligible_for(spec))
+            .unwrap_or(false)
+    }
+
+    /// [`Self::is_candidate`] for a job that may itself hold a reservation
+    /// on `uid` (migrate-back home hold): the job's own held capacity
+    /// counts as free, without mutating the directory.
+    pub fn is_candidate_for_holder(&self, uid: NodeUid, spec: &DispatchSpec, job: JobId) -> bool {
+        self.nodes
+            .get(&uid)
+            .map(|e| e.liveness == NodeLiveness::Active && e.eligible_for_holder(spec, job))
+            .unwrap_or(false)
+    }
+
+    /// Nodes whose last heartbeat is older than `timeout`, among live ones.
+    /// Range scan over the heartbeat-recency view — O(log n + stale).
+    pub fn stale_nodes(&self, now: SimTime, timeout: SimDuration) -> Vec<NodeUid> {
+        let Some(cutoff) = now.checked_sub(timeout) else {
+            return Vec::new();
+        };
+        self.index
+            .by_heartbeat
+            .range(..(cutoff, NodeUid(u64::MAX)))
+            .filter(|(at, _)| now.since(*at) > timeout)
+            .map(|(_, uid)| *uid)
             .collect()
     }
 }
@@ -308,6 +695,7 @@ impl Directory {
 mod tests {
     use super::*;
     use gpunion_gpu::GpuModel;
+    use gpunion_protocol::ExecMode;
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -315,6 +703,44 @@ mod tests {
 
     fn gpus(n: usize, model: GpuModel) -> Vec<GpuInfo> {
         (0..n).map(|_| model.into()).collect()
+    }
+
+    fn spec(mem: u64, gpus: u8, min_cc: Option<(u8, u8)>) -> DispatchSpec {
+        DispatchSpec {
+            job: JobId(1),
+            image_repo: "r".into(),
+            image_tag: "t".into(),
+            image_digest: [0; 32],
+            gpus,
+            gpu_mem_bytes: mem,
+            min_cc,
+            mode: ExecMode::Batch {
+                entrypoint: vec!["x".into()],
+            },
+            checkpoint_interval_secs: 600,
+            storage_nodes: vec![],
+            state_bytes_hint: 0,
+            restore_from_seq: None,
+            priority: 1,
+        }
+    }
+
+    /// The ground truth `candidates` must match.
+    fn brute_force(d: &Directory, s: &DispatchSpec) -> Vec<NodeUid> {
+        let mut v: Vec<NodeUid> = d
+            .iter()
+            .filter(|e| e.liveness() == NodeLiveness::Active)
+            .filter(|e| e.eligible_for(s))
+            .map(|e| e.uid)
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn indexed(d: &Directory, s: &DispatchSpec) -> Vec<NodeUid> {
+        let mut v: Vec<NodeUid> = d.candidates(s).map(|e| e.uid).collect();
+        v.sort();
+        v
     }
 
     #[test]
@@ -329,16 +755,14 @@ mod tests {
         assert_eq!(a, a2);
         assert!(ret);
         assert_eq!(d.len(), 2);
+        assert_eq!(d.schedulable(), 2);
     }
 
     #[test]
     fn returning_node_keeps_reliability_history() {
         let mut d = Directory::new();
         let (uid, _) = d.register("m-1", "ws-1", gpus(1, GpuModel::Rtx3090), t(0));
-        d.get_mut(uid)
-            .unwrap()
-            .reliability
-            .record_interruption(t(3600));
+        d.record_interruption(uid, t(3600));
         let before = d.get(uid).unwrap().reliability.interruptions;
         let (_, ret) = d.register("m-1", "ws-1", gpus(1, GpuModel::Rtx3090), t(7200));
         assert!(ret);
@@ -365,12 +789,11 @@ mod tests {
                 power_w: 25.0,
             },
         ];
-        d.get_mut(uid)
-            .unwrap()
-            .apply_heartbeat(t(5), 1, true, &stats);
+        assert!(d.apply_heartbeat(uid, t(5), 1, true, &stats));
         let e = d.get(uid).unwrap();
         assert_eq!(e.eligible_gpus(8 << 30, None), 1);
         assert_eq!(e.eligible_gpus(1 << 30, None), 2);
+        assert!(!d.apply_heartbeat(NodeUid(99), t(5), 1, true, &stats));
     }
 
     #[test]
@@ -380,20 +803,57 @@ mod tests {
         let e = d.get(uid).unwrap();
         assert_eq!(e.eligible_gpus(1, Some((8, 0))), 1);
         assert_eq!(e.eligible_gpus(1, Some((8, 6))), 0, "A100 is CC 8.0");
+        // The index agrees on both queries.
+        assert_eq!(indexed(&d, &spec(1, 1, Some((8, 0)))), vec![uid]);
+        assert!(indexed(&d, &spec(1, 1, Some((8, 6)))).is_empty());
     }
 
     #[test]
     fn reservations_reduce_capacity_and_release() {
         let mut d = Directory::new();
         let (uid, _) = d.register("m-1", "x", gpus(1, GpuModel::Rtx3090), t(0));
-        let e = d.get_mut(uid).unwrap();
-        e.reserve(JobId(1), 1, 20 << 30);
-        assert_eq!(e.eligible_gpus(10 << 30, None), 0);
-        e.release(JobId(1));
-        assert_eq!(e.eligible_gpus(10 << 30, None), 1);
+        d.reserve(uid, JobId(1), 1, 20 << 30, None);
+        assert_eq!(d.get(uid).unwrap().eligible_gpus(10 << 30, None), 0);
+        assert!(indexed(&d, &spec(10 << 30, 1, None)).is_empty());
+        d.release(uid, JobId(1));
+        assert_eq!(d.get(uid).unwrap().eligible_gpus(10 << 30, None), 1);
+        assert_eq!(indexed(&d, &spec(10 << 30, 1, None)), vec![uid]);
         // Double release is harmless.
-        e.release(JobId(1));
-        assert_eq!(e.eligible_gpus(10 << 30, None), 1);
+        d.release(uid, JobId(1));
+        assert_eq!(d.get(uid).unwrap().eligible_gpus(10 << 30, None), 1);
+    }
+
+    #[test]
+    fn partial_reservation_release_cannot_strip_a_sibling_hold() {
+        // One 24 GB GPU; two 16 GB holds. The second can't be satisfied —
+        // its release must not dismantle the first hold's reservation.
+        let mut d = Directory::new();
+        let (uid, _) = d.register("m-1", "x", gpus(1, GpuModel::Rtx3090), t(0));
+        assert!(
+            d.reserve(uid, JobId(1), 1, 16 << 30, None),
+            "first hold fits"
+        );
+        assert!(
+            !d.reserve(uid, JobId(2), 1, 16 << 30, None),
+            "second cannot"
+        );
+        d.release(uid, JobId(2));
+        // Job 1's hold still stands: only 8 GB effectively free.
+        assert_eq!(d.get(uid).unwrap().total_free(), 8 << 30);
+        assert!(indexed(&d, &spec(16 << 30, 1, None)).is_empty());
+        d.release(uid, JobId(1));
+        assert_eq!(d.get(uid).unwrap().total_free(), 24 << 30);
+    }
+
+    #[test]
+    fn re_reserving_a_job_is_idempotent() {
+        let mut d = Directory::new();
+        let (uid, _) = d.register("m-1", "x", gpus(1, GpuModel::Rtx3090), t(0));
+        d.reserve(uid, JobId(1), 1, 8 << 30, None);
+        d.reserve(uid, JobId(1), 1, 8 << 30, None);
+        // One release restores everything: no double-counted slot bytes.
+        d.release(uid, JobId(1));
+        assert_eq!(d.get(uid).unwrap().total_free(), 24 << 30);
     }
 
     #[test]
@@ -401,10 +861,32 @@ mod tests {
         let mut d = Directory::new();
         let (a, _) = d.register("m-1", "x", gpus(1, GpuModel::Rtx3090), t(0));
         let (b, _) = d.register("m-2", "y", gpus(1, GpuModel::Rtx3090), t(0));
-        d.get_mut(a).unwrap().apply_heartbeat(t(100), 1, true, &[]);
+        d.apply_heartbeat(a, t(100), 1, true, &[]);
         // b never heartbeats after registration at t=0; a is 12 s fresh.
         let stale = d.stale_nodes(t(112), SimDuration::from_secs(15));
         assert_eq!(stale, vec![b]);
+        // Early in the run nothing can be stale (no underflow).
+        assert!(d.stale_nodes(t(5), SimDuration::from_secs(15)).is_empty());
+        // Offline nodes leave the staleness view.
+        d.set_liveness(b, NodeLiveness::Offline);
+        assert!(d.stale_nodes(t(112), SimDuration::from_secs(15)).is_empty());
+    }
+
+    #[test]
+    fn liveness_gates_candidacy() {
+        let mut d = Directory::new();
+        let (uid, _) = d.register("m-1", "x", gpus(1, GpuModel::Rtx3090), t(0));
+        let s = spec(1 << 30, 1, None);
+        assert!(d.is_candidate(uid, &s));
+        assert_eq!(
+            d.set_liveness(uid, NodeLiveness::Paused),
+            Some(NodeLiveness::Active)
+        );
+        assert!(!d.is_candidate(uid, &s));
+        assert!(indexed(&d, &s).is_empty());
+        assert_eq!(d.schedulable(), 0);
+        d.set_liveness(uid, NodeLiveness::Active);
+        assert_eq!(indexed(&d, &s), vec![uid]);
     }
 
     #[test]
@@ -417,5 +899,90 @@ mod tests {
         let s2 = r.score();
         assert!(s1 < 1.0);
         assert!(s2 < s1);
+    }
+
+    #[test]
+    fn candidates_match_brute_force_on_heterogeneous_fleet() {
+        let mut d = Directory::new();
+        let models = [
+            GpuModel::Rtx3090,
+            GpuModel::Rtx4090,
+            GpuModel::A100_40,
+            GpuModel::A100_80,
+            GpuModel::A6000,
+        ];
+        for (i, m) in models.iter().cycle().take(25).enumerate() {
+            d.register(
+                &format!("m-{i}"),
+                &format!("h-{i}"),
+                gpus(1 + i % 3, *m),
+                t(0),
+            );
+        }
+        for mem_gb in [1u64, 8, 20, 30, 47, 60, 100] {
+            for n_gpus in [1u8, 2, 3] {
+                for cc in [None, Some((8, 0)), Some((8, 6)), Some((8, 9)), Some((9, 0))] {
+                    let s = spec(mem_gb << 30, n_gpus, cc);
+                    assert_eq!(
+                        indexed(&d, &s),
+                        brute_force(&d, &s),
+                        "{mem_gb}GB×{n_gpus} {cc:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// `candidates` must agree with the brute-force full scan after any
+        /// interleaving of registrations, heartbeats, reservations,
+        /// releases, and liveness flips.
+        #[test]
+        fn prop_candidates_agree_with_full_scan(
+            ops in proptest::collection::vec((0u8..6, 0u64..12, 0u64..48), 1..120),
+            mem_gb in 0u64..80,
+            want_gpus in 1u8..4,
+            cc_minor in proptest::option::of(0u8..10),
+        ) {
+            let models = GpuModel::ALL;
+            let mut d = Directory::new();
+            for (op, a, b) in ops {
+                match op {
+                    0 => {
+                        let m = models[(a % 5) as usize];
+                        let n = 1 + (b % 4) as usize;
+                        d.register(&format!("m-{}", a), "h", gpus(n, m), t(b));
+                    }
+                    1 => {
+                        let stats: Vec<GpuStat> = (0..4)
+                            .map(|i| GpuStat {
+                                memory_used: (b.wrapping_mul(i + 1) % 48) << 30,
+                                memory_total: 48 << 30,
+                                utilization: 0.5,
+                                temperature_c: 50.0,
+                                power_w: 200.0,
+                            })
+                            .collect();
+                        d.apply_heartbeat(NodeUid(a), t(b), b, b % 3 != 0, &stats);
+                    }
+                    2 => {
+                        d.reserve(NodeUid(a), JobId(b), 1 + (b % 2) as u8, (b % 24) << 30, None);
+                    }
+                    3 => d.release(NodeUid(a), JobId(b)),
+                    4 => {
+                        let l = match b % 4 {
+                            0 => NodeLiveness::Active,
+                            1 => NodeLiveness::Paused,
+                            2 => NodeLiveness::Departing,
+                            _ => NodeLiveness::Offline,
+                        };
+                        d.set_liveness(NodeUid(a), l);
+                    }
+                    _ => d.record_interruption(NodeUid(a), t(b)),
+                }
+            }
+            let s = spec(mem_gb << 30, want_gpus, cc_minor.map(|m| (8, m)));
+            proptest::prop_assert_eq!(indexed(&d, &s), brute_force(&d, &s));
+        }
     }
 }

@@ -599,4 +599,162 @@ mod tests {
             }
         )));
     }
+
+    /// The migrate-back fast path must claim the returning node before the
+    /// general drain hands its slot to an earlier queue position.
+    #[test]
+    fn migrate_back_fast_path_beats_queue_order() {
+        // 16 GB jobs: one per 24 GB node, so the home slot is contended.
+        let big_spec = || DispatchSpec {
+            gpu_mem_bytes: 16 << 30,
+            ..spec()
+        };
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let n1 = register(&mut coord, t(1), "m-1");
+        let n2 = register(&mut coord, t(1), "m-2");
+        heartbeat(&mut coord, t(2), n1, 1);
+        heartbeat(&mut coord, t(2), n2, 1);
+        // Fill both nodes.
+        let (job_a, _) = coord.submit_job(t(3), big_spec());
+        drive(&mut coord, t(4));
+        let home = coord
+            .directory()
+            .iter()
+            .find(|e| e.has_reservation(job_a))
+            .map(|e| e.uid)
+            .expect("offered somewhere");
+        coord.handle_message(
+            t(5),
+            Message::DispatchReply {
+                job: job_a,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        let other = if home == n1 { n2 } else { n1 };
+        let (job_b, _) = coord.submit_job(t(6), big_spec());
+        drive(&mut coord, t(7));
+        coord.handle_message(
+            t(8),
+            Message::DispatchReply {
+                job: job_b,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        // Heartbeats report both nodes fully used; a backlog job queues
+        // ahead of everything.
+        let full = GpuStat {
+            memory_used: 24 << 30,
+            memory_total: 24 << 30,
+            utilization: 1.0,
+            temperature_c: 70.0,
+            power_w: 300.0,
+        };
+        coord.handle_message(
+            t(9),
+            Message::Heartbeat {
+                node: home,
+                seq: 2,
+                accepting: true,
+                gpu_stats: vec![full],
+                workloads: vec![],
+            },
+        );
+        coord.handle_message(
+            t(9),
+            Message::Heartbeat {
+                node: other,
+                seq: 2,
+                accepting: true,
+                gpu_stats: vec![full],
+                workloads: vec![],
+            },
+        );
+        let (backlog, _) = coord.submit_job(t(10), big_spec());
+        drive(&mut coord, t(11));
+        // Home dies: job_a displaced, queued BEHIND the backlog job.
+        let mut actions = Vec::new();
+        coord.node_lost(t(12), home, &mut actions);
+        assert_eq!(
+            coord.db().pending_in_order(),
+            vec![backlog, job_a],
+            "displaced job re-queues behind the backlog"
+        );
+        // Home returns fresh: the fast path must place job_a there even
+        // though the backlog job is first in dispatch order.
+        let machine = if home == n1 { "m-1" } else { "m-2" };
+        coord.handle_message(
+            t(20),
+            Message::Register {
+                machine_id: machine.into(),
+                hostname: "back".into(),
+                gpus: vec![GpuModel::Rtx3090.into()],
+                agent_version: 1,
+            },
+        );
+        heartbeat(&mut coord, t(21), home, 1);
+        let actions = drive(&mut coord, t(22));
+        let dispatches: Vec<(NodeUid, JobId)> = actions
+            .iter()
+            .filter_map(|a| match a {
+                CoordAction::Send {
+                    to,
+                    msg: Message::Dispatch { spec },
+                    ..
+                } => Some((*to, spec.job)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            dispatches,
+            vec![(home, job_a)],
+            "displaced job goes home; backlog job must not steal the slot"
+        );
+    }
+
+    /// Rejections accumulated before a displacement are a stale epoch: the
+    /// node that once refused the job (e.g. while full) must be offerable
+    /// again after the job is displaced.
+    #[test]
+    fn displacement_resets_rejection_exclusions() {
+        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
+        coord.start(t(0));
+        let n1 = register(&mut coord, t(1), "m-1");
+        let n2 = register(&mut coord, t(1), "m-2");
+        heartbeat(&mut coord, t(2), n1, 1);
+        heartbeat(&mut coord, t(2), n2, 1);
+        let (job, _) = coord.submit_job(t(3), spec());
+        let actions = drive(&mut coord, t(4));
+        let (first, _) = find_dispatch(&actions).expect("dispatch");
+        // First target rejects; retry lands on the second node.
+        coord.handle_message(
+            t(5),
+            Message::DispatchReply {
+                job,
+                accepted: false,
+                reason: "busy".into(),
+            },
+        );
+        let actions = drive(&mut coord, t(6));
+        let (second, _) = find_dispatch(&actions).expect("second dispatch");
+        assert_ne!(first, second);
+        coord.handle_message(
+            t(7),
+            Message::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            },
+        );
+        // The hosting node dies; the once-rejecting node is the only one
+        // left and must be offered the displaced job.
+        let mut actions = Vec::new();
+        coord.node_lost(t(10), second, &mut actions);
+        heartbeat(&mut coord, t(11), first, 2);
+        let actions = drive(&mut coord, t(12));
+        let (target, j) = find_dispatch(&actions).expect("re-dispatch after displacement");
+        assert_eq!((target, j), (first, job), "stale exclusion was cleared");
+    }
 }

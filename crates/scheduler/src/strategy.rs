@@ -1,4 +1,4 @@
-//! Allocation strategies.
+//! Allocation strategies over the capacity index.
 //!
 //! §3.2: "The scheduler implements multiple allocation strategies, including
 //! distribution for fairness and assignment based on priority for
@@ -6,8 +6,17 @@
 //! into placement (§3.5). Each strategy ranks the eligible nodes for one
 //! job; the coordinator dispatches to the first and falls through on
 //! rejection.
+//!
+//! Strategies never scan the whole directory. [`Selector::pick`] — the hot
+//! path the batched scheduling pass drains jobs through — pops from the
+//! index's ordered views (free-capacity order, device-speed order, uid order
+//! for round-robin), verifying each popped node exactly, so a placement
+//! decision is O(log n) on a fleet where most nodes are eligible.
+//! [`Selector::rank`] returns the full ordering (diagnostics, tests,
+//! embedding loops that want fallbacks) over the index's pre-filtered
+//! candidate set.
 
-use crate::directory::{Directory, NodeEntry, NodeLiveness};
+use crate::directory::{Directory, NodeEntry};
 use gpunion_protocol::{DispatchSpec, NodeUid};
 use serde::{Deserialize, Serialize};
 
@@ -32,7 +41,8 @@ pub enum Strategy {
 #[derive(Debug)]
 pub struct Selector {
     strategy: Strategy,
-    rr_cursor: usize,
+    /// Round-robin resumes scanning at this uid.
+    rr_cursor: NodeUid,
 }
 
 impl Selector {
@@ -40,7 +50,7 @@ impl Selector {
     pub fn new(strategy: Strategy) -> Self {
         Selector {
             strategy,
-            rr_cursor: 0,
+            rr_cursor: NodeUid(0),
         }
     }
 
@@ -51,33 +61,71 @@ impl Selector {
 
     fn eligible<'a>(
         dir: &'a Directory,
+        spec: &'a DispatchSpec,
+        exclude: &'a [NodeUid],
+    ) -> impl Iterator<Item = &'a NodeEntry> + 'a {
+        dir.candidates(spec).filter(|e| !exclude.contains(&e.uid))
+    }
+
+    fn reliability_score(e: &NodeEntry) -> f64 {
+        e.total_free() as f64 * e.reliability.score()
+    }
+
+    /// The single best node for `spec`, advancing round-robin state. This
+    /// is the scheduling pass's fast path: ordered index views are popped
+    /// and verified until one eligible node survives — near-O(1) when most
+    /// of the fleet qualifies, never worse than the pre-filtered candidate
+    /// set.
+    pub fn pick(
+        &mut self,
+        dir: &Directory,
         spec: &DispatchSpec,
         exclude: &[NodeUid],
-    ) -> Vec<&'a NodeEntry> {
-        dir.iter()
-            .filter(|e| e.liveness == NodeLiveness::Active)
-            .filter(|e| !exclude.contains(&e.uid))
-            .filter(|e| e.eligible_gpus(spec.gpu_mem_bytes, spec.min_cc) >= spec.gpus as usize)
-            .collect()
+    ) -> Option<NodeUid> {
+        let ok = |uid: &NodeUid| !exclude.contains(uid) && dir.is_candidate(*uid, spec);
+        match self.strategy {
+            Strategy::RoundRobin => {
+                let hit = dir.index().round_robin_from(self.rr_cursor).find(ok)?;
+                self.rr_cursor = NodeUid(hit.0 + 1);
+                Some(hit)
+            }
+            Strategy::LeastLoaded => dir.index().by_free_desc().find(ok),
+            Strategy::FastestDevice => dir.index().by_speed_desc().find(ok),
+            Strategy::ReliabilityAware => Self::eligible(dir, spec, exclude)
+                .max_by(|a, b| {
+                    Self::reliability_score(a)
+                        .partial_cmp(&Self::reliability_score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // On equal score prefer the lower uid (rank order).
+                        .then(b.uid.cmp(&a.uid))
+                })
+                .map(|e| e.uid),
+        }
     }
 
     /// Rank eligible nodes for `spec`, best first. `exclude` lists nodes
-    /// that already rejected this job (or just failed).
+    /// that already rejected this job (or just failed). Orders the index's
+    /// candidate set without touching ineligible nodes. Like [`Self::pick`]
+    /// this counts as a placement turn: under round-robin it advances the
+    /// shared cursor, so don't interleave it with `pick` on one selector
+    /// expecting the rotation to be unaffected.
     pub fn rank(
         &mut self,
         dir: &Directory,
         spec: &DispatchSpec,
         exclude: &[NodeUid],
     ) -> Vec<NodeUid> {
-        let mut nodes = Self::eligible(dir, spec, exclude);
+        let mut nodes: Vec<&NodeEntry> = Self::eligible(dir, spec, exclude).collect();
         match self.strategy {
             Strategy::RoundRobin => {
-                // Stable order, then rotate by the cursor.
+                // Uid order, starting from the cursor (wrapping).
                 nodes.sort_by_key(|e| e.uid);
-                if !nodes.is_empty() {
-                    let k = self.rr_cursor % nodes.len();
+                let k = nodes.partition_point(|e| e.uid < self.rr_cursor);
+                if k < nodes.len() {
                     nodes.rotate_left(k);
-                    self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                }
+                if let Some(front) = nodes.first() {
+                    self.rr_cursor = NodeUid(front.uid.0 + 1);
                 }
             }
             Strategy::LeastLoaded => {
@@ -85,10 +133,8 @@ impl Selector {
             }
             Strategy::ReliabilityAware => {
                 nodes.sort_by(|a, b| {
-                    let score_a = a.total_free() as f64 * a.reliability.score();
-                    let score_b = b.total_free() as f64 * b.reliability.score();
-                    score_b
-                        .partial_cmp(&score_a)
+                    Self::reliability_score(b)
+                        .partial_cmp(&Self::reliability_score(a))
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.uid.cmp(&b.uid))
                 });
@@ -109,6 +155,7 @@ impl Selector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::directory::NodeLiveness;
     use gpunion_des::SimTime;
     use gpunion_gpu::GpuModel;
     use gpunion_protocol::{ExecMode, GpuInfo, JobId};
@@ -157,13 +204,41 @@ mod tests {
         let mut sel = Selector::new(Strategy::RoundRobin);
         let first: Vec<NodeUid> = (0..3).map(|_| sel.rank(&d, &spec(4), &[])[0]).collect();
         assert_eq!(first, uids, "each pass starts at the next node");
+        // The cursor wraps back around.
+        assert_eq!(sel.rank(&d, &spec(4), &[])[0], uids[0]);
+    }
+
+    #[test]
+    fn pick_matches_rank_front_for_every_strategy() {
+        for strategy in [
+            Strategy::RoundRobin,
+            Strategy::LeastLoaded,
+            Strategy::ReliabilityAware,
+            Strategy::FastestDevice,
+        ] {
+            let (mut d, uids) = three_node_dir();
+            d.reserve(uids[2], JobId(9), 1, 40 << 30, None);
+            d.record_interruption(uids[1], t(9_000));
+            // Two independent selectors must agree pick == rank[0].
+            let mut a = Selector::new(strategy);
+            let mut b = Selector::new(strategy);
+            for round in 0..4 {
+                let ranked = a.rank(&d, &spec(4), &[]);
+                let picked = b.pick(&d, &spec(4), &[]);
+                assert_eq!(
+                    picked,
+                    ranked.first().copied(),
+                    "{strategy:?} round {round}"
+                );
+            }
+        }
     }
 
     #[test]
     fn least_loaded_prefers_free_vram() {
         let (mut d, uids) = three_node_dir();
         // Reserve most of node 2 (A6000, 48 GB): big but busy.
-        d.get_mut(uids[2]).unwrap().reserve(JobId(9), 1, 40 << 30);
+        d.reserve(uids[2], JobId(9), 1, 40 << 30, None);
         let mut sel = Selector::new(Strategy::LeastLoaded);
         let ranked = sel.rank(&d, &spec(4), &[]);
         // 3090/4090 both 24 GB free > A6000's 8 GB remaining.
@@ -175,10 +250,7 @@ mod tests {
         let (mut d, uids) = three_node_dir();
         // Node 1 (4090) interrupts constantly.
         for day in 1..6 {
-            d.get_mut(uids[1])
-                .unwrap()
-                .reliability
-                .record_interruption(t(day * 10_000));
+            d.record_interruption(uids[1], t(day * 10_000));
         }
         let mut sel = Selector::new(Strategy::ReliabilityAware);
         let ranked = sel.rank(&d, &spec(4), &[]);
@@ -191,6 +263,8 @@ mod tests {
         let mut sel = Selector::new(Strategy::FastestDevice);
         let ranked = sel.rank(&d, &spec(4), &[]);
         assert_eq!(ranked[0], uids[1], "RTX 4090 has the highest TFLOPS");
+        let mut sel = Selector::new(Strategy::FastestDevice);
+        assert_eq!(sel.pick(&d, &spec(4), &[]), Some(uids[1]));
     }
 
     #[test]
@@ -203,15 +277,24 @@ mod tests {
         // Excluding it leaves nothing.
         let ranked = sel.rank(&d, &spec(30), &[uids[2]]);
         assert!(ranked.is_empty());
+        assert_eq!(sel.pick(&d, &spec(30), &[uids[2]]), None);
     }
 
     #[test]
     fn paused_and_offline_nodes_excluded() {
         let (mut d, uids) = three_node_dir();
-        d.get_mut(uids[0]).unwrap().liveness = NodeLiveness::Paused;
-        d.get_mut(uids[1]).unwrap().liveness = NodeLiveness::Offline;
+        d.set_liveness(uids[0], NodeLiveness::Paused);
+        d.set_liveness(uids[1], NodeLiveness::Offline);
         let mut sel = Selector::new(Strategy::RoundRobin);
         let ranked = sel.rank(&d, &spec(4), &[]);
         assert_eq!(ranked, vec![uids[2]]);
+    }
+
+    #[test]
+    fn round_robin_pick_spreads_across_the_fleet() {
+        let (d, uids) = three_node_dir();
+        let mut sel = Selector::new(Strategy::RoundRobin);
+        let picks: Vec<NodeUid> = (0..6).filter_map(|_| sel.pick(&d, &spec(4), &[])).collect();
+        assert_eq!(picks, [&uids[..], &uids[..]].concat(), "wraps twice");
     }
 }

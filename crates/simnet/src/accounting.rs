@@ -57,8 +57,11 @@ pub struct Accounting {
     class_buckets: BTreeMap<(TrafficClass, u64), f64>,
     /// (link, class) → total bytes over the whole run.
     link_class_totals: HashMap<(LinkId, TrafficClass), f64>,
-    /// (link, bucket index) → bytes across all classes (for link peaks).
-    link_buckets: HashMap<(LinkId, u64), f64>,
+    /// (link, class, bucket index) → bytes: per-link per-class peaks, e.g.
+    /// "checkpoint share of the backbone link during its worst minute".
+    /// All-class link peaks are derived from this at report time (ordered
+    /// map so derived float sums are iteration-order deterministic).
+    link_class_buckets: BTreeMap<(LinkId, TrafficClass, u64), f64>,
     total_bytes: f64,
 }
 
@@ -71,7 +74,7 @@ impl Accounting {
             bucket,
             class_buckets: BTreeMap::new(),
             link_class_totals: HashMap::new(),
-            link_buckets: HashMap::new(),
+            link_class_buckets: BTreeMap::new(),
             total_bytes: 0.0,
         }
     }
@@ -104,7 +107,10 @@ impl Accounting {
         if span.is_zero() {
             let b = self.bucket_index(from);
             *self.class_buckets.entry((class, b)).or_insert(0.0) += bytes;
-            *self.link_buckets.entry((link, b)).or_insert(0.0) += bytes;
+            *self
+                .link_class_buckets
+                .entry((link, class, b))
+                .or_insert(0.0) += bytes;
             return;
         }
         let total_secs = span.as_secs_f64();
@@ -116,7 +122,10 @@ impl Accounting {
             let frac = seg_end.since(cursor).as_secs_f64() / total_secs;
             let part = bytes * frac;
             *self.class_buckets.entry((class, b)).or_insert(0.0) += part;
-            *self.link_buckets.entry((link, b)).or_insert(0.0) += part;
+            *self
+                .link_class_buckets
+                .entry((link, class, b))
+                .or_insert(0.0) += part;
             cursor = seg_end;
         }
     }
@@ -174,14 +183,38 @@ impl Accounting {
         self.class_total(class) / secs
     }
 
-    /// Peak per-bucket throughput on one link, all classes, bytes/sec.
-    pub fn link_peak_rate(&self, link: LinkId) -> f64 {
+    /// Peak per-bucket throughput of one class on one link, bytes/sec —
+    /// the quantity behind "checkpoint traffic stays under X% of the
+    /// backbone during its worst minute".
+    pub fn link_class_peak_rate(&self, link: LinkId, class: TrafficClass) -> f64 {
         let w = self.bucket.as_secs_f64();
-        self.link_buckets
+        self.link_class_buckets
             .iter()
-            .filter(|((l, _), _)| *l == link)
+            .filter(|((l, c, _), _)| *l == link && *c == class)
             .map(|(_, v)| v / w)
             .fold(0.0, f64::max)
+    }
+
+    /// Mean throughput of one class on one link over `[0, end)`, bytes/sec.
+    pub fn link_class_mean_rate(&self, link: LinkId, class: TrafficClass, end: SimTime) -> f64 {
+        let secs = end.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.link_class_total(link, class) / secs
+    }
+
+    /// Peak per-bucket throughput on one link, all classes, bytes/sec.
+    /// Derived from the per-class buckets at report time.
+    pub fn link_peak_rate(&self, link: LinkId) -> f64 {
+        let w = self.bucket.as_secs_f64();
+        let mut per_bucket: BTreeMap<u64, f64> = BTreeMap::new();
+        for ((l, _, b), v) in &self.link_class_buckets {
+            if *l == link {
+                *per_bucket.entry(*b).or_insert(0.0) += v;
+            }
+        }
+        per_bucket.values().map(|v| v / w).fold(0.0, f64::max)
     }
 }
 

@@ -157,6 +157,14 @@ impl Topology {
         (li.a, li.b)
     }
 
+    /// The link directly connecting two nodes, if one exists.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        (0..self.links.len() as u32).map(LinkId).find(|&l| {
+            let (x, y) = self.link_endpoints(l);
+            (x, y) == (a, b) || (x, y) == (b, a)
+        })
+    }
+
     /// Mark a node up or down. Invalidates the route cache.
     pub fn set_node_up(&mut self, n: NodeId, up: bool) {
         if self.nodes[n.0 as usize].up != up {

@@ -211,3 +211,27 @@ fn deterministic_replay() {
     let b = run(7);
     assert_eq!(a, b, "same seed ⇒ identical run");
 }
+
+/// Regression for the fig3 migrate-back gap: under temporary provider
+/// unavailability, displaced workloads must return to their original node
+/// when the provider reconnects, at a rate near the paper's 67 %. This
+/// broke twice before: harvested workloads leaked their GPU allocation (the
+/// returning node advertised zero free VRAM forever), and stale rejection
+/// exclusions could veto the home node after a displacement.
+#[test]
+fn migrate_back_tracks_paper_rate_under_temporary_unavailability() {
+    let report = gpunion::core::run_fig3(7, 1.5, 42);
+    assert!(
+        report.temporary.displacements > 0,
+        "the scenario must displace work via temporary unavailability"
+    );
+    let rate = report.migrate_back_rate();
+    assert!(
+        (0.52..=0.82).contains(&rate),
+        "migrate-back rate {:.0}% outside paper's 67% ± 15 points \
+         ({} of {} temporary displacements)",
+        rate * 100.0,
+        report.temporary.migrated_back,
+        report.temporary.displacements,
+    );
+}
