@@ -4,63 +4,21 @@
 //! `scheduling_pass` times the indexed batched pass. `fullscan_reference`
 //! reproduces the pre-index algorithm — per pending job, collect every
 //! eligible node from a full directory scan, then sort — on identical
-//! directory state, so the speedup is measured like-for-like. Both use
-//! `iter_batched_ref`, which drops the (large) coordinator outside the
-//! timed region: the quantity under test is scheduling latency, not
-//! allocator teardown.
+//! directory state, so the speedup is measured like-for-like. `db_queue`
+//! times the write-queue actor itself: submit + drain of a heartbeat-scale
+//! write burst, the per-write data-structure cost underneath the emergent
+//! §5.2 latency. All use `iter_batched_ref`, which drops the (large)
+//! state outside the timed region: the quantity under test is scheduling
+//! latency, not allocator teardown.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpunion_bench::{bench_spec, loaded_coordinator};
+use gpunion_db::{DbActor, DbActorConfig, WriteIntent};
 use gpunion_des::SimTime;
-use gpunion_gpu::GpuModel;
-use gpunion_protocol::{DispatchSpec, ExecMode, JobId, Message, NodeUid};
-use gpunion_scheduler::{Coordinator, CoordinatorConfig, NodeLiveness};
-
-fn spec() -> DispatchSpec {
-    DispatchSpec {
-        job: JobId(0),
-        image_repo: "r".into(),
-        image_tag: "t".into(),
-        image_digest: [1; 32],
-        gpus: 1,
-        gpu_mem_bytes: 8 << 30,
-        min_cc: None,
-        mode: ExecMode::Batch {
-            entrypoint: vec!["x".into()],
-        },
-        checkpoint_interval_secs: 600,
-        storage_nodes: vec![],
-        state_bytes_hint: 0,
-        restore_from_seq: None,
-        priority: 1,
-    }
-}
-
-fn coordinator_with(n: usize) -> Coordinator {
-    let mut c = Coordinator::new(CoordinatorConfig::default(), 1);
-    c.start(SimTime::ZERO);
-    for i in 0..n {
-        c.handle_message(
-            SimTime::from_secs(1),
-            Message::Register {
-                machine_id: format!("m-{i}"),
-                hostname: format!("h-{i}"),
-                gpus: vec![GpuModel::Rtx3090.into()],
-                agent_version: 1,
-            },
-        );
-    }
-    c
-}
+use gpunion_protocol::NodeUid;
+use gpunion_scheduler::NodeLiveness;
 
 const PENDING_JOBS: usize = 20;
-
-fn loaded(n: usize) -> Coordinator {
-    let mut coord = coordinator_with(n);
-    for _ in 0..PENDING_JOBS {
-        coord.submit_job(SimTime::from_secs(2), spec());
-    }
-    coord
-}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduling_pass");
@@ -70,10 +28,10 @@ fn bench(c: &mut Criterion) {
     for n in [10usize, 50, 200, 400, 2_000, 10_000] {
         g.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
             b.iter_batched_ref(
-                || loaded(n),
+                || loaded_coordinator(n, PENDING_JOBS),
                 |coord| {
                     let mut actions = Vec::new();
-                    coord.scheduling_pass(SimTime::from_secs(3), &mut actions);
+                    coord.scheduling_pass(SimTime::from_secs(3700), &mut actions);
                     actions
                 },
                 criterion::BatchSize::SmallInput,
@@ -87,10 +45,10 @@ fn bench(c: &mut Criterion) {
     for n in [400usize, 2_000, 10_000] {
         g.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
             b.iter_batched_ref(
-                || loaded(n),
+                || loaded_coordinator(n, PENDING_JOBS),
                 |coord| {
                     let dir = coord.directory();
-                    let job = spec();
+                    let job = bench_spec();
                     let mut placed = Vec::with_capacity(PENDING_JOBS);
                     for _ in 0..PENDING_JOBS {
                         let mut eligible: Vec<NodeUid> = dir
@@ -103,6 +61,27 @@ fn bench(c: &mut Criterion) {
                         placed.push(eligible.first().copied());
                     }
                     placed
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+
+    // The write-queue actor's own data-structure cost: one heartbeat
+    // burst (submit per node) plus the drain that applies it.
+    let mut g = c.benchmark_group("db_queue");
+    for n in [400usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("writes", n), &n, |b, &n| {
+            b.iter_batched_ref(
+                || DbActor::new(DbActorConfig::default(), 1),
+                |actor| {
+                    let now = SimTime::from_secs(1);
+                    for i in 0..n as u64 {
+                        actor.try_submit(now, WriteIntent::NodeSeen(NodeUid(i)));
+                    }
+                    actor.advance(SimTime::MAX);
+                    actor.applied_writes()
                 },
                 criterion::BatchSize::SmallInput,
             );

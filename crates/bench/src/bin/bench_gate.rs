@@ -1,0 +1,125 @@
+//! CI bench-regression gate.
+//!
+//! Measures the scheduler's headline performance numbers — wall-clock
+//! scheduling-pass latency at 400 and 10 000 nodes (the quantities
+//! EXPERIMENTS.md §5.2 quotes) plus the simulated database write-queue
+//! figures at 400 nodes — writes them to `BENCH_scheduler.json`, and
+//! fails (exit 1) if a wall-clock number regressed more than
+//! `BENCH_GATE_FACTOR`× (default 2×) over the checked-in baseline.
+//! The 2× headroom absorbs runner-to-runner hardware variance; a real
+//! algorithmic regression (the pre-index full scan was 3–160× slower)
+//! still trips it.
+//!
+//! Usage:
+//!
+//! ```console
+//! bench_gate                          # gate against the default baseline
+//! bench_gate --write-baseline <path>  # re-record the baseline (no gate)
+//! bench_gate --baseline <p> --out <p> # explicit paths
+//! ```
+//!
+//! The simulated values (write latency, queue depth) are deterministic
+//! and reported for the workflow artifact; only wall-clock values gate.
+
+use gpunion_bench::{contention_knee_run, loaded_coordinator};
+use gpunion_des::SimTime;
+use std::time::Instant;
+
+const DEFAULT_BASELINE: &str = "crates/bench/baseline/BENCH_scheduler.json";
+const DEFAULT_OUT: &str = "BENCH_scheduler.json";
+const PENDING_JOBS: usize = 20;
+
+/// Median wall-clock nanoseconds of one 20-job scheduling pass at `n`
+/// nodes (setup excluded, like the criterion harness).
+fn pass_ns(n: usize, iters: usize) -> u64 {
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let mut coord = loaded_coordinator(n, PENDING_JOBS);
+            let mut actions = Vec::new();
+            let t0 = Instant::now();
+            coord.scheduling_pass(SimTime::from_secs(3700), &mut actions);
+            let dt = t0.elapsed().as_nanos() as u64;
+            assert!(!actions.is_empty(), "pass placed nothing at {n} nodes");
+            dt
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Minimal extractor for the flat JSON this binary writes.
+fn json_f64(s: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = s.find(&pat)? + pat.len();
+    let rest = s[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_path = flag("--baseline").unwrap_or_else(|| DEFAULT_BASELINE.into());
+    let out_path = flag("--out").unwrap_or_else(|| DEFAULT_OUT.into());
+    let write_baseline = flag("--write-baseline");
+
+    eprintln!("bench_gate: measuring scheduling pass (400 / 10k nodes)…");
+    let p400 = pass_ns(400, 31);
+    let p10k = pass_ns(10_000, 11);
+    eprintln!("bench_gate: measuring db write queue at 400 nodes…");
+    let knee = contention_knee_run(400, 7);
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"pass_ns_400\": {p400},\n  \"pass_ns_10k\": {p10k},\n  \
+         \"db_write_latency_ms_400\": {:.3},\n  \"db_queue_depth_peak_400\": {}\n}}\n",
+        knee.measured_latency_ms, knee.peak_queue_depth
+    );
+    let target = write_baseline.clone().unwrap_or_else(|| out_path.clone());
+    std::fs::write(&target, &json).unwrap_or_else(|e| panic!("write {target}: {e}"));
+    println!("{json}");
+
+    if write_baseline.is_some() {
+        eprintln!("bench_gate: baseline re-recorded at {target}; no gate applied");
+        return;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: no baseline at {baseline_path} ({e}); failing");
+            std::process::exit(1);
+        }
+    };
+    let factor: f64 = std::env::var("BENCH_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let mut failed = false;
+    for (key, measured) in [("pass_ns_400", p400 as f64), ("pass_ns_10k", p10k as f64)] {
+        let Some(base) = json_f64(&baseline, key) else {
+            eprintln!("bench_gate: baseline missing {key}; failing");
+            failed = true;
+            continue;
+        };
+        let ratio = measured / base;
+        let verdict = if ratio > factor { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "bench_gate: {key}: {measured:.0} ns vs baseline {base:.0} ns ({ratio:.2}×) {verdict}"
+        );
+        if ratio > factor {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("bench_gate: FAIL — latency regressed more than {factor}× over {baseline_path}");
+        std::process::exit(1);
+    }
+    eprintln!("bench_gate: PASS");
+}

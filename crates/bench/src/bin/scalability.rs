@@ -2,63 +2,41 @@
 //! ~50 nodes with sub-second scheduling latency; beyond ~200 nodes the
 //! heartbeat write rate saturates the database and latency explodes.
 //!
+//! Since the DbActor split (DESIGN.md §3b) the reported write latency is
+//! **measured** — the mean sojourn of heartbeat status writes through the
+//! database actor's bounded queue — with the M/M/1 formula printed next
+//! to it as the validation oracle it now is. The `100-job pass` column is
+//! the emergent end-to-end latency of draining a 100-job backlog, where
+//! each decision's dequeue transaction waits behind every earlier write.
+//!
 //! Usage: `scalability [seed]`
 
-use gpunion_des::{SimDuration, SimTime};
-use gpunion_gpu::GpuModel;
-use gpunion_protocol::{DispatchSpec, ExecMode, JobId, Message};
-use gpunion_scheduler::{CoordAction, Coordinator, CoordinatorConfig};
-
-fn spec() -> DispatchSpec {
-    DispatchSpec {
-        job: JobId(0),
-        image_repo: "pytorch/pytorch".into(),
-        image_tag: "2.3".into(),
-        image_digest: [1; 32],
-        gpus: 1,
-        gpu_mem_bytes: 8 << 30,
-        min_cc: None,
-        mode: ExecMode::Batch {
-            entrypoint: vec!["python".into()],
-        },
-        checkpoint_interval_secs: 600,
-        storage_nodes: vec![],
-        state_bytes_hint: 1 << 30,
-        restore_from_seq: None,
-        priority: 1,
-    }
-}
+use gpunion_bench::{contention_knee_run, loaded_coordinator};
+use gpunion_des::SimTime;
+use gpunion_scheduler::CoordAction;
 
 fn main() {
-    println!("== Scalability: scheduling latency vs node count ==");
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
+    println!("== Scalability: emergent DB write latency vs node count ==");
     println!(
-        "{:<8} {:>14} {:>14} {:>18}",
-        "nodes", "db util", "tx latency", "100-job pass (ms)"
+        "{:<8} {:>9} {:>13} {:>13} {:>11} {:>7} {:>18}",
+        "nodes",
+        "db util",
+        "measured tx",
+        "M/M/1 oracle",
+        "peak depth",
+        "shed",
+        "100-job pass (ms)"
     );
     for n in [10usize, 25, 50, 100, 150, 200, 250, 300, 400] {
-        let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(SimTime::ZERO);
-        for i in 0..n {
-            coord.handle_message(
-                SimTime::from_secs(1),
-                Message::Register {
-                    machine_id: format!("m-{i}"),
-                    hostname: format!("h-{i}"),
-                    gpus: vec![GpuModel::Rtx3090.into()],
-                    agent_version: 1,
-                },
-            );
-        }
-        let tx = coord.current_db_latency();
-        let util = gpunion_db::ContentionModel::default().utilization(
-            gpunion_db::ContentionModel::heartbeat_write_rate(n, SimDuration::from_secs(5), 2.0),
-        );
-        // Simulated end-to-end pass latency for a 100-job backlog.
-        for _ in 0..100 {
-            coord.submit_job(SimTime::from_secs(2), spec());
-        }
+        let row = contention_knee_run(n, seed);
+        // Emergent end-to-end latency of one 100-job scheduling pass.
+        let mut coord = loaded_coordinator(n, 100);
         let mut actions = Vec::new();
-        coord.scheduling_pass(SimTime::from_secs(3), &mut actions);
+        coord.scheduling_pass(SimTime::from_secs(3700), &mut actions);
         let last_delay = actions
             .iter()
             .filter_map(|a| match a {
@@ -67,10 +45,13 @@ fn main() {
             })
             .fold(0.0, f64::max);
         println!(
-            "{:<8} {:>13.0}% {:>14} {:>18.1}",
-            n,
-            util * 100.0,
-            format!("{tx}"),
+            "{:<8} {:>8.0}% {:>10.1} ms {:>10.1} ms {:>11} {:>7} {:>18.1}",
+            row.nodes,
+            row.utilization * 100.0,
+            row.measured_latency_ms,
+            row.model_latency_ms,
+            row.peak_queue_depth,
+            row.shed_writes,
             last_delay * 1000.0
         );
     }

@@ -1,4 +1,4 @@
-//! Database contention model.
+//! Database contention model — the validation oracle.
 //!
 //! §5.2: "the central coordinator handles up to 50 nodes with sub-second
 //! scheduling latency. However, beyond 200 nodes, heartbeat monitoring and
@@ -7,6 +7,14 @@
 //! it. An M/M/1 waiting-time model captures the knee: latency is flat while
 //! utilization is low and explodes as the write rate approaches the service
 //! rate.
+//!
+//! This formula used to *be* the latency the coordinator paid. Since the
+//! DbActor split (DESIGN.md §3b) latency is **emergent** from the actor's
+//! real write queue ([`crate::actor`]); nothing on a behavioural path calls
+//! [`ContentionModel::transaction_latency`] anymore. It survives as the
+//! oracle the actor is regression-tested against: under Poisson traffic the
+//! emergent sojourn time must track this curve below the knee and blow up
+//! past it (`actor::tests::emergent_latency_*`).
 
 use gpunion_des::SimDuration;
 use serde::{Deserialize, Serialize};

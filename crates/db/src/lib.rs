@@ -7,13 +7,18 @@
 //! * [`wal`] — checksummed write-ahead log with torn-tail recovery.
 //! * [`store`] — typed tables (nodes, jobs, allocations) plus the pending
 //!   priority queue the round-robin scheduler consumes (§3.5).
-//! * [`contention`] — the M/M/1 latency model behind §5.2's scalability
-//!   limits (fine at 50 nodes, knee near 200).
+//! * [`actor`] — the write-queue actor (DESIGN.md §3b): every mutation is
+//!   a typed [`WriteIntent`] through a bounded inbox, so §5.2's write
+//!   latency is emergent from real queue depth.
+//! * [`contention`] — the M/M/1 formula, demoted from mechanism to
+//!   validation oracle for the actor's emergent latency.
 
+pub mod actor;
 pub mod contention;
 pub mod store;
 pub mod wal;
 
+pub use actor::{DbActor, DbActorConfig, WriteIntent};
 pub use contention::ContentionModel;
 pub use store::{AllocationRecord, JobRecord, JobState, NodeRecord, NodeState, SystemDb};
 pub use wal::{crc32, Lsn, Recovery, Wal};

@@ -38,6 +38,9 @@ pub struct NodeRecord {
     pub gpu_count: u8,
     /// Registration time.
     pub registered_at: SimTime,
+    /// Last heartbeat status write (§3.2 monitoring; refreshed by
+    /// [`SystemDb::record_heartbeat`]).
+    pub last_seen: SimTime,
     /// Current liveness.
     pub state: NodeState,
 }
@@ -150,9 +153,23 @@ impl SystemDb {
         true
     }
 
-    /// All nodes in a given state.
-    pub fn nodes_in_state(&self, state: NodeState) -> Vec<&NodeRecord> {
-        self.nodes.values().filter(|n| n.state == state).collect()
+    /// Heartbeat status write: refresh a node's `last_seen` column.
+    /// Monitoring churn is not WAL-logged (it needs no durability — the
+    /// next heartbeat supersedes it), but it is a write transaction and
+    /// counts as one. Returns false if the node is unknown.
+    pub fn record_heartbeat(&mut self, uid: NodeUid, at: SimTime) -> bool {
+        let Some(n) = self.nodes.get_mut(&uid) else {
+            return false;
+        };
+        n.last_seen = at;
+        self.writes += 1;
+        true
+    }
+
+    /// All nodes in a given state, in uid order. Returns an iterator —
+    /// this sits on monitoring paths that must not allocate per call.
+    pub fn nodes_in_state(&self, state: NodeState) -> impl Iterator<Item = &NodeRecord> + '_ {
+        self.nodes.values().filter(move |n| n.state == state)
     }
 
     /// Count of registered nodes.
@@ -275,20 +292,23 @@ impl SystemDb {
         self.allocations.get(&job)
     }
 
-    /// Jobs currently allocated on a node.
-    pub fn jobs_on_node(&self, node: NodeUid) -> Vec<JobId> {
+    /// Jobs currently allocated on a node, in job-id order. Returns an
+    /// iterator — node-loss sweeps call this per lost node and must not
+    /// allocate per call.
+    pub fn jobs_on_node(&self, node: NodeUid) -> impl Iterator<Item = JobId> + '_ {
         self.allocations
             .values()
-            .filter(|a| a.node == node)
+            .filter(move |a| a.node == node)
             .map(|a| a.job)
-            .collect()
     }
 
-    /// Remove an allocation (job finished or was torn down).
+    /// Remove an allocation (job finished or was torn down). Durable:
+    /// recovery must not resurrect a freed slot, so the removal is
+    /// WAL-logged like the allocation was.
     pub fn deallocate(&mut self, job: JobId) -> bool {
         let existed = self.allocations.remove(&job).is_some();
         if existed {
-            self.writes += 1;
+            self.log("dealloc", job.0);
         }
         existed
     }
@@ -308,6 +328,7 @@ mod tests {
             hostname: format!("ws-{uid}"),
             gpu_count: 1,
             registered_at: t(0),
+            last_seen: t(0),
             state: NodeState::Active,
         }
     }
@@ -320,9 +341,22 @@ mod tests {
         assert_eq!(db.node_count(), 2);
         assert_eq!(db.node(NodeUid(1)).unwrap().hostname, "ws-1");
         assert!(db.set_node_state(NodeUid(2), NodeState::Unavailable));
-        assert_eq!(db.nodes_in_state(NodeState::Active).len(), 1);
-        assert_eq!(db.nodes_in_state(NodeState::Unavailable).len(), 1);
+        assert_eq!(db.nodes_in_state(NodeState::Active).count(), 1);
+        assert_eq!(db.nodes_in_state(NodeState::Unavailable).count(), 1);
         assert!(!db.set_node_state(NodeUid(9), NodeState::Active));
+    }
+
+    #[test]
+    fn heartbeat_write_updates_last_seen_only() {
+        let mut db = SystemDb::new();
+        db.upsert_node(node(1));
+        let wal0 = db.wal_bytes();
+        let w0 = db.write_count();
+        assert!(db.record_heartbeat(NodeUid(1), t(42)));
+        assert_eq!(db.node(NodeUid(1)).unwrap().last_seen, t(42));
+        assert_eq!(db.write_count(), w0 + 1, "status write counted");
+        assert_eq!(db.wal_bytes(), wal0, "monitoring churn is not WAL-logged");
+        assert!(!db.record_heartbeat(NodeUid(9), t(42)), "unknown node");
     }
 
     #[test]
@@ -349,7 +383,10 @@ mod tests {
         assert_eq!(db.job(JobId(1)).unwrap().state, JobState::Allocated);
         let a = db.allocation(JobId(1)).unwrap();
         assert_eq!(a.node, NodeUid(3));
-        assert_eq!(db.jobs_on_node(NodeUid(3)), vec![JobId(1)]);
+        assert_eq!(
+            db.jobs_on_node(NodeUid(3)).collect::<Vec<_>>(),
+            vec![JobId(1)]
+        );
     }
 
     #[test]
@@ -380,6 +417,44 @@ mod tests {
         let mut db = SystemDb::new();
         assert!(!db.take_pending(JobId(404)));
         assert!(!db.requeue_job(JobId(404)));
+    }
+
+    /// Failure paths must not leave partial state behind: an unknown-job
+    /// take/requeue/deallocate is a clean no-op (no write counted, no WAL
+    /// growth, no phantom queue entry).
+    #[test]
+    fn unknown_job_operations_leave_no_trace() {
+        let mut db = SystemDb::new();
+        db.submit_job(JobId(1), t(0), 1);
+        let w0 = db.write_count();
+        let wal0 = db.wal_bytes();
+        assert!(!db.take_pending(JobId(404)));
+        assert!(!db.requeue_job(JobId(404)));
+        assert!(!db.deallocate(JobId(404)));
+        assert!(!db.set_job_state(JobId(404), JobState::Failed));
+        assert_eq!(db.write_count(), w0, "no write counted for no-ops");
+        assert_eq!(db.wal_bytes(), wal0, "no WAL growth for no-ops");
+        assert_eq!(db.pending_count(), 1, "real queue entry untouched");
+    }
+
+    /// WAL byte accounting across the allocation lifecycle: allocate and
+    /// deallocate are both durable, and a second deallocate appends
+    /// nothing.
+    #[test]
+    fn wal_accounts_deallocate_once() {
+        let mut db = SystemDb::new();
+        db.submit_job(JobId(1), t(0), 1);
+        db.allocate(JobId(1), NodeUid(3), vec![0], t(5));
+        let after_alloc = db.wal_bytes();
+        assert!(db.deallocate(JobId(1)));
+        let after_dealloc = db.wal_bytes();
+        assert!(
+            after_dealloc > after_alloc,
+            "deallocate must be WAL-logged (recovery must not resurrect the slot)"
+        );
+        assert!(!db.deallocate(JobId(1)), "already gone");
+        assert_eq!(db.wal_bytes(), after_dealloc, "double-free appends nothing");
+        assert!(db.jobs_on_node(NodeUid(3)).next().is_none());
     }
 
     #[test]

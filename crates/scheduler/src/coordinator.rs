@@ -8,9 +8,14 @@
 //! designed to handle dynamic resource volatility" (§3.2).
 //!
 //! Like the agent, the coordinator is passive: messages and timer wakes go
-//! in, [`CoordAction`]s come out. Every dispatch decision pays the database
-//! transaction latency from [`ContentionModel`], which is what the
-//! scalability experiment (§5.2) measures as the node count grows.
+//! in, [`CoordAction`]s come out. Every mutation of the system database
+//! travels as a fire-and-forget [`WriteIntent`] through the [`DbActor`]'s
+//! bounded write queue (DESIGN.md §3b); a dispatch decision's latency is
+//! the emergent sojourn time of its own write — queue wait plus service —
+//! which is what the scalability experiment (§5.2) measures as the node
+//! count grows. The coordinator only ever *reads* the database through
+//! snapshot accessors within a turn; it holds no references into actor
+//! state.
 //!
 //! A scheduling pass is batched: it drains the pending queue once against
 //! the directory's capacity index, reserving capacity as it places so later
@@ -21,7 +26,7 @@
 
 use crate::directory::{Directory, NodeLiveness};
 use crate::strategy::{Selector, Strategy};
-use gpunion_db::{ContentionModel, JobState, NodeRecord, NodeState, SystemDb};
+use gpunion_db::{DbActor, DbActorConfig, JobState, NodeRecord, NodeState, SystemDb, WriteIntent};
 use gpunion_des::{Online, SimDuration, SimTime};
 use gpunion_protocol::{
     AuthToken, DispatchSpec, Envelope, JobId, KillReason, Message, NodeUid, TokenRegistry,
@@ -103,8 +108,8 @@ pub struct CoordinatorConfig {
     pub max_retries: u32,
     /// How long to wait for a DispatchReply before treating it as a reject.
     pub offer_timeout: SimDuration,
-    /// Extra DB write traffic beyond heartbeats (scheduling, monitoring).
-    pub extra_db_write_hz: f64,
+    /// Database write-queue parameters (service time, inbox bound).
+    pub db: DbActorConfig,
 }
 
 impl Default for CoordinatorConfig {
@@ -116,7 +121,7 @@ impl Default for CoordinatorConfig {
             migrate_back_window: SimDuration::from_mins(30),
             max_retries: 5,
             offer_timeout: SimDuration::from_secs(10),
-            extra_db_write_hz: 2.0,
+            db: DbActorConfig::default(),
         }
     }
 }
@@ -151,7 +156,7 @@ enum CoordTimer {
 /// The coordinator.
 pub struct Coordinator {
     config: CoordinatorConfig,
-    db: SystemDb,
+    db: DbActor,
     dir: Directory,
     tokens: TokenRegistry,
     selector: Selector,
@@ -162,7 +167,6 @@ pub struct Coordinator {
     /// node-loss scans walk this (holds are rare) instead of every job.
     held_jobs: BTreeSet<JobId>,
     next_job: u64,
-    contention: ContentionModel,
     timers: BTreeMap<(SimTime, u64), CoordTimer>,
     timer_seq: u64,
     pass_armed: bool,
@@ -198,16 +202,16 @@ impl Coordinator {
         let nodes_lost = metrics
             .counter("nodes_lost_total", "node losses", labels([]))
             .ok();
+        let db = DbActor::new(config.db, seed ^ 0xD8);
         Coordinator {
             config,
-            db: SystemDb::new(),
+            db,
             dir: Directory::new(),
             tokens: TokenRegistry::new(),
             selector,
             jobs: BTreeMap::new(),
             held_jobs: BTreeSet::new(),
             next_job: 1,
-            contention: ContentionModel::default(),
             timers: BTreeMap::new(),
             timer_seq: 0,
             pass_armed: false,
@@ -234,9 +238,31 @@ impl Coordinator {
         &self.dir
     }
 
-    /// The system database (read access for harnesses).
+    /// Snapshot of the system-database tables (read access for harnesses).
+    /// Valid only within the current turn — in-flight writes apply on the
+    /// next [`Coordinator::on_wake`].
     pub fn db(&self) -> &SystemDb {
+        self.db.state()
+    }
+
+    /// The database write-queue actor (queue-depth / latency telemetry).
+    pub fn db_actor(&self) -> &DbActor {
         &self.db
+    }
+
+    /// Reset the database actor's latency/backlog telemetry — experiment
+    /// harnesses call this after a warm-up phase so steady-state numbers
+    /// exclude the boot-time registration storm.
+    pub fn reset_db_telemetry(&mut self) {
+        self.db.reset_telemetry();
+    }
+
+    /// Apply database writes whose service completed by `now` without
+    /// firing any coordinator timers. Benchmark scaffolding: lets a
+    /// harness settle the write queue between setup steps while keeping
+    /// the scheduling pass under its own control.
+    pub fn apply_db_writes(&mut self, now: SimTime) {
+        self.db.advance(now);
     }
 
     /// Scheduling decision latency statistics (the §5.2 quantity).
@@ -262,30 +288,34 @@ impl Coordinator {
     fn arm_pass(&mut self, now: SimTime) {
         if !self.pass_armed {
             self.pass_armed = true;
-            // A pass runs after the current DB transaction latency — this is
-            // where scheduling latency grows with scale.
-            let delay = self.current_db_latency();
+            // A pass runs once the write queue has drained the transactions
+            // submitted so far (its own enqueues included) — this is where
+            // scheduling latency grows with scale: the deeper the backlog,
+            // the later the pass.
+            let delay = self.db.write_latency_estimate(now);
             self.arm(now + delay, CoordTimer::SchedulePass);
         }
     }
 
-    /// The database transaction latency at the current cluster size.
-    pub fn current_db_latency(&self) -> SimDuration {
-        let rate = ContentionModel::heartbeat_write_rate(
-            self.dir.len(),
-            self.config.heartbeat_period,
-            self.config.extra_db_write_hz,
-        );
-        self.contention.transaction_latency(rate)
+    /// The emergent database write latency right now: residual write-queue
+    /// backlog plus one mean service time (the §5.2 quantity).
+    pub fn db_write_latency(&self, now: SimTime) -> SimDuration {
+        self.db.write_latency_estimate(now)
     }
 
-    /// Next wake time.
+    /// Next wake time (earliest timer or database write completion).
     pub fn next_wake(&self) -> Option<SimTime> {
-        self.timers.keys().next().map(|(t, _)| *t)
+        let timer = self.timers.keys().next().map(|(t, _)| *t);
+        match (timer, self.db.next_wake()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
-    /// Fire due timers.
+    /// Fire due timers, applying due database writes first so every turn
+    /// reads a database that reflects all writes whose service completed.
     pub fn on_wake(&mut self, now: SimTime) -> Vec<CoordAction> {
+        self.db.advance(now);
         let mut actions = Vec::new();
         while let Some((&(at, seq), _)) = self.timers.first_key_value() {
             if at > now {
@@ -320,10 +350,19 @@ impl Coordinator {
         now: SimTime,
         mut spec: DispatchSpec,
     ) -> (JobId, Vec<CoordAction>) {
+        self.db.advance(now);
         let job = JobId(self.next_job);
         self.next_job += 1;
         spec.job = job;
-        self.db.submit_job(job, now, spec.priority);
+        let priority = spec.priority;
+        self.db.submit(
+            now,
+            WriteIntent::SubmitJob {
+                job,
+                submitted_at: now,
+                priority,
+            },
+        );
         self.jobs.insert(
             job,
             JobMeta {
@@ -353,13 +392,16 @@ impl Coordinator {
 
     /// Cancel a job on user request.
     pub fn cancel_job(&mut self, now: SimTime, job: JobId) -> Vec<CoordAction> {
+        self.db.advance(now);
         let mut actions = Vec::new();
         self.drop_hold(job);
         let Some(meta) = self.jobs.remove(&job) else {
             return actions;
         };
-        self.db.take_pending(job);
-        self.db.set_job_state(job, JobState::Cancelled);
+        self.db.submit(now, WriteIntent::TakePending(job));
+        let latency = self
+            .db
+            .submit(now, WriteIntent::SetJobState(job, JobState::Cancelled));
         if let Some(node) = meta.current_node.or(meta.offered_to) {
             self.dir.release(node, job);
             actions.push(CoordAction::Send {
@@ -368,10 +410,10 @@ impl Coordinator {
                     job,
                     reason: KillReason::UserCancel,
                 },
-                delay: self.current_db_latency(),
+                // The kill follows the cancellation transaction.
+                delay: latency,
             });
         }
-        let _ = now;
         actions
     }
 
@@ -446,6 +488,7 @@ impl Coordinator {
 
     /// Process an already-authenticated message.
     pub fn handle_message(&mut self, now: SimTime, msg: Message) -> Vec<CoordAction> {
+        self.db.advance(now);
         let mut actions = Vec::new();
         match msg {
             Message::Register {
@@ -457,13 +500,17 @@ impl Coordinator {
                 let gpu_count = gpus.len() as u8;
                 let (uid, returning) = self.dir.register(&machine_id, &hostname, gpus, now);
                 let token = self.tokens.issue(uid, &mut self.rng);
-                self.db.upsert_node(NodeRecord {
-                    uid,
-                    hostname,
-                    gpu_count,
-                    registered_at: now,
-                    state: NodeState::Active,
-                });
+                let latency = self.db.submit(
+                    now,
+                    WriteIntent::UpsertNode(NodeRecord {
+                        uid,
+                        hostname,
+                        gpu_count,
+                        registered_at: now,
+                        last_seen: now,
+                        state: NodeState::Active,
+                    }),
+                );
                 actions.push(CoordAction::Send {
                     to: uid,
                     msg: Message::RegisterAck {
@@ -471,7 +518,9 @@ impl Coordinator {
                         token,
                         heartbeat_period_ms: self.config.heartbeat_period.as_millis() as u32,
                     },
-                    delay: self.current_db_latency(),
+                    // The ack leaves once the registration row is durable:
+                    // its own write's emergent sojourn time.
+                    delay: latency,
                 });
                 if returning {
                     self.provider_returned(now, uid, &mut actions);
@@ -492,9 +541,15 @@ impl Coordinator {
                     .unwrap_or(false);
                 self.dir
                     .apply_heartbeat(node, now, seq, accepting, &gpu_stats);
+                // Every heartbeat is one status write through the same
+                // queue as scheduling transactions — §5.2's contention is
+                // this traffic. Sheddable: a full inbox drops it and the
+                // next heartbeat carries fresher data.
+                self.db.try_submit(now, WriteIntent::NodeSeen(node));
                 if was_offline {
                     // Node came back without re-registering (short blip).
-                    self.db.set_node_state(node, NodeState::Active);
+                    self.db
+                        .submit(now, WriteIntent::SetNodeState(node, NodeState::Active));
                     self.provider_returned(now, node, &mut actions);
                 }
                 // Progress bookkeeping from piggybacked workload status.
@@ -557,7 +612,15 @@ impl Coordinator {
                     // the reservation would double-count the job's memory.
                     self.dir.release(node, job);
                     self.drop_hold(job);
-                    self.db.allocate(job, node, vec![], now);
+                    self.db.submit(
+                        now,
+                        WriteIntent::Allocate {
+                            job,
+                            node,
+                            gpu_indices: vec![],
+                            at: now,
+                        },
+                    );
                     if migrated_back {
                         actions.push(CoordAction::JobEvent {
                             job,
@@ -625,13 +688,16 @@ impl Coordinator {
                         meta.migrating_back = false;
                     }
                     if let Some(node) = self.jobs.get(&job).and_then(|m| m.current_node) {
+                        let delay = self.db.write_latency_estimate(now);
                         actions.push(CoordAction::Send {
                             to: node,
                             msg: Message::Kill {
                                 job,
                                 reason: KillReason::SchedulerPreempt,
                             },
-                            delay: self.current_db_latency(),
+                            // The preempt order queues behind the current
+                            // write backlog like any other transaction.
+                            delay,
                         });
                     }
                 }
@@ -641,7 +707,8 @@ impl Coordinator {
                 match mode {
                     gpunion_protocol::DepartureMode::Graceful { .. } => {
                         self.dir.set_liveness(node, NodeLiveness::Departing);
-                        self.db.set_node_state(node, NodeState::Departed);
+                        self.db
+                            .submit(now, WriteIntent::SetNodeState(node, NodeState::Departed));
                         // Jobs will checkpoint; displacement happens when
                         // the node goes offline (or per CheckpointDone).
                     }
@@ -662,13 +729,16 @@ impl Coordinator {
                         },
                     );
                 }
-                self.db.set_node_state(
-                    node,
-                    if paused {
-                        NodeState::Paused
-                    } else {
-                        NodeState::Active
-                    },
+                self.db.submit(
+                    now,
+                    WriteIntent::SetNodeState(
+                        node,
+                        if paused {
+                            NodeState::Paused
+                        } else {
+                            NodeState::Active
+                        },
+                    ),
                 );
                 if !paused {
                     self.arm_pass(now);
@@ -703,7 +773,8 @@ impl Coordinator {
         }
         self.dir.set_liveness(node, NodeLiveness::Offline);
         self.dir.record_interruption(node, now);
-        self.db.set_node_state(node, NodeState::Unavailable);
+        self.db
+            .submit(now, WriteIntent::SetNodeState(node, NodeState::Unavailable));
         let displaced: Vec<JobId> = self
             .jobs
             .iter()
@@ -742,7 +813,7 @@ impl Coordinator {
         // particular the original node must be offerable again, or
         // migrate-back could never land (the fig3 gap).
         meta.excluded.clear();
-        self.db.requeue_job(job);
+        self.db.submit(now, WriteIntent::RequeueJob(job));
         actions.push(CoordAction::JobEvent {
             job,
             event: JobEvent::Requeued { restore_seq },
@@ -759,8 +830,9 @@ impl Coordinator {
             if let Some(node) = meta.current_node {
                 self.dir.release(node, job);
             }
-            self.db.set_job_state(job, JobState::Completed);
-            self.db.deallocate(job);
+            self.db
+                .submit(now, WriteIntent::SetJobState(job, JobState::Completed));
+            self.db.submit(now, WriteIntent::Deallocate(job));
             actions.push(CoordAction::JobEvent {
                 job,
                 event: JobEvent::Completed,
@@ -775,14 +847,14 @@ impl Coordinator {
             if let Some(node) = meta.current_node.or(meta.offered_to) {
                 self.dir.release(node, job);
             }
-            self.db.take_pending(job);
-            self.db.set_job_state(job, JobState::Failed);
+            self.db.submit(now, WriteIntent::TakePending(job));
+            self.db
+                .submit(now, WriteIntent::SetJobState(job, JobState::Failed));
             actions.push(CoordAction::JobEvent {
                 job,
                 event: JobEvent::Failed,
             });
         }
-        let _ = now;
     }
 
     fn offer_timed_out(&mut self, now: SimTime, job: JobId, actions: &mut Vec<CoordAction>) {
@@ -822,7 +894,7 @@ impl Coordinator {
         if meta.retries > self.config.max_retries {
             self.fail_job(now, job, actions);
         } else {
-            self.db.requeue_job(job);
+            self.db.submit(now, WriteIntent::RequeueJob(job));
             self.arm_pass(now);
         }
     }
@@ -869,10 +941,11 @@ impl Coordinator {
                         meta.home_hold = Some((node, now));
                         meta.migrating_back = true;
                         self.held_jobs.insert(job);
+                        let delay = self.db.write_latency_estimate(now);
                         actions.push(CoordAction::Send {
                             to: current,
                             msg: Message::CheckpointRequest { job },
-                            delay: self.current_db_latency(),
+                            delay,
                         });
                     }
                 }
@@ -890,10 +963,15 @@ impl Coordinator {
     ///
     /// Runs in two phases: migrate-back candidates claim their preferred
     /// (returning) node first, then the general drain picks per strategy.
+    ///
+    /// Each placement submits its dequeue transaction to the write-queue
+    /// actor and pays that write's *emergent* sojourn time as its decision
+    /// latency — later decisions in the same pass queue behind earlier
+    /// ones, which is exactly the §5.2 contention the M/M/1 formula used
+    /// to simulate.
     pub fn scheduling_pass(&mut self, now: SimTime, actions: &mut Vec<CoordAction>) {
-        let db_latency = self.current_db_latency();
-        let pending = self.db.pending_in_order();
-        let mut cumulative = SimDuration::ZERO;
+        self.db.advance(now);
+        let pending = self.db.state().pending_in_order();
 
         // Phase 1: the preferred-node (migrate-back) fast path.
         for &job in &pending {
@@ -923,16 +1001,16 @@ impl Coordinator {
                 // Swap the hold (if any) for the offer reservation, taken
                 // atomically within this pass by dispatch_offer.
                 self.drop_hold(job);
-                cumulative += db_latency;
-                self.decision_latency.record(db_latency.as_secs_f64());
-                self.dispatch_offer(now, job, pref, cumulative, actions);
+                self.dispatch_offer(now, job, pref, actions);
             }
         }
 
         // Phase 2: drain the rest of the queue against the live index.
         for &job in &pending {
             let Some(meta) = self.jobs.get(&job) else {
-                self.db.take_pending(job);
+                // Job no longer tracked (cancelled/failed elsewhere):
+                // scrub the orphan queue entry.
+                self.db.submit(now, WriteIntent::TakePending(job));
                 continue;
             };
             if meta.offered_to.is_some() {
@@ -945,13 +1023,17 @@ impl Coordinator {
                 // stale holds and re-opens general placement.
                 continue;
             }
-            // Each decision is one DB transaction.
-            cumulative += db_latency;
-            self.decision_latency.record(db_latency.as_secs_f64());
             let Some(target) = self.selector.pick(&self.dir, &meta.spec, &meta.excluded) else {
                 continue; // nothing eligible; stays queued
             };
-            self.dispatch_offer(now, job, target, cumulative, actions);
+            self.dispatch_offer(now, job, target, actions);
+        }
+
+        // Writes that add pending jobs may still be in flight (submitted
+        // after this pass was armed): they were invisible to the drain
+        // above, so run another pass once the queue has drained them.
+        if self.db.pending_enqueues() > 0 {
+            self.arm_pass(now);
         }
     }
 
@@ -964,7 +1046,6 @@ impl Coordinator {
         now: SimTime,
         job: JobId,
         target: NodeUid,
-        cumulative: SimDuration,
         actions: &mut Vec<CoordAction>,
     ) {
         let spec = self.jobs.get(&job).expect("present").spec.clone();
@@ -976,22 +1057,26 @@ impl Coordinator {
             return;
         }
         self.jobs.get_mut(&job).expect("present").offered_to = Some(target);
-        self.db.take_pending(job);
+        // The decision's latency is its dequeue transaction's emergent
+        // sojourn: queue wait behind every earlier write (including this
+        // pass's previous decisions) plus service.
+        let latency = self.db.submit(now, WriteIntent::TakePending(job));
+        self.decision_latency.record(latency.as_secs_f64());
         self.arm(
-            now + cumulative + self.config.offer_timeout,
+            now + latency + self.config.offer_timeout,
             CoordTimer::OfferTimeout(job),
         );
         actions.push(CoordAction::Send {
             to: target,
             msg: Message::Dispatch { spec },
-            delay: cumulative,
+            delay: latency,
         });
         actions.push(CoordAction::JobEvent {
             job,
             event: JobEvent::Dispatched { node: target },
         });
         if let Some(h) = &self.sched_latency {
-            h.observe(cumulative.as_secs_f64());
+            h.observe(latency.as_secs_f64());
         }
     }
 

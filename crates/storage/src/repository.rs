@@ -159,9 +159,7 @@ impl CheckpointRepository {
         let seq_index = self.by_job.get(&job).map(|v| v.len() as u64).unwrap_or(0);
         let prev = self.latest(job).map(|m| m.id);
         let kind = match prev {
-            Some(parent)
-                if policy.full_every > 1 && !seq_index.is_multiple_of(policy.full_every as u64) =>
-            {
+            Some(parent) if policy.full_every > 1 && seq_index % policy.full_every as u64 != 0 => {
                 CheckpointKind::Incremental { parent }
             }
             _ => CheckpointKind::Full,

@@ -1,22 +1,48 @@
-//! Sweep the coordinator across node counts and watch scheduling latency
-//! hit the paper's §5.2 wall past ~200 nodes.
+//! Sweep the database write queue across node counts and watch the
+//! emergent write latency hit the paper's §5.2 wall past ~200 nodes.
 //!
 //!     cargo run --release --example scalability
+//!
+//! Latency here is *measured*: heartbeat status writes flow through the
+//! [`gpunion_db::DbActor`]'s bounded queue and each write's sojourn time
+//! is whatever the queue made it. The M/M/1 formula is printed alongside
+//! as the validation oracle it now is (DESIGN.md §3b). The full
+//! coordinator-level sweep lives in the bench harness
+//! (`cargo run --release --bin scalability`).
+
+use gpunion_db::{ContentionModel, DbActor, DbActorConfig, WriteIntent};
+use gpunion_des::{SimDuration, SimTime};
+use gpunion_protocol::NodeUid;
 
 fn main() {
-    // The full sweep lives in the bench harness; this example prints the
-    // latency model directly.
-    use gpunion_db::ContentionModel;
-    use gpunion_des::SimDuration;
-    let m = ContentionModel::default();
-    println!("{:<8} {:>10} {:>14}", "nodes", "db util", "tx latency");
-    for n in [10, 50, 100, 200, 300, 400] {
-        let rate = ContentionModel::heartbeat_write_rate(n, SimDuration::from_secs(5), 2.0);
+    let period = SimDuration::from_secs(5);
+    let model = ContentionModel::default();
+    println!(
+        "{:<8} {:>9} {:>14} {:>14} {:>8}",
+        "nodes", "db util", "measured tx", "M/M/1 oracle", "shed"
+    );
+    for n in [10usize, 50, 100, 200, 300, 400] {
+        let mut actor = DbActor::new(DbActorConfig::default(), 7);
+        // Two minutes of evenly-phased heartbeats after a 30 s warm-up.
+        let beats = 30u64;
+        for k in 0..beats {
+            if k == 6 {
+                actor.reset_telemetry();
+            }
+            for i in 0..n as u64 {
+                let at = SimTime::ZERO + period * k + (period * i) / n as u64;
+                actor.advance(at);
+                actor.try_submit(at, WriteIntent::NodeSeen(NodeUid(i + 1)));
+            }
+        }
+        let rate = n as f64 / period.as_secs_f64();
         println!(
-            "{:<8} {:>9.0}% {:>14}",
+            "{:<8} {:>8.0}% {:>11.1} ms {:>11.1} ms {:>8}",
             n,
-            m.utilization(rate) * 100.0,
-            format!("{}", m.transaction_latency(rate))
+            model.utilization(rate) * 100.0,
+            actor.sojourn().mean().unwrap_or(0.0) * 1e3,
+            model.transaction_latency(rate).as_secs_f64() * 1e3,
+            actor.shed_writes()
         );
     }
 }
