@@ -518,13 +518,18 @@ fn host_down(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
         return;
     }
     w.hosts[h].up = false;
-    // Kill/displace every unit on the host.
-    let victims: Vec<u64> = w
+    // Kill/displace every unit on the host, in id order: `units` is a
+    // HashMap, and letting its iteration order pick the displacement
+    // (and therefore requeue) order made every churn run
+    // process-nondeterministic — the one hash-order dependence the PR 2
+    // determinism purge missed.
+    let mut victims: Vec<u64> = w
         .units
         .values()
         .filter(|u| u.host == h)
         .map(|u| u.id)
         .collect();
+    victims.sort_unstable();
     let now = sim.now();
     for id in victims {
         let u = w.units.remove(&id).expect("listed");

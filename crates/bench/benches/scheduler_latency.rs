@@ -29,11 +29,9 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
             b.iter_batched_ref(
                 || loaded_coordinator(n, PENDING_JOBS),
-                |coord| {
-                    let mut actions = Vec::new();
-                    coord.scheduling_pass(SimTime::from_secs(3700), &mut actions);
-                    actions
-                },
+                // One actor turn: apply the pending-queue writes, then the
+                // batched pass (the only mutation path the actor exposes).
+                |coord| coord.advance(SimTime::from_secs(3700)),
                 criterion::BatchSize::SmallInput,
             );
         });

@@ -18,8 +18,8 @@ fn main() {
     let r = run_fig3(days, rate, seed);
     println!("== Fig. 3 — migration performance under interruption scenarios ==");
     println!(
-        "{:<12} {:>7} {:>13} {:>10} {:>12} {:>10}",
-        "scenario", "events", "displacements", "success", "downtime(s)", "lost(min)"
+        "{:<12} {:>7} {:>13} {:>10} {:>12} {:>10} {:>5}",
+        "scenario", "events", "displacements", "success", "downtime(s)", "lost(min)", "tail"
     );
     for (name, c) in [
         ("scheduled", &r.scheduled),
@@ -32,13 +32,21 @@ fn main() {
             0.0
         };
         println!(
-            "{:<12} {:>7} {:>13} {:>9.0}% {:>12.0} {:>10.1}",
+            "{:<12} {:>7} {:>13} {:>9.0}% {:>12.0} {:>10.1} {:>5}",
             name,
             c.events,
             c.displacements,
             rate,
             c.mean_downtime_secs,
-            c.mean_lost_secs / 60.0
+            c.mean_lost_secs / 60.0,
+            c.tail_excluded
+        );
+    }
+    let tail = r.scheduled.tail_excluded + r.emergency.tail_excluded + r.temporary.tail_excluded;
+    if tail > 0 {
+        println!(
+            "({tail} displacement(s) within one restart window of the horizon end \
+             excluded from attribution)"
         );
     }
     println!(

@@ -33,10 +33,10 @@ fn main() {
     );
     for n in [10usize, 25, 50, 100, 150, 200, 250, 300, 400] {
         let row = contention_knee_run(n, seed);
-        // Emergent end-to-end latency of one 100-job scheduling pass.
+        // Emergent end-to-end latency of one 100-job scheduling pass,
+        // driven the only way the actor allows: its turn at t = 3700 s.
         let mut coord = loaded_coordinator(n, 100);
-        let mut actions = Vec::new();
-        coord.scheduling_pass(SimTime::from_secs(3700), &mut actions);
+        let actions = coord.advance(SimTime::from_secs(3700));
         let last_delay = actions
             .iter()
             .filter_map(|a| match a {

@@ -26,8 +26,8 @@
 use gpunion_core::{PlatformConfig, Scenario};
 use gpunion_des::{RngPool, SimDuration, SimTime};
 use gpunion_gpu::{paper_testbed, GpuModel};
-use gpunion_protocol::{DispatchSpec, ExecMode, JobId, Message};
-use gpunion_scheduler::{Coordinator, CoordinatorConfig};
+use gpunion_protocol::{DispatchSpec, ExecMode, JobId, Message, NodeUid};
+use gpunion_scheduler::{CoordAction, CoordEnvelope, Coordinator, CoordinatorConfig, SendOutcome};
 use gpunion_workload::{generate, paper_campus_labs, Request, TraceConfig};
 
 /// The §4 network-traffic experiment, fully run: the scenario (for
@@ -113,58 +113,7 @@ pub fn contention_knee_run(nodes: usize, seed: u64) -> ContentionRow {
     let period = config.heartbeat_period;
     let service = config.db.mean_service_time;
     let mut coord = Coordinator::new(config, seed);
-    coord.start(SimTime::ZERO);
-    let warm_beats = 6u64; // 30 s: drains the registration backlog
-    let beats = 24u64; // two measured minutes at the 5 s period
-    let mut seqs = vec![1u64; nodes];
-    // Uid per node, captured from each RegisterAck — the directory
-    // assigns them, so assuming a numbering here would heartbeat a
-    // ghost fleet.
-    let mut uids = vec![gpunion_protocol::NodeUid(u64::MAX); nodes];
-    for k in 0..warm_beats + beats {
-        if k == warm_beats {
-            coord.reset_db_telemetry();
-        }
-        for (i, seq) in seqs.iter_mut().enumerate() {
-            // Evenly phased within the period, like a real fleet.
-            let at = SimTime::ZERO + period * k + (period * i as u64) / nodes as u64;
-            drain_wakes(&mut coord, at);
-            if k == 0 {
-                let actions = coord.handle_message(
-                    at,
-                    Message::Register {
-                        machine_id: format!("m-{i}"),
-                        hostname: format!("h-{i}"),
-                        gpus: vec![GpuModel::Rtx3090.into()],
-                        agent_version: 1,
-                    },
-                );
-                uids[i] = actions
-                    .iter()
-                    .find_map(|a| match a {
-                        gpunion_scheduler::CoordAction::Send {
-                            msg: Message::RegisterAck { node, .. },
-                            ..
-                        } => Some(*node),
-                        _ => None,
-                    })
-                    .expect("registration acked");
-            } else {
-                coord.handle_message(
-                    at,
-                    Message::Heartbeat {
-                        node: uids[i],
-                        seq: *seq,
-                        accepting: true,
-                        gpu_stats: vec![],
-                        workloads: vec![],
-                    },
-                );
-                *seq += 1;
-            }
-        }
-    }
-    drain_wakes(&mut coord, SimTime::ZERO + period * (warm_beats + beats));
+    drive_phased_fleet(&mut coord, nodes, period, &mut |_, _, _| {});
     let actor = coord.db_actor();
     let model = gpunion_db::ContentionModel {
         service_time: service,
@@ -186,8 +135,90 @@ fn drain_wakes(coord: &mut Coordinator, until: SimTime) {
         if at > until {
             break;
         }
-        let _ = coord.on_wake(at);
+        let _ = coord.advance(at);
     }
+}
+
+/// Warm-up beats before the measured window (drains the registration
+/// backlog) and measured beats (two minutes at the default 5 s period) —
+/// shared by the contention-knee and saturation experiments.
+const WARM_BEATS: u64 = 6;
+const MEASURED_BEATS: u64 = 24;
+
+/// Drive an `nodes`-strong fleet through the coordinator's inbox: every
+/// node registers at its phase within the first beat, heartbeats roll
+/// for [`WARM_BEATS`] periods, telemetry resets as steady state begins,
+/// then [`MEASURED_BEATS`] periods of evenly-phased heartbeats flow.
+/// `at_beat(coord, k, beat_start)` runs at each beat boundary (after the
+/// telemetry reset) — the saturation experiment injects job submissions
+/// there, the knee experiment nothing. Shared so the two experiments
+/// cannot drift apart in phasing or warm-up handling.
+fn drive_phased_fleet(
+    coord: &mut Coordinator,
+    nodes: usize,
+    period: SimDuration,
+    at_beat: &mut dyn FnMut(&mut Coordinator, u64, SimTime),
+) {
+    let mut seqs = vec![1u64; nodes];
+    // Uid per node, captured from each RegisterAck — the directory
+    // assigns them, so assuming a numbering here would heartbeat a
+    // ghost fleet.
+    let mut uids = vec![NodeUid(u64::MAX); nodes];
+    for k in 0..WARM_BEATS + MEASURED_BEATS {
+        let beat_start = SimTime::ZERO + period * k;
+        if k == WARM_BEATS {
+            // Steady state begins: reset telemetry through the inbox so
+            // the reset turn orders before the first measured heartbeat.
+            drain_wakes(coord, beat_start);
+            coord.send(beat_start, CoordEnvelope::ResetTelemetry);
+            coord.advance(beat_start);
+        }
+        at_beat(coord, k, beat_start);
+        for (i, seq) in seqs.iter_mut().enumerate() {
+            // Evenly phased within the period, like a real fleet.
+            let at = beat_start + (period * i as u64) / nodes as u64;
+            drain_wakes(coord, at);
+            if k == 0 {
+                coord.send(
+                    at,
+                    CoordEnvelope::Msg(Box::new(Message::Register {
+                        machine_id: format!("m-{i}"),
+                        hostname: format!("h-{i}"),
+                        gpus: vec![GpuModel::Rtx3090.into()],
+                        agent_version: 1,
+                    })),
+                );
+                let actions = coord.advance(at);
+                uids[i] = actions
+                    .iter()
+                    .find_map(|a| match a {
+                        CoordAction::Send {
+                            msg: Message::RegisterAck { node, .. },
+                            ..
+                        } => Some(*node),
+                        _ => None,
+                    })
+                    .expect("registration acked");
+            } else {
+                coord.send(
+                    at,
+                    CoordEnvelope::Msg(Box::new(Message::Heartbeat {
+                        node: uids[i],
+                        seq: *seq,
+                        accepting: true,
+                        gpu_stats: vec![],
+                        workloads: vec![],
+                    })),
+                );
+                coord.advance(at);
+                *seq += 1;
+            }
+        }
+    }
+    drain_wakes(
+        coord,
+        SimTime::ZERO + period * (WARM_BEATS + MEASURED_BEATS),
+    );
 }
 
 /// A dispatch spec for scheduler benchmarks (1 GPU, 8 GB).
@@ -211,37 +242,132 @@ pub fn bench_spec() -> DispatchSpec {
     }
 }
 
-/// A coordinator with `n` registered nodes and the registration writes
-/// applied (shared scaffolding for benches and the CI perf gate). No
-/// timers are fired, so node liveness stays Active.
+/// A coordinator with `n` registered nodes and the registration storm
+/// fully drained through the actor's inbox (shared scaffolding for
+/// benches and the CI perf gate). The heartbeat period is stretched to a
+/// day so sweep timers neither interleave with a timed turn nor mark the
+/// never-heartbeating bench fleet stale; placement behaviour is
+/// unaffected.
 pub fn bench_coordinator(n: usize) -> Coordinator {
-    let mut c = Coordinator::new(CoordinatorConfig::default(), 1);
-    c.start(SimTime::ZERO);
+    let config = CoordinatorConfig {
+        heartbeat_period: SimDuration::from_secs(24 * 3600),
+        ..Default::default()
+    };
+    let mut c = Coordinator::new(config, 1);
     for i in 0..n {
-        c.handle_message(
+        c.send(
             SimTime::from_secs(1),
-            Message::Register {
+            CoordEnvelope::Msg(Box::new(Message::Register {
                 machine_id: format!("m-{i}"),
                 hostname: format!("h-{i}"),
                 gpus: vec![GpuModel::Rtx3090.into()],
                 agent_version: 1,
-            },
+            })),
         );
     }
-    c.apply_db_writes(SimTime::from_secs(3600));
+    // Large fleets hit critical-write backpressure: registration turns
+    // defer while the write queue is at bound, so the storm admits one
+    // turn per completion. Drain until every write has applied.
+    drain_wakes(&mut c, SimTime::from_secs(3600));
     c
 }
 
-/// `bench_coordinator(n)` plus `jobs` pending submissions with their
-/// queue writes applied — ready for one timed
-/// [`Coordinator::scheduling_pass`] at `t ≥ 3700 s`.
+/// `bench_coordinator(n)` plus `jobs` pending submissions admitted
+/// through the inbox with the scheduling pass armed but **not yet run** —
+/// ready for one timed [`Coordinator::advance`] at `t ≥ 3700 s`, whose
+/// turn applies the queue writes and drains the pass.
 pub fn loaded_coordinator(n: usize, jobs: usize) -> Coordinator {
     let mut c = bench_coordinator(n);
     for _ in 0..jobs {
-        c.submit_job(SimTime::from_secs(3601), bench_spec());
+        let outcome = c.send(
+            SimTime::from_secs(3601),
+            CoordEnvelope::SubmitJob(Box::new(bench_spec())),
+        );
+        assert!(
+            matches!(outcome, SendOutcome::Enqueued { job: Some(_) }),
+            "submissions are never shed"
+        );
     }
-    c.apply_db_writes(SimTime::from_secs(3650));
+    // Process the submission turns (this arms the pass one emergent write
+    // latency later); the pass itself belongs to the caller's timed turn.
+    c.advance(SimTime::from_secs(3601));
     c
+}
+
+/// One row of the coordinator-inbox saturation experiment (the scale-out
+/// quantity DESIGN.md §3b says to watch): a fleet past the database knee
+/// (ρ > 1) heartbeating while a steady stream of job submissions — all
+/// critical writes — flows through the actor. The database write queue
+/// pins at its bound, so critical turns **defer** (never shed); the stall
+/// surfaces as coordinator inbox sojourn.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationRow {
+    /// Fleet size (heartbeat writers).
+    pub nodes: usize,
+    /// Job submissions injected during the measured window.
+    pub submissions: usize,
+    /// Submissions still tracked by the coordinator afterwards — must
+    /// equal `submissions`: critical envelopes are never dropped.
+    pub jobs_admitted: usize,
+    /// Mean coordinator-inbox sojourn (enqueue → turn), milliseconds.
+    pub inbox_sojourn_ms_mean: f64,
+    /// Worst coordinator-inbox sojourn, milliseconds.
+    pub inbox_sojourn_ms_max: f64,
+    /// Deepest the coordinator inbox got.
+    pub inbox_depth_peak: usize,
+    /// Turns deferred on database backpressure.
+    pub deferred_turns: u64,
+    /// Heartbeat status writes shed by the database inbox bound.
+    pub db_shed_status_writes: u64,
+    /// Critical writes admitted past the database bound (bounded by the
+    /// few writes a single turn commits — the probe is honoured).
+    pub db_over_bound_writes: u64,
+}
+
+/// Run the saturation experiment: `nodes` evenly-phased heartbeats per
+/// 5 s period (ρ > 1 for ≥ 420 nodes) plus a burst of job submissions —
+/// one per simulated second of the beat, enqueued at each measured beat
+/// boundary — a steady stream of critical writes competing with the
+/// heartbeat flood. Deterministic at a fixed seed; shared by
+/// `bench_gate` and the golden-output test.
+pub fn saturation_run(nodes: usize, seed: u64) -> SaturationRow {
+    let config = CoordinatorConfig::default();
+    let period = config.heartbeat_period;
+    let mut coord = Coordinator::new(config, seed);
+    let mut submissions = Vec::new();
+    drive_phased_fleet(&mut coord, nodes, period, &mut |coord, k, beat_start| {
+        if k < WARM_BEATS {
+            return;
+        }
+        for _ in 0..period.as_secs() {
+            let outcome = coord.send(beat_start, CoordEnvelope::SubmitJob(Box::new(bench_spec())));
+            let SendOutcome::Enqueued { job: Some(job) } = outcome else {
+                panic!("critical envelope shed: {outcome:?}");
+            };
+            submissions.push(job);
+        }
+        coord.advance(beat_start);
+    });
+    // Let every deferred turn retry and every write complete.
+    drain_wakes(
+        &mut coord,
+        SimTime::ZERO + period * (WARM_BEATS + MEASURED_BEATS) * 4,
+    );
+    let jobs_admitted = submissions
+        .iter()
+        .filter(|j| coord.db().job(**j).is_some())
+        .count();
+    SaturationRow {
+        nodes,
+        submissions: submissions.len(),
+        jobs_admitted,
+        inbox_sojourn_ms_mean: coord.inbox_sojourn().mean().unwrap_or(0.0) * 1e3,
+        inbox_sojourn_ms_max: coord.inbox_sojourn().max().unwrap_or(0.0) * 1e3,
+        inbox_depth_peak: coord.inbox_depth_peak(),
+        deferred_turns: coord.deferred_turns(),
+        db_shed_status_writes: coord.db_actor().shed_writes(),
+        db_over_bound_writes: coord.db_actor().over_bound_writes(),
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +401,26 @@ mod golden {
         assert_eq!(r.jobs_completed, 17, "jobs completed in horizon");
         close(r.scheduled_success_rate(), 1.0, 1e-9, "scheduled success");
         close(r.migrate_back_rate(), 1.0, 1e-9, "migrate-back rate");
+    }
+
+    /// Fig. 3 tail censoring at (2 days, 3 events/day, seed 12): the only
+    /// emergency displacement hits within one restart window of the
+    /// horizon end — it can never restart in time and must be excluded
+    /// from attribution (it used to score the class as 0% recovery on a
+    /// one-sample row).
+    #[test]
+    fn fig3_tail_displacement_censored() {
+        let r = run_fig3(2, 3.0, 12);
+        assert_eq!(r.emergency.tail_excluded, 1, "tail event censored");
+        assert_eq!(
+            r.emergency.displacements, 0,
+            "no fairly-scorable emergency displacement remains"
+        );
+        assert_eq!(r.emergency.successful, 0);
+        // The other classes are unaffected by the censoring.
+        assert_eq!(r.scheduled.tail_excluded, 0);
+        assert_eq!(r.temporary.tail_excluded, 0);
+        close(r.scheduled_success_rate(), 1.0, 1e-9, "scheduled success");
     }
 
     /// §4 network-traffic rows at 1 day, seed 42: total checkpoint volume,
@@ -355,6 +501,34 @@ mod golden {
         assert!(
             r500.peak_queue_depth >= 1024,
             "inbox bound never reached: {r500:?}"
+        );
+    }
+
+    /// Critical-write backpressure under coordinator-inbox saturation
+    /// (500 nodes, ρ = 1.2, one submission/s): every critical intent is
+    /// deferred — DES-visible as inbox sojourn — and none is shed, while
+    /// heartbeat status writes keep shedding at the database bound.
+    #[test]
+    fn saturation_defers_critical_intents_never_sheds() {
+        let sat = super::saturation_run(500, 7);
+        assert_eq!(
+            sat.jobs_admitted, sat.submissions,
+            "a critical intent was lost: {sat:?}"
+        );
+        assert!(sat.deferred_turns > 0, "no deferral at rho > 1: {sat:?}");
+        assert!(
+            sat.inbox_sojourn_ms_max > 1.0,
+            "the stall must be DES-visible as inbox sojourn: {sat:?}"
+        );
+        assert!(
+            sat.db_shed_status_writes > 0,
+            "status writes still shed at the bound: {sat:?}"
+        );
+        // The probe is honoured: any over-bound admissions are the last
+        // writes of single turns, not runaway fill.
+        assert!(
+            sat.db_over_bound_writes <= sat.deferred_turns * 2,
+            "write queue over-filled past per-turn slack: {sat:?}"
         );
     }
 }

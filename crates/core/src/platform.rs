@@ -13,7 +13,9 @@ use gpunion_container::ImageRegistry;
 use gpunion_des::{RngPool, Sim, SimDuration, SimTime};
 use gpunion_gpu::{GpuServer, ServerSpec};
 use gpunion_protocol::{DispatchSpec, Envelope, ExecMode, JobId, Message, NodeUid, WorkloadState};
-use gpunion_scheduler::{CoordAction, Coordinator, CoordinatorConfig, JobEvent};
+use gpunion_scheduler::{
+    CoordAction, CoordEnvelope, Coordinator, CoordinatorConfig, JobEvent, SendOutcome,
+};
 use gpunion_simnet::{
     star_campus, Bandwidth, FlowOutcome, NetEvent, Network, NodeId, TrafficClass,
 };
@@ -152,6 +154,10 @@ pub struct Platform {
     /// deterministic order (uid assignment depends on it).
     agents: BTreeMap<NodeId, Agent>,
     addr_of_uid: HashMap<NodeUid, NodeId>,
+    /// Machine id → simnet address, fixed at deploy time. Used to learn
+    /// uid → address mappings when the coordinator acks a registration
+    /// (the ack is the first action naming the new uid).
+    addr_of_machine: HashMap<String, NodeId>,
     /// The shared campus image registry (hosted on the coordinator).
     pub registry: ImageRegistry,
     /// Image references published at boot.
@@ -183,13 +189,14 @@ impl Platform {
         let pool = RngPool::new(config.seed);
         let net = Network::new(topo, config.local_disk, config.seed ^ 0x5151);
         let backbone_link = net.topology().link_between(coord_addr, switch);
-        let mut coordinator = Coordinator::new(config.coordinator.clone(), config.seed ^ 0xC0);
-        coordinator.start(SimTime::ZERO);
+        let coordinator = Coordinator::new(config.coordinator.clone(), config.seed ^ 0xC0);
         let (registry, image_refs) = gpunion_container::standard_catalogue();
         let mut agents = BTreeMap::new();
+        let mut addr_of_machine = HashMap::new();
         for (i, spec) in gpu_specs.iter().enumerate() {
             let mut rng = pool.stream_n("agent-id", i as u64);
             let agent_config = AgentConfig::new(spec.hostname.clone(), &mut rng);
+            addr_of_machine.insert(agent_config.machine_id.clone(), hosts[i]);
             let agent = Agent::new(agent_config, GpuServer::new((*spec).clone()));
             agents.insert(hosts[i], agent);
         }
@@ -199,6 +206,7 @@ impl Platform {
             coordinator_addr: coord_addr,
             agents,
             addr_of_uid: HashMap::new(),
+            addr_of_machine,
             registry,
             image_refs,
             displaced_runs: HashMap::new(),
@@ -312,11 +320,23 @@ impl Platform {
             restore_from_seq: None,
             priority: spec.priority,
         };
-        let (job, actions) = self.coordinator.submit_job(now, dispatch);
+        let job = self.submit_envelope(now, dispatch);
         self.fresh_runs.insert(job, spec.clone());
         self.stats.tag_to_job.insert(tag, job);
         self.stats.job_to_tag.insert(job, tag);
-        self.apply_coord_actions(now, actions);
+        job
+    }
+
+    /// Enqueue a job submission on the coordinator's inbox. The id is
+    /// assigned at admission; the turn itself (queue write, pass arming,
+    /// the Queued event) runs on the next pump.
+    fn submit_envelope(&mut self, now: SimTime, dispatch: DispatchSpec) -> JobId {
+        let outcome = self
+            .coordinator
+            .send(now, CoordEnvelope::SubmitJob(Box::new(dispatch)));
+        let SendOutcome::Enqueued { job: Some(job) } = outcome else {
+            unreachable!("job submissions are critical envelopes, never shed");
+        };
         job
     }
 
@@ -339,17 +359,16 @@ impl Platform {
             restore_from_seq: None,
             priority: 3, // humans waiting rank above batch
         };
-        let (job, actions) = self.coordinator.submit_job(now, dispatch);
+        let job = self.submit_envelope(now, dispatch);
         self.stats.tag_to_job.insert(tag, job);
         self.stats.job_to_tag.insert(job, tag);
-        self.apply_coord_actions(now, actions);
         job
     }
 
-    /// Cancel a job (user action / session end).
+    /// Cancel a job (user action / session end). Enqueued on the
+    /// coordinator inbox; the turn runs on the next pump.
     pub fn cancel(&mut self, now: SimTime, job: JobId) {
-        let actions = self.coordinator.cancel_job(now, job);
-        self.apply_coord_actions(now, actions);
+        self.coordinator.send(now, CoordEnvelope::CancelJob(job));
     }
 
     // ---- provider interruptions ---------------------------------------
@@ -411,6 +430,19 @@ impl Platform {
         for action in actions {
             match action {
                 CoordAction::Send { to, msg, delay } => {
+                    // A RegisterAck is the first action naming a (possibly
+                    // fresh) uid: learn its address from the directory's
+                    // machine id before routing.
+                    if let Message::RegisterAck { node, .. } = &msg {
+                        if let Some(addr) = self
+                            .coordinator
+                            .directory()
+                            .get(*node)
+                            .and_then(|e| self.addr_of_machine.get(&e.machine_id))
+                        {
+                            self.addr_of_uid.insert(*node, *addr);
+                        }
+                    }
                     let Some(&addr) = self.addr_of_uid.get(&to) else {
                         // Destination not yet mapped (registration in
                         // flight); RegisterAck handles its own mapping below.
@@ -568,30 +600,10 @@ impl Platform {
         if let Message::CheckpointDone { job, .. } = &env.msg {
             self.stats.last_checkpoint.insert(*job, now);
         }
-        // Learn uid → address mappings from registrations: the coordinator
-        // answers with a RegisterAck carrying the uid; to route it we peek.
-        let pre_register_addr = if let Message::Register { machine_id, .. } = &env.msg {
-            self.agents
-                .iter()
-                .find(|(_, a)| a.config().machine_id == *machine_id)
-                .map(|(addr, _)| *addr)
-        } else {
-            None
-        };
-        let actions = self.coordinator.handle_envelope(now, env);
-        // Capture the uid mapping from the ack.
-        if let Some(addr) = pre_register_addr {
-            for a in &actions {
-                if let CoordAction::Send {
-                    msg: Message::RegisterAck { node, .. },
-                    ..
-                } = a
-                {
-                    self.addr_of_uid.insert(*node, addr);
-                }
-            }
-        }
-        self.apply_coord_actions(now, actions);
+        // Enqueue only: the coordinator is an actor — its turn runs inside
+        // the pump's `advance` call, which returns the actions to route.
+        self.coordinator
+            .send(now, CoordEnvelope::Net(Box::new(env)));
     }
 
     fn deliver_to_agent(&mut self, now: SimTime, addr: NodeId, env: Envelope) {
@@ -652,7 +664,7 @@ impl Platform {
                 .map(|t| t <= now)
                 .unwrap_or(false)
             {
-                let actions = self.coordinator.on_wake(now);
+                let actions = self.coordinator.advance(now);
                 self.apply_coord_actions(now, actions);
                 progressed = true;
             }

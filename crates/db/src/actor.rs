@@ -77,9 +77,10 @@ pub struct DbActorConfig {
     /// is like-for-like.
     pub mean_service_time: SimDuration,
     /// Inbox bound. Sheddable intents submitted past this depth are
-    /// dropped (and counted); critical intents are always accepted — in a
-    /// deployment they would block the caller, which the single-threaded
-    /// simulation cannot, so the overflow is counted instead.
+    /// dropped (and counted). Critical intents are never dropped: writers
+    /// probe [`DbActor::would_block`] and defer their own turn while the
+    /// inbox is at bound — the DES analogue of a blocking database client
+    /// (admissions past the bound are counted, never shed).
     pub inbox_capacity: usize,
 }
 
@@ -122,6 +123,10 @@ pub struct DbActor {
     depth_peak: usize,
     applied: u64,
     shed: u64,
+    /// Critical intents admitted while the inbox was already at its bound.
+    /// A writer that honours [`DbActor::would_block`] keeps this at zero up
+    /// to the handful of writes a single deferred turn may still commit.
+    over_bound: u64,
     sojourn: Online,
 }
 
@@ -139,6 +144,7 @@ impl DbActor {
             depth_peak: 0,
             applied: 0,
             shed: 0,
+            over_bound: 0,
             sojourn: Online::new(),
         }
     }
@@ -176,6 +182,25 @@ impl DbActor {
         self.shed
     }
 
+    /// Whether a critical write submitted now would over-fill the bounded
+    /// inbox. Critical intents are never dropped, so admission control is
+    /// the *caller's* job: a writer that sees `true` must defer its turn
+    /// (re-arm a timer and retry once a slot frees) instead of submitting —
+    /// the DES-visible analogue of a blocking database client. The probe is
+    /// how the coordinator actor implements critical-write backpressure.
+    pub fn would_block(&self) -> bool {
+        self.inbox.len() >= self.config.inbox_capacity
+    }
+
+    /// Critical intents admitted while [`DbActor::would_block`] was already
+    /// `true`. A single deferred turn may still commit a couple of writes
+    /// past the bound (it cannot tear its own transaction in half), so this
+    /// stays within a small constant of zero under a well-behaved caller —
+    /// the inbox-bound tests pin that.
+    pub fn over_bound_writes(&self) -> u64 {
+        self.over_bound
+    }
+
     /// Sojourn-time statistics (submit → apply, in seconds) since the last
     /// telemetry reset. This is the measured counterpart of
     /// [`crate::ContentionModel::transaction_latency`].
@@ -188,6 +213,7 @@ impl DbActor {
     pub fn reset_telemetry(&mut self) {
         self.depth_peak = self.inbox.len();
         self.shed = 0;
+        self.over_bound = 0;
         self.sojourn = Online::new();
     }
 
@@ -209,8 +235,15 @@ impl DbActor {
     }
 
     /// Enqueue a critical write. Returns the emergent sojourn time (queue
-    /// wait + service) the write will experience.
+    /// wait + service) the write will experience. Critical intents are
+    /// never dropped; callers are expected to probe
+    /// [`DbActor::would_block`] first and defer their turn when the inbox
+    /// is at bound (admissions past it are counted in
+    /// [`DbActor::over_bound_writes`]).
     pub fn submit(&mut self, now: SimTime, intent: WriteIntent) -> SimDuration {
+        if self.inbox.len() >= self.config.inbox_capacity {
+            self.over_bound += 1;
+        }
         let start = self.busy_until.max(now);
         let applies_at = start + self.service_draw();
         self.busy_until = applies_at;
@@ -413,6 +446,42 @@ mod tests {
         let l2 = a.submit(t(5), WriteIntent::NodeSeen(NodeUid(9)));
         a.advance(t(5) + l2);
         assert_eq!(a.state().node(NodeUid(9)).unwrap().last_seen, t(5));
+    }
+
+    #[test]
+    fn would_block_tracks_the_bound_and_over_admissions_are_counted() {
+        let mut a = DbActor::new(
+            DbActorConfig {
+                inbox_capacity: 2,
+                ..Default::default()
+            },
+            7,
+        );
+        assert!(!a.would_block());
+        let submit = |a: &mut DbActor, j: u64| {
+            a.submit(
+                t(1),
+                WriteIntent::SubmitJob {
+                    job: JobId(j),
+                    submitted_at: t(1),
+                    priority: 1,
+                },
+            )
+        };
+        submit(&mut a, 1);
+        assert!(!a.would_block());
+        submit(&mut a, 2);
+        assert!(a.would_block(), "at the bound a critical write must defer");
+        assert_eq!(a.over_bound_writes(), 0, "honouring the probe is free");
+        // A caller that ignores the probe is tolerated (never dropped)
+        // but the over-admission is visible.
+        let l = submit(&mut a, 3);
+        assert_eq!(a.over_bound_writes(), 1);
+        assert_eq!(a.depth(), 3);
+        // Draining past the bound re-opens admission.
+        a.advance(t(1) + l);
+        assert!(!a.would_block());
+        assert_eq!(a.state().pending_count(), 3, "nothing critical was shed");
     }
 
     // ---- the M/M/1 validation oracle -----------------------------------

@@ -1,4 +1,4 @@
-//! The central scheduler and coordinator.
+//! The central scheduler and coordinator — an actor behind a typed inbox.
 //!
 //! "The central scheduler serves as the coordination hub for resource
 //! discovery, allocation decisions, and workload management. It maintains a
@@ -7,15 +7,35 @@
 //! that assume persistent resource availability, GPUnion's scheduler is
 //! designed to handle dynamic resource volatility" (§3.2).
 //!
-//! Like the agent, the coordinator is passive: messages and timer wakes go
-//! in, [`CoordAction`]s come out. Every mutation of the system database
-//! travels as a fire-and-forget [`WriteIntent`] through the [`DbActor`]'s
-//! bounded write queue (DESIGN.md §3b); a dispatch decision's latency is
-//! the emergent sojourn time of its own write — queue wait plus service —
-//! which is what the scalability experiment (§5.2) measures as the node
-//! count grows. The coordinator only ever *reads* the database through
-//! snapshot accessors within a turn; it holds no references into actor
-//! state.
+//! The coordinator is a **single-owner actor** (DESIGN.md §3b): it owns
+//! `{Directory + CapacityIndex, jobs, timers}` behind a bounded MPSC inbox
+//! of typed [`CoordEnvelope`]s. Senders — the platform pump delivering
+//! network envelopes, user clients submitting jobs, harnesses injecting
+//! departures — call [`Coordinator::send`], which only enqueues. All state
+//! mutation happens inside [`Coordinator::advance`], one envelope or timer
+//! at a time, so every index mutation is single-threaded by construction:
+//! the batched scheduling pass's "reserve, then the next decision sees it"
+//! invariant *is* an actor turn. The embedding loop drives the actor
+//! exactly like the [`DbActor`]: [`Coordinator::next_wake`] /
+//! [`Coordinator::advance`], with [`CoordAction`]s coming out. Read-only
+//! consumers (metrics scrape, harness inspection) use snapshot accessors,
+//! never references into actor state held across a turn.
+//!
+//! Every mutation of the system database travels as a fire-and-forget
+//! [`WriteIntent`] through the [`DbActor`]'s bounded write queue; a
+//! dispatch decision's latency is the emergent sojourn time of its own
+//! write — queue wait plus service — which is what the scalability
+//! experiment (§5.2) measures as the node count grows.
+//!
+//! **Critical-write backpressure.** Sheddable status writes (heartbeat
+//! `NodeSeen`) are dropped at the database inbox bound, but critical
+//! intents must never be lost. When [`DbActor::would_block`] reports the
+//! bound reached, the coordinator *defers its own turn* instead of
+//! over-filling the queue: the inbox head stays queued (FIFO, so ordering
+//! is preserved), due timers that would write are re-armed at the next
+//! write completion, and a scheduling pass stops mid-drain and re-arms.
+//! The stall is DES-visible as added pass latency and inbox sojourn time —
+//! the single-threaded analogue of a blocking database client.
 //!
 //! A scheduling pass is batched: it drains the pending queue once against
 //! the directory's capacity index, reserving capacity as it places so later
@@ -35,8 +55,55 @@ use gpunion_protocol::{
 use gpunion_telemetry::{labels, Counter, MetricHistogram, Registry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
+
+/// A typed envelope bound for the coordinator actor's inbox.
+///
+/// Everything that mutates coordinator state travels as one of these —
+/// registration, heartbeat, and scheduling traffic ride [`Message`]s inside
+/// [`CoordEnvelope::Net`] / [`CoordEnvelope::Msg`]; user submissions and
+/// harness injections have their own variants. Timer wakes are internal to
+/// the actor (they never cross the inbox); the DES pump only ever observes
+/// them through [`Coordinator::next_wake`].
+#[derive(Debug)]
+pub enum CoordEnvelope {
+    /// An authenticated-on-arrival network envelope (Register, Heartbeat,
+    /// DispatchReply, WorkloadUpdate, CheckpointDone, DepartureNotice, …).
+    /// Token validation happens at the actor turn, not at enqueue.
+    Net(Box<Envelope>),
+    /// A pre-authenticated message (trusted harness path — the equivalent
+    /// of [`CoordEnvelope::Net`] with validation already done).
+    Msg(Box<Message>),
+    /// A user client submits a job. The job id is assigned at admission
+    /// (see [`Coordinator::send`]); the spec's `job` field is overwritten.
+    SubmitJob(Box<DispatchSpec>),
+    /// A user client cancels a job.
+    CancelJob(JobId),
+    /// Harness-observed node loss (emergency departure injected out of
+    /// band): displace everything the node was running.
+    NodeDeparture(NodeUid),
+    /// Reset latency/backlog telemetry (coordinator inbox + database
+    /// write queue) — experiment harnesses send this after a warm-up phase
+    /// so steady-state numbers exclude the boot-time registration storm.
+    ResetTelemetry,
+}
+
+/// What [`Coordinator::send`] did with an envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Accepted into the inbox. Job submissions get their id assigned at
+    /// admission so the caller can track the job before its turn runs.
+    Enqueued {
+        /// The id assigned to a [`CoordEnvelope::SubmitJob`] (None for
+        /// every other variant).
+        job: Option<JobId>,
+    },
+    /// Sheddable envelope (heartbeat) dropped at the inbox bound — the
+    /// next heartbeat carries fresher data. Critical envelopes are never
+    /// shed.
+    Shed,
+}
 
 /// Actions for the embedding loop.
 #[derive(Debug)]
@@ -108,6 +175,10 @@ pub struct CoordinatorConfig {
     pub max_retries: u32,
     /// How long to wait for a DispatchReply before treating it as a reject.
     pub offer_timeout: SimDuration,
+    /// Coordinator inbox bound. Heartbeat envelopes submitted past this
+    /// depth are shed (the next beat carries fresher data); critical
+    /// envelopes are always accepted and counted if over the bound.
+    pub inbox_capacity: usize,
     /// Database write-queue parameters (service time, inbox bound).
     pub db: DbActorConfig,
 }
@@ -121,6 +192,7 @@ impl Default for CoordinatorConfig {
             migrate_back_window: SimDuration::from_mins(30),
             max_retries: 5,
             offer_timeout: SimDuration::from_secs(10),
+            inbox_capacity: 4096,
             db: DbActorConfig::default(),
         }
     }
@@ -153,13 +225,26 @@ enum CoordTimer {
     OfferTimeout(JobId),
 }
 
-/// The coordinator.
+/// An inbox entry: accepted at `enqueued`, processed at its turn.
+#[derive(Debug)]
+struct QueuedEnvelope {
+    enqueued: SimTime,
+    env: CoordEnvelope,
+}
+
+/// The coordinator actor.
 pub struct Coordinator {
     config: CoordinatorConfig,
     db: DbActor,
     dir: Directory,
     tokens: TokenRegistry,
     selector: Selector,
+    /// The bounded MPSC inbox. Envelopes drain FIFO inside `advance`.
+    inbox: VecDeque<QueuedEnvelope>,
+    /// The inbox head is a critical envelope and the database write queue
+    /// is at bound: the actor is waiting for a write completion before
+    /// taking its next turn (critical-write backpressure).
+    stalled: bool,
     /// Ordered by job id so displacement/migrate-back sweeps are
     /// deterministic (golden-output experiments depend on it).
     jobs: BTreeMap<JobId, JobMeta>,
@@ -178,11 +263,18 @@ pub struct Coordinator {
     jobs_displaced: Option<Arc<Counter>>,
     nodes_lost: Option<Arc<Counter>>,
     decision_latency: Online,
+    // Inbox telemetry (enqueue → turn).
+    inbox_sojourn: Online,
+    inbox_depth_peak: usize,
+    shed_envelopes: u64,
+    over_bound_envelopes: u64,
+    deferred_turns: u64,
     rng: SmallRng,
 }
 
 impl Coordinator {
     /// A coordinator with the given config; `seed` drives token issuance.
+    /// Periodic duties (the heartbeat sweep) are armed from `SimTime::ZERO`.
     pub fn new(config: CoordinatorConfig, seed: u64) -> Self {
         let selector = Selector::new(config.strategy);
         let metrics = Registry::new();
@@ -203,12 +295,14 @@ impl Coordinator {
             .counter("nodes_lost_total", "node losses", labels([]))
             .ok();
         let db = DbActor::new(config.db, seed ^ 0xD8);
-        Coordinator {
+        let mut coord = Coordinator {
             config,
             db,
             dir: Directory::new(),
             tokens: TokenRegistry::new(),
             selector,
+            inbox: VecDeque::new(),
+            stalled: false,
             jobs: BTreeMap::new(),
             held_jobs: BTreeSet::new(),
             next_job: 1,
@@ -221,17 +315,21 @@ impl Coordinator {
             jobs_displaced,
             nodes_lost,
             decision_latency: Online::new(),
+            inbox_sojourn: Online::new(),
+            inbox_depth_peak: 0,
+            shed_envelopes: 0,
+            over_bound_envelopes: 0,
+            deferred_turns: 0,
             rng: SmallRng::seed_from_u64(seed),
-        }
-    }
-
-    /// Start periodic duties (heartbeat sweep). Call once at boot.
-    pub fn start(&mut self, now: SimTime) {
-        self.arm(
-            now + self.config.heartbeat_period,
+        };
+        coord.arm(
+            SimTime::ZERO + coord.config.heartbeat_period,
             CoordTimer::HeartbeatSweep,
         );
+        coord
     }
+
+    // ---- snapshot accessors (read-only consumers) ----------------------
 
     /// The node directory (read access for harnesses).
     pub fn directory(&self) -> &Directory {
@@ -240,7 +338,7 @@ impl Coordinator {
 
     /// Snapshot of the system-database tables (read access for harnesses).
     /// Valid only within the current turn — in-flight writes apply on the
-    /// next [`Coordinator::on_wake`].
+    /// next [`Coordinator::advance`].
     pub fn db(&self) -> &SystemDb {
         self.db.state()
     }
@@ -248,21 +346,6 @@ impl Coordinator {
     /// The database write-queue actor (queue-depth / latency telemetry).
     pub fn db_actor(&self) -> &DbActor {
         &self.db
-    }
-
-    /// Reset the database actor's latency/backlog telemetry — experiment
-    /// harnesses call this after a warm-up phase so steady-state numbers
-    /// exclude the boot-time registration storm.
-    pub fn reset_db_telemetry(&mut self) {
-        self.db.reset_telemetry();
-    }
-
-    /// Apply database writes whose service completed by `now` without
-    /// firing any coordinator timers. Benchmark scaffolding: lets a
-    /// harness settle the write queue between setup steps while keeping
-    /// the scheduling pass under its own control.
-    pub fn apply_db_writes(&mut self, now: SimTime) {
-        self.db.advance(now);
     }
 
     /// Scheduling decision latency statistics (the §5.2 quantity).
@@ -278,6 +361,228 @@ impl Coordinator {
     /// Number of jobs not yet terminal.
     pub fn live_jobs(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// Envelopes waiting in the inbox right now.
+    pub fn inbox_depth(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Deepest the inbox has been since the last telemetry reset.
+    pub fn inbox_depth_peak(&self) -> usize {
+        self.inbox_depth_peak
+    }
+
+    /// Inbox sojourn statistics (enqueue → turn, in seconds) since the
+    /// last telemetry reset. Under critical-write backpressure this is
+    /// where the database stall becomes visible to senders.
+    pub fn inbox_sojourn(&self) -> &Online {
+        &self.inbox_sojourn
+    }
+
+    /// Heartbeat envelopes shed at the inbox bound.
+    pub fn shed_envelopes(&self) -> u64 {
+        self.shed_envelopes
+    }
+
+    /// Critical envelopes accepted while the inbox was over its bound
+    /// (never shed — counted so saturation is observable).
+    pub fn over_bound_envelopes(&self) -> u64 {
+        self.over_bound_envelopes
+    }
+
+    /// Turns deferred because the database write queue was at bound for
+    /// critical intents (envelope stalls, timer re-arms, and mid-pass
+    /// stops all count).
+    pub fn deferred_turns(&self) -> u64 {
+        self.deferred_turns
+    }
+
+    /// The emergent database write latency right now: residual write-queue
+    /// backlog plus one mean service time (the §5.2 quantity).
+    pub fn db_write_latency(&self, now: SimTime) -> SimDuration {
+        self.db.write_latency_estimate(now)
+    }
+
+    /// Time a job has been waiting (diagnostics).
+    pub fn job_wait(&self, job: JobId, now: SimTime) -> Option<SimDuration> {
+        self.jobs.get(&job).map(|m| now.since(m.submitted_at))
+    }
+
+    /// The node currently hosting a job.
+    pub fn job_node(&self, job: JobId) -> Option<NodeUid> {
+        self.jobs.get(&job).and_then(|m| m.current_node)
+    }
+
+    /// Latest durable checkpoint of a job.
+    pub fn job_checkpoint(&self, job: JobId) -> Option<(u64, Vec<NodeUid>)> {
+        self.jobs
+            .get(&job)
+            .and_then(|m| m.latest_checkpoint.clone())
+    }
+
+    /// Validate a token for a node (live-mode helper).
+    pub fn validate_token(&self, node: NodeUid, token: &AuthToken) -> bool {
+        self.tokens.validate(node, token)
+    }
+
+    // ---- the inbox ------------------------------------------------------
+
+    /// Enqueue an envelope for the actor's next turn. This is the ONLY
+    /// entry point for mutating traffic: nothing is processed here — the
+    /// turn runs inside [`Coordinator::advance`]. Heartbeats are shed at
+    /// the inbox bound; every other envelope is always accepted (and a
+    /// [`CoordEnvelope::SubmitJob`] gets its job id assigned so the caller
+    /// can track it).
+    pub fn send(&mut self, now: SimTime, env: CoordEnvelope) -> SendOutcome {
+        let mut env = env;
+        if self.envelope_sheddable(&env) && self.inbox.len() >= self.config.inbox_capacity {
+            self.shed_envelopes += 1;
+            return SendOutcome::Shed;
+        }
+        let job = if let CoordEnvelope::SubmitJob(spec) = &mut env {
+            let id = JobId(self.next_job);
+            self.next_job += 1;
+            spec.job = id;
+            Some(id)
+        } else {
+            None
+        };
+        if self.inbox.len() >= self.config.inbox_capacity {
+            self.over_bound_envelopes += 1;
+        }
+        self.inbox.push_back(QueuedEnvelope { enqueued: now, env });
+        self.inbox_depth_peak = self.inbox_depth_peak.max(self.inbox.len());
+        SendOutcome::Enqueued { job }
+    }
+
+    /// Next wake time: the earliest of the inbox head (unless the actor is
+    /// stalled on database backpressure), the earliest timer, and the next
+    /// database write completion. While stalled, the next write completion
+    /// *is* the wake — a slot frees and the turn retries.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        let timer = self.timers.keys().next().map(|&(t, _)| t);
+        let inbox = if self.stalled {
+            None
+        } else {
+            self.inbox.front().map(|q| q.enqueued)
+        };
+        [timer, inbox, self.db.next_wake()]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Run the actor up to `now`: apply due database writes first (so
+    /// every turn reads a database that reflects all writes whose service
+    /// completed), then take turns — inbox envelopes and due timers merged
+    /// in time order, timers first on ties (a timer armed *for* `t`
+    /// precedes work enqueued *at* `t`; this makes turn order independent
+    /// of how senders batch their same-instant sends — property-tested).
+    ///
+    /// Critical-write backpressure: when the database inbox is at bound, a
+    /// turn that would submit critical intents is deferred — the envelope
+    /// stays at the inbox head (FIFO order preserved) or the timer is
+    /// re-armed at the next write completion — rather than over-filling
+    /// the queue. Deferred work retries as completions free slots.
+    pub fn advance(&mut self, now: SimTime) -> Vec<CoordAction> {
+        let mut actions = Vec::new();
+        loop {
+            // Re-applied every turn: a turn may submit writes whose service
+            // lands within this same instant, and deferral target times
+            // must always be strictly in the future.
+            self.db.advance(now);
+            if self.stalled && !self.db.would_block() {
+                self.stalled = false;
+            }
+            let env_due = self
+                .inbox
+                .front()
+                .map(|q| q.enqueued)
+                .filter(|&t| t <= now && !self.stalled);
+            let timer_due = self
+                .timers
+                .first_key_value()
+                .map(|(&(t, _), _)| t)
+                .filter(|&t| t <= now);
+            match (env_due, timer_due) {
+                (None, None) => break,
+                (Some(e), t) if t.is_none_or(|t| e < t) => {
+                    if self.head_turn_writes() && self.db.would_block() {
+                        // The head would over-fill the write queue: stall
+                        // until a completion frees a slot. FIFO blocks the
+                        // whole inbox so ordering is never violated.
+                        self.stalled = true;
+                        self.deferred_turns += 1;
+                        continue;
+                    }
+                    let q = self.inbox.pop_front().expect("just peeked");
+                    self.inbox_sojourn
+                        .record(now.since(q.enqueued).as_secs_f64());
+                    self.process_envelope(now, q.env, &mut actions);
+                }
+                _ => {
+                    let (&key, _) = self
+                        .timers
+                        .first_key_value()
+                        .expect("non-envelope turn implies a due timer");
+                    let timer = self.timers.remove(&key).expect("just observed");
+                    if self.db.would_block() {
+                        // Every timer's duty submits critical writes
+                        // (requeues, state flips, dequeues): re-arm it at
+                        // the next write completion instead of firing.
+                        self.deferred_turns += 1;
+                        let retry = self.db.next_wake().expect("full queue has completions");
+                        self.arm(retry.max(now), timer);
+                        continue;
+                    }
+                    self.fire_timer(now, timer, &mut actions);
+                }
+            }
+        }
+        actions
+    }
+
+    fn process_envelope(
+        &mut self,
+        now: SimTime,
+        env: CoordEnvelope,
+        actions: &mut Vec<CoordAction>,
+    ) {
+        match env {
+            CoordEnvelope::Net(e) => self.handle_envelope(now, *e, actions),
+            CoordEnvelope::Msg(m) => self.handle_message(now, *m, actions),
+            CoordEnvelope::SubmitJob(spec) => self.admit_job(now, *spec, actions),
+            CoordEnvelope::CancelJob(job) => self.cancel_job(now, job, actions),
+            CoordEnvelope::NodeDeparture(node) => self.node_lost(now, node, actions),
+            CoordEnvelope::ResetTelemetry => {
+                self.db.reset_telemetry();
+                self.inbox_sojourn = Online::new();
+                self.inbox_depth_peak = self.inbox.len();
+                self.shed_envelopes = 0;
+                self.over_bound_envelopes = 0;
+                self.deferred_turns = 0;
+            }
+        }
+    }
+
+    fn fire_timer(&mut self, now: SimTime, timer: CoordTimer, actions: &mut Vec<CoordAction>) {
+        match timer {
+            CoordTimer::HeartbeatSweep => {
+                self.heartbeat_sweep(now, actions);
+                self.arm(
+                    now + self.config.heartbeat_period,
+                    CoordTimer::HeartbeatSweep,
+                );
+            }
+            CoordTimer::SchedulePass => {
+                self.pass_armed = false;
+                self.scheduling_pass(now, actions);
+            }
+            CoordTimer::OfferTimeout(job) => {
+                self.offer_timed_out(now, job, actions);
+            }
+        }
     }
 
     fn arm(&mut self, at: SimTime, t: CoordTimer) {
@@ -297,63 +602,29 @@ impl Coordinator {
         }
     }
 
-    /// The emergent database write latency right now: residual write-queue
-    /// backlog plus one mean service time (the §5.2 quantity).
-    pub fn db_write_latency(&self, now: SimTime) -> SimDuration {
-        self.db.write_latency_estimate(now)
+    /// Database backpressure hit mid-pass: stop draining and re-arm the
+    /// pass at the next write completion. Placements already made in this
+    /// pass keep their reservations and offers; the remainder of the
+    /// queue is retried once a slot frees — the stall shows up as added
+    /// pass latency, never as a dropped critical write.
+    fn defer_pass(&mut self, now: SimTime) {
+        self.deferred_turns += 1;
+        self.pass_armed = true;
+        let retry = self
+            .db
+            .next_wake()
+            .map(|t| t.max(now))
+            .unwrap_or(now + self.config.db.mean_service_time);
+        self.arm(retry, CoordTimer::SchedulePass);
     }
 
-    /// Next wake time (earliest timer or database write completion).
-    pub fn next_wake(&self) -> Option<SimTime> {
-        let timer = self.timers.keys().next().map(|(t, _)| *t);
-        match (timer, self.db.next_wake()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
-    }
+    // ---- turn handlers ---------------------------------------------------
 
-    /// Fire due timers, applying due database writes first so every turn
-    /// reads a database that reflects all writes whose service completed.
-    pub fn on_wake(&mut self, now: SimTime) -> Vec<CoordAction> {
-        self.db.advance(now);
-        let mut actions = Vec::new();
-        while let Some((&(at, seq), _)) = self.timers.first_key_value() {
-            if at > now {
-                break;
-            }
-            let timer = self.timers.remove(&(at, seq)).expect("just observed");
-            match timer {
-                CoordTimer::HeartbeatSweep => {
-                    self.heartbeat_sweep(now, &mut actions);
-                    self.arm(
-                        now + self.config.heartbeat_period,
-                        CoordTimer::HeartbeatSweep,
-                    );
-                }
-                CoordTimer::SchedulePass => {
-                    self.pass_armed = false;
-                    self.scheduling_pass(now, &mut actions);
-                }
-                CoordTimer::OfferTimeout(job) => {
-                    self.offer_timed_out(now, job, &mut actions);
-                }
-            }
-        }
-        actions
-    }
-
-    // ---- user entry point ------------------------------------------------
-
-    /// Submit a job (from a user client). The coordinator assigns the id.
-    pub fn submit_job(
-        &mut self,
-        now: SimTime,
-        mut spec: DispatchSpec,
-    ) -> (JobId, Vec<CoordAction>) {
-        self.db.advance(now);
-        let job = JobId(self.next_job);
-        self.next_job += 1;
-        spec.job = job;
+    /// Admission of a user job submission (the [`CoordEnvelope::SubmitJob`]
+    /// turn). The id was assigned at enqueue; `now` is the turn time, so a
+    /// backpressure stall is visible as later `submitted_at`.
+    fn admit_job(&mut self, now: SimTime, spec: DispatchSpec, actions: &mut Vec<CoordAction>) {
+        let job = spec.job;
         let priority = spec.priority;
         self.db.submit(
             now,
@@ -379,24 +650,21 @@ impl Coordinator {
                 submitted_at: now,
             },
         );
-        let actions = vec![CoordAction::JobEvent {
+        actions.push(CoordAction::JobEvent {
             job,
             event: JobEvent::Queued,
-        }];
+        });
         self.arm_pass(now);
         if let Some(c) = &self.jobs_submitted {
             c.inc();
         }
-        (job, actions)
     }
 
-    /// Cancel a job on user request.
-    pub fn cancel_job(&mut self, now: SimTime, job: JobId) -> Vec<CoordAction> {
-        self.db.advance(now);
-        let mut actions = Vec::new();
+    /// Cancel a job (the [`CoordEnvelope::CancelJob`] turn).
+    fn cancel_job(&mut self, now: SimTime, job: JobId, actions: &mut Vec<CoordAction>) {
         self.drop_hold(job);
         let Some(meta) = self.jobs.remove(&job) else {
-            return actions;
+            return;
         };
         self.db.submit(now, WriteIntent::TakePending(job));
         let latency = self
@@ -414,7 +682,6 @@ impl Coordinator {
                 delay: latency,
             });
         }
-        actions
     }
 
     /// Drop a job's migrate-back hold (and its reservation), if any.
@@ -463,8 +730,8 @@ impl Coordinator {
 
     // ---- message handling --------------------------------------------
 
-    /// Validate and process an envelope from the network.
-    pub fn handle_envelope(&mut self, now: SimTime, env: Envelope) -> Vec<CoordAction> {
+    /// Validate and process a network envelope (one actor turn).
+    fn handle_envelope(&mut self, now: SimTime, env: Envelope, actions: &mut Vec<CoordAction>) {
         // Register is the only unauthenticated message.
         if !matches!(env.msg, Message::Register { .. }) {
             let valid = self.tokens.validate(env.sender, &env.token)
@@ -473,23 +740,22 @@ impl Coordinator {
                     .map(|n| n == env.sender)
                     .unwrap_or(true);
             if !valid {
-                return vec![CoordAction::Send {
+                actions.push(CoordAction::Send {
                     to: env.sender,
                     msg: Message::Error {
                         code: 401,
                         detail: "invalid token".into(),
                     },
                     delay: SimDuration::ZERO,
-                }];
+                });
+                return;
             }
         }
-        self.handle_message(now, env.msg)
+        self.handle_message(now, env.msg, actions);
     }
 
-    /// Process an already-authenticated message.
-    pub fn handle_message(&mut self, now: SimTime, msg: Message) -> Vec<CoordAction> {
-        self.db.advance(now);
-        let mut actions = Vec::new();
+    /// Process an already-authenticated message (one actor turn).
+    fn handle_message(&mut self, now: SimTime, msg: Message, actions: &mut Vec<CoordAction>) {
         match msg {
             Message::Register {
                 machine_id,
@@ -523,7 +789,7 @@ impl Coordinator {
                     delay: latency,
                 });
                 if returning {
-                    self.provider_returned(now, uid, &mut actions);
+                    self.provider_returned(now, uid, actions);
                 }
                 self.arm_pass(now);
             }
@@ -550,7 +816,7 @@ impl Coordinator {
                     // Node came back without re-registering (short blip).
                     self.db
                         .submit(now, WriteIntent::SetNodeState(node, NodeState::Active));
-                    self.provider_returned(now, node, &mut actions);
+                    self.provider_returned(now, node, actions);
                 }
                 // Progress bookkeeping from piggybacked workload status.
                 for ws in &workloads {
@@ -586,11 +852,11 @@ impl Coordinator {
                 self.timers
                     .retain(|_, t| !matches!(t, CoordTimer::OfferTimeout(j) if *j == job));
                 let Some(meta) = self.jobs.get_mut(&job) else {
-                    return actions;
+                    return;
                 };
                 let node = meta.offered_to.take();
                 let Some(node) = node else {
-                    return actions;
+                    return;
                 };
                 if accepted {
                     meta.current_node = Some(node);
@@ -628,7 +894,7 @@ impl Coordinator {
                         });
                     }
                 } else {
-                    self.offer_failed(now, job, node, &mut actions);
+                    self.offer_failed(now, job, node, actions);
                 }
             }
             Message::WorkloadUpdate { status, exit_code } => {
@@ -645,11 +911,11 @@ impl Coordinator {
                         }
                     }
                     WorkloadState::Completed => {
-                        self.finish_job(now, job, &mut actions);
+                        self.finish_job(now, job, actions);
                     }
                     WorkloadState::Killed => {
                         // Provider kill-switch or preemption: displace.
-                        self.displace_job(now, job, &mut actions);
+                        self.displace_job(now, job, actions);
                     }
                     WorkloadState::Failed => {
                         let retry = self
@@ -661,9 +927,9 @@ impl Coordinator {
                             })
                             .unwrap_or(false);
                         if retry {
-                            self.displace_job(now, job, &mut actions);
+                            self.displace_job(now, job, actions);
                         } else {
-                            self.fail_job(now, job, &mut actions);
+                            self.fail_job(now, job, actions);
                         }
                     }
                     _ => {}
@@ -713,7 +979,7 @@ impl Coordinator {
                         // the node goes offline (or per CheckpointDone).
                     }
                     gpunion_protocol::DepartureMode::Emergency => {
-                        self.node_lost(now, node, &mut actions);
+                        self.node_lost(now, node, actions);
                     }
                 }
             }
@@ -747,7 +1013,6 @@ impl Coordinator {
             Message::Error { .. } => {}
             _ => {}
         }
-        actions
     }
 
     // ---- failure handling ----------------------------------------------
@@ -765,7 +1030,7 @@ impl Coordinator {
 
     /// A node is gone (heartbeat loss or emergency departure): displace
     /// everything it was running.
-    pub fn node_lost(&mut self, now: SimTime, node: NodeUid, actions: &mut Vec<CoordAction>) {
+    fn node_lost(&mut self, now: SimTime, node: NodeUid, actions: &mut Vec<CoordAction>) {
         match self.dir.get(node) {
             None => return,
             Some(e) if e.liveness() == NodeLiveness::Offline => return,
@@ -968,13 +1233,17 @@ impl Coordinator {
     /// actor and pays that write's *emergent* sojourn time as its decision
     /// latency — later decisions in the same pass queue behind earlier
     /// ones, which is exactly the §5.2 contention the M/M/1 formula used
-    /// to simulate.
-    pub fn scheduling_pass(&mut self, now: SimTime, actions: &mut Vec<CoordAction>) {
-        self.db.advance(now);
+    /// to simulate. If the write queue hits its bound mid-drain, the pass
+    /// defers (see [`Coordinator::defer_pass`]) rather than over-filling.
+    fn scheduling_pass(&mut self, now: SimTime, actions: &mut Vec<CoordAction>) {
         let pending = self.db.state().pending_in_order();
 
         // Phase 1: the preferred-node (migrate-back) fast path.
         for &job in &pending {
+            if self.db.would_block() {
+                self.defer_pass(now);
+                return;
+            }
             let Some(meta) = self.jobs.get(&job) else {
                 continue;
             };
@@ -1007,6 +1276,10 @@ impl Coordinator {
 
         // Phase 2: drain the rest of the queue against the live index.
         for &job in &pending {
+            if self.db.would_block() {
+                self.defer_pass(now);
+                return;
+            }
             let Some(meta) = self.jobs.get(&job) else {
                 // Job no longer tracked (cancelled/failed elsewhere):
                 // scrub the orphan queue entry.
@@ -1079,23 +1352,6 @@ impl Coordinator {
             h.observe(latency.as_secs_f64());
         }
     }
-
-    /// Time a job has been waiting (diagnostics).
-    pub fn job_wait(&self, job: JobId, now: SimTime) -> Option<SimDuration> {
-        self.jobs.get(&job).map(|m| now.since(m.submitted_at))
-    }
-
-    /// The node currently hosting a job.
-    pub fn job_node(&self, job: JobId) -> Option<NodeUid> {
-        self.jobs.get(&job).and_then(|m| m.current_node)
-    }
-
-    /// Latest durable checkpoint of a job.
-    pub fn job_checkpoint(&self, job: JobId) -> Option<(u64, Vec<NodeUid>)> {
-        self.jobs
-            .get(&job)
-            .and_then(|m| m.latest_checkpoint.clone())
-    }
 }
 
 /// Which node a message claims to come from (for token validation).
@@ -1108,10 +1364,53 @@ fn message_source(msg: &Message) -> Option<NodeUid> {
     }
 }
 
-/// Expose the token check for embedding loops that skip full envelopes.
 impl Coordinator {
-    /// Validate a token for a node (live-mode helper).
-    pub fn validate_token(&self, node: NodeUid, token: &AuthToken) -> bool {
-        self.tokens.validate(node, token)
+    /// Heartbeats are status traffic: sheddable at the inbox bound — the
+    /// next beat carries fresher data. The exception mirrors
+    /// [`Coordinator::head_turn_writes`]: a heartbeat that would *revive*
+    /// an Offline node carries a critical state flip (and migrate-back
+    /// bookkeeping), so shedding it could leave the node dead at the
+    /// coordinator indefinitely; it is admitted like any other critical
+    /// envelope.
+    fn envelope_sheddable(&self, env: &CoordEnvelope) -> bool {
+        match env {
+            CoordEnvelope::Net(e) => match &e.msg {
+                Message::Heartbeat { node, .. } => !self.heartbeat_revives(*node),
+                _ => false,
+            },
+            CoordEnvelope::Msg(m) => match &**m {
+                Message::Heartbeat { node, .. } => !self.heartbeat_revives(*node),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+    /// Whether the inbox head's turn would submit critical database writes
+    /// (and must therefore defer while the write queue is at bound).
+    /// Heartbeats normally carry only a sheddable status write — except a
+    /// heartbeat that *revives* an Offline node, whose turn submits a
+    /// critical state flip (and may start migrate-back bookkeeping), so it
+    /// defers like any other critical envelope. Telemetry resets write
+    /// nothing.
+    fn head_turn_writes(&self) -> bool {
+        match &self.inbox.front().expect("head peeked by caller").env {
+            CoordEnvelope::Net(e) => match &e.msg {
+                Message::Heartbeat { node, .. } => self.heartbeat_revives(*node),
+                _ => true,
+            },
+            CoordEnvelope::Msg(m) => match &**m {
+                Message::Heartbeat { node, .. } => self.heartbeat_revives(*node),
+                _ => true,
+            },
+            CoordEnvelope::ResetTelemetry => false,
+            _ => true,
+        }
+    }
+
+    fn heartbeat_revives(&self, node: NodeUid) -> bool {
+        self.dir
+            .get(node)
+            .map(|e| e.liveness() == NodeLiveness::Offline)
+            .unwrap_or(false)
     }
 }

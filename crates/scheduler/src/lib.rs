@@ -1,25 +1,33 @@
 //! # gpunion-scheduler — the central coordinator
 //!
-//! The coordination hub of §3.2: node [`directory::Directory`] fed by
-//! registrations and heartbeats, allocation [`strategy::Strategy`]s over the
-//! database-resident pending queue, heartbeat-loss failure detection (three
-//! missed beats), displacement + checkpoint-restore migration, and
-//! migrate-back when providers return — with every decision paying the
-//! emergent sojourn time of its own write through the database actor's
-//! bounded queue, the contention that bounds scalability (§5.2).
+//! The coordination hub of §3.2 as a single-owner actor: node
+//! [`directory::Directory`] fed by registrations and heartbeats, allocation
+//! [`strategy::Strategy`]s over the database-resident pending queue,
+//! heartbeat-loss failure detection (three missed beats), displacement +
+//! checkpoint-restore migration, and migrate-back when providers return.
+//! All mutating traffic enters through the coordinator's bounded inbox of
+//! typed [`coordinator::CoordEnvelope`]s and is processed one actor turn at
+//! a time inside [`coordinator::Coordinator::advance`] — with every
+//! decision paying the emergent sojourn time of its own write through the
+//! database actor's bounded queue, the contention that bounds scalability
+//! (§5.2). When that queue is at bound, the coordinator defers its own
+//! turns instead of over-filling it: critical writes are delayed, never
+//! dropped.
 
 pub mod coordinator;
 pub mod directory;
 pub mod strategy;
 
-pub use coordinator::{CoordAction, Coordinator, CoordinatorConfig, JobEvent};
+pub use coordinator::{
+    CoordAction, CoordEnvelope, Coordinator, CoordinatorConfig, JobEvent, SendOutcome,
+};
 pub use directory::{Directory, NodeEntry, NodeLiveness, Reliability};
 pub use strategy::{Selector, Strategy};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpunion_des::SimTime;
+    use gpunion_des::{SimDuration, SimTime};
     use gpunion_gpu::GpuModel;
     use gpunion_protocol::{
         DispatchSpec, ExecMode, GpuStat, JobId, Message, NodeUid, WorkloadState, WorkloadStatus,
@@ -49,8 +57,31 @@ mod tests {
         }
     }
 
+    /// Enqueue a pre-authenticated message and run the actor's turn at
+    /// `now`. Due timers at or before `now` fire in the same call — the
+    /// actor merges envelopes and timer wakes in time order.
+    fn msg(coord: &mut Coordinator, now: SimTime, m: Message) -> Vec<CoordAction> {
+        coord.send(now, CoordEnvelope::Msg(Box::new(m)));
+        coord.advance(now)
+    }
+
+    /// Enqueue a job submission and run its turn; returns the assigned id
+    /// (handed out at admission) and the turn's actions.
+    fn submit(
+        coord: &mut Coordinator,
+        now: SimTime,
+        spec: DispatchSpec,
+    ) -> (JobId, Vec<CoordAction>) {
+        let outcome = coord.send(now, CoordEnvelope::SubmitJob(Box::new(spec)));
+        let SendOutcome::Enqueued { job: Some(job) } = outcome else {
+            panic!("job submissions are never shed: {outcome:?}");
+        };
+        (job, coord.advance(now))
+    }
+
     fn register(coord: &mut Coordinator, now: SimTime, machine: &str) -> NodeUid {
-        let actions = coord.handle_message(
+        let actions = msg(
+            coord,
             now,
             Message::Register {
                 machine_id: machine.into(),
@@ -71,7 +102,12 @@ mod tests {
             .expect("ack")
     }
 
-    fn heartbeat(coord: &mut Coordinator, now: SimTime, node: NodeUid, seq: u64) {
+    fn heartbeat(
+        coord: &mut Coordinator,
+        now: SimTime,
+        node: NodeUid,
+        seq: u64,
+    ) -> Vec<CoordAction> {
         let stats = vec![GpuStat {
             memory_used: 0,
             memory_total: 24 << 30,
@@ -79,7 +115,8 @@ mod tests {
             temperature_c: 30.0,
             power_w: 25.0,
         }];
-        coord.handle_message(
+        msg(
+            coord,
             now,
             Message::Heartbeat {
                 node,
@@ -88,17 +125,17 @@ mod tests {
                 gpu_stats: stats,
                 workloads: vec![],
             },
-        );
+        )
     }
 
-    /// Drain all coordinator timers up to `until`.
+    /// Drain all coordinator wakes up to `until`.
     fn drive(coord: &mut Coordinator, until: SimTime) -> Vec<CoordAction> {
         let mut out = Vec::new();
         while let Some(at) = coord.next_wake() {
             if at > until {
                 break;
             }
-            out.extend(coord.on_wake(at));
+            out.extend(coord.advance(at));
         }
         out
     }
@@ -114,13 +151,26 @@ mod tests {
         })
     }
 
+    fn all_dispatches(actions: &[CoordAction]) -> Vec<(NodeUid, JobId)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                CoordAction::Send {
+                    to,
+                    msg: Message::Dispatch { spec },
+                    ..
+                } => Some((*to, spec.job)),
+                _ => None,
+            })
+            .collect()
+    }
+
     #[test]
     fn submit_dispatch_accept_cycle() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let node = register(&mut coord, t(1), "m-1");
         heartbeat(&mut coord, t(2), node, 1);
-        let (job, actions) = coord.submit_job(t(3), spec());
+        let (job, actions) = submit(&mut coord, t(3), spec());
         assert!(actions.iter().any(|a| matches!(
             a,
             CoordAction::JobEvent {
@@ -134,7 +184,8 @@ mod tests {
         assert_eq!(to, node);
         assert_eq!(j, job);
         // Accept.
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(5),
             Message::DispatchReply {
                 job,
@@ -151,15 +202,15 @@ mod tests {
     #[test]
     fn rejection_retries_on_other_node() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let n1 = register(&mut coord, t(1), "m-1");
         let n2 = register(&mut coord, t(1), "m-2");
         heartbeat(&mut coord, t(2), n1, 1);
         heartbeat(&mut coord, t(2), n2, 1);
-        let (job, _) = coord.submit_job(t(3), spec());
+        let (job, _) = submit(&mut coord, t(3), spec());
         let actions = drive(&mut coord, t(4));
         let (first, _) = find_dispatch(&actions).expect("dispatch");
-        let actions = coord.handle_message(
+        let actions = msg(
+            &mut coord,
             t(5),
             Message::DispatchReply {
                 job,
@@ -180,12 +231,12 @@ mod tests {
     #[test]
     fn heartbeat_loss_displaces_jobs() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let node = register(&mut coord, t(1), "m-1");
         heartbeat(&mut coord, t(2), node, 1);
-        let (job, _) = coord.submit_job(t(3), spec());
+        let (job, _) = submit(&mut coord, t(3), spec());
         drive(&mut coord, t(4));
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(5),
             Message::DispatchReply {
                 job,
@@ -193,8 +244,14 @@ mod tests {
                 reason: String::new(),
             },
         );
+        // Stay alive until t=400 (the actor fires sweeps in time order, so
+        // the checkpoint must land before the node goes stale).
+        for (i, s) in (7..=400).step_by(5).enumerate() {
+            heartbeat(&mut coord, t(s), node, 2 + i as u64);
+        }
         // Record a checkpoint so the requeue can restore.
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(400),
             Message::CheckpointDone {
                 job,
@@ -203,7 +260,7 @@ mod tests {
                 stored_on: vec![],
             },
         );
-        // No heartbeats after t=2 ⇒ sweep marks it lost (timeout = 3 × 5 s).
+        // No heartbeats after t=397 ⇒ sweep marks it lost (timeout = 3 × 5 s).
         let actions = drive(&mut coord, t(430));
         assert!(
             actions.iter().any(|a| matches!(
@@ -223,15 +280,15 @@ mod tests {
     #[test]
     fn graceful_departure_then_offline_migrates() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let n1 = register(&mut coord, t(1), "m-1");
         let n2 = register(&mut coord, t(1), "m-2");
         heartbeat(&mut coord, t(2), n1, 1);
         heartbeat(&mut coord, t(2), n2, 1);
-        let (job, _) = coord.submit_job(t(3), spec());
+        let (job, _) = submit(&mut coord, t(3), spec());
         let actions = drive(&mut coord, t(4));
         let (target, _) = find_dispatch(&actions).expect("dispatch");
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(5),
             Message::DispatchReply {
                 job,
@@ -241,14 +298,16 @@ mod tests {
         );
         // Provider announces graceful departure; checkpoint lands; node
         // goes silent.
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(10),
             Message::DepartureNotice {
                 node: target,
                 mode: gpunion_protocol::DepartureMode::Graceful { grace_secs: 120 },
             },
         );
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(15),
             Message::CheckpointDone {
                 job,
@@ -257,25 +316,18 @@ mod tests {
                 stored_on: vec![],
             },
         );
-        // Keep the survivor alive while the departed node goes stale.
+        // Keep the survivor alive while the departed node goes stale; the
+        // sweeps (and the re-dispatch they trigger) fire during these
+        // turns, so collect everything.
         let other = if target == n1 { n2 } else { n1 };
+        let mut actions = Vec::new();
         for (i, s) in (20..60).step_by(5).enumerate() {
-            heartbeat(&mut coord, t(s), other, 2 + i as u64);
+            actions.extend(heartbeat(&mut coord, t(s), other, 2 + i as u64));
         }
-        let actions = drive(&mut coord, t(60));
+        actions.extend(drive(&mut coord, t(60)));
         // The job must have been requeued with restore and re-dispatched to
         // the other node.
-        let dispatches: Vec<(NodeUid, JobId)> = actions
-            .iter()
-            .filter_map(|a| match a {
-                CoordAction::Send {
-                    to,
-                    msg: Message::Dispatch { spec },
-                    ..
-                } => Some((*to, spec.job)),
-                _ => None,
-            })
-            .collect();
+        let dispatches = all_dispatches(&actions);
         assert!(
             dispatches.iter().any(|(to, j)| *to == other && *j == job),
             "dispatches: {dispatches:?}"
@@ -285,12 +337,12 @@ mod tests {
     #[test]
     fn kill_switch_update_requeues() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let n1 = register(&mut coord, t(1), "m-1");
         heartbeat(&mut coord, t(2), n1, 1);
-        let (job, _) = coord.submit_job(t(3), spec());
+        let (job, _) = submit(&mut coord, t(3), spec());
         drive(&mut coord, t(4));
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(5),
             Message::DispatchReply {
                 job,
@@ -298,7 +350,8 @@ mod tests {
                 reason: String::new(),
             },
         );
-        let actions = coord.handle_message(
+        let actions = msg(
+            &mut coord,
             t(50),
             Message::WorkloadUpdate {
                 status: WorkloadStatus {
@@ -322,12 +375,12 @@ mod tests {
     #[test]
     fn completion_cleans_up() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let n1 = register(&mut coord, t(1), "m-1");
         heartbeat(&mut coord, t(2), n1, 1);
-        let (job, _) = coord.submit_job(t(3), spec());
+        let (job, _) = submit(&mut coord, t(3), spec());
         drive(&mut coord, t(4));
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(5),
             Message::DispatchReply {
                 job,
@@ -335,7 +388,8 @@ mod tests {
                 reason: String::new(),
             },
         );
-        let actions = coord.handle_message(
+        let actions = msg(
+            &mut coord,
             t(100),
             Message::WorkloadUpdate {
                 status: WorkloadStatus {
@@ -366,15 +420,15 @@ mod tests {
     #[test]
     fn migrate_back_on_provider_return() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let n1 = register(&mut coord, t(1), "m-1");
         let n2 = register(&mut coord, t(1), "m-2");
         heartbeat(&mut coord, t(2), n1, 1);
         heartbeat(&mut coord, t(2), n2, 1);
-        let (job, _) = coord.submit_job(t(3), spec());
+        let (job, _) = submit(&mut coord, t(3), spec());
         let actions = drive(&mut coord, t(4));
         let (home, _) = find_dispatch(&actions).expect("dispatch");
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(5),
             Message::DispatchReply {
                 job,
@@ -383,14 +437,15 @@ mod tests {
             },
         );
         // Home node dies; job migrates to the other node.
-        let mut actions = Vec::new();
-        coord.node_lost(t(10), home, &mut actions);
+        coord.send(t(10), CoordEnvelope::NodeDeparture(home));
+        let mut actions = coord.advance(t(10));
         let other = if home == n1 { n2 } else { n1 };
-        heartbeat(&mut coord, t(11), other, 2);
-        let actions = drive(&mut coord, t(12));
+        actions.extend(heartbeat(&mut coord, t(11), other, 2));
+        actions.extend(drive(&mut coord, t(12)));
         let (second, _) = find_dispatch(&actions).expect("re-dispatch");
         assert_eq!(second, other);
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(13),
             Message::DispatchReply {
                 job,
@@ -398,16 +453,16 @@ mod tests {
                 reason: String::new(),
             },
         );
-        // Keep the surviving node heartbeating while time passes (and drive
-        // the sweep timers as a real event loop would).
+        // Keep the surviving node heartbeating while time passes (sweep
+        // timers fire inside these turns, as in a real event loop).
         let mut hb_seq = 3u64;
         for s in (15..300).step_by(5) {
             heartbeat(&mut coord, t(s), other, hb_seq);
             hb_seq += 1;
-            drive(&mut coord, t(s));
         }
         // Home provider returns within the window.
-        let actions = coord.handle_message(
+        let actions = msg(
+            &mut coord,
             t(300),
             Message::Register {
                 machine_id: if home == n1 {
@@ -435,7 +490,8 @@ mod tests {
         // Let the registration's scheduling pass fire (nothing pending yet).
         drive(&mut coord, t(305));
         // Checkpoint lands → preempt on current node.
-        let actions = coord.handle_message(
+        let actions = msg(
+            &mut coord,
             t(310),
             Message::CheckpointDone {
                 job,
@@ -452,7 +508,8 @@ mod tests {
             }
         )));
         // Kill lands → requeue → dispatched home with restore.
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(311),
             Message::WorkloadUpdate {
                 status: WorkloadStatus {
@@ -464,9 +521,9 @@ mod tests {
                 exit_code: Some(137),
             },
         );
-        heartbeat(&mut coord, t(312), home, 1);
-        heartbeat(&mut coord, t(312), other, hb_seq);
-        let actions = drive(&mut coord, t(315));
+        let mut actions = heartbeat(&mut coord, t(312), home, 1);
+        actions.extend(heartbeat(&mut coord, t(312), other, hb_seq));
+        actions.extend(drive(&mut coord, t(315)));
         let dispatch_spec = actions.iter().find_map(|a| match a {
             CoordAction::Send {
                 to,
@@ -478,7 +535,8 @@ mod tests {
         let s = dispatch_spec.expect("dispatched back home");
         assert_eq!(s.restore_from_seq, Some(5));
         // Accepting yields the MigratedBack event.
-        let actions = coord.handle_message(
+        let actions = msg(
+            &mut coord,
             t(316),
             Message::DispatchReply {
                 job,
@@ -498,7 +556,6 @@ mod tests {
     #[test]
     fn invalid_token_rejected() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let node = register(&mut coord, t(1), "m-1");
         let env = gpunion_protocol::Envelope::new(
             gpunion_protocol::AuthToken([0xBB; 16]),
@@ -510,7 +567,8 @@ mod tests {
                 workloads: vec![],
             },
         );
-        let actions = coord.handle_envelope(t(2), env);
+        coord.send(t(2), CoordEnvelope::Net(Box::new(env)));
+        let actions = coord.advance(t(2));
         assert!(actions.iter().any(|a| matches!(
             a,
             CoordAction::Send {
@@ -523,18 +581,17 @@ mod tests {
     #[test]
     fn offer_timeout_excludes_silent_node() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let n1 = register(&mut coord, t(1), "m-1");
         let n2 = register(&mut coord, t(1), "m-2");
         // Both heartbeat continuously so neither is marked lost.
-        let (job, _) = coord.submit_job(t(3), spec());
+        let (job, _) = submit(&mut coord, t(3), spec());
         let mut first = None;
         let mut second = None;
         for s in 2..40u64 {
             let hb = s - 1;
-            heartbeat(&mut coord, t(s), n1, hb);
-            heartbeat(&mut coord, t(s), n2, hb);
-            for a in coord.on_wake(t(s)) {
+            let mut actions = heartbeat(&mut coord, t(s), n1, hb);
+            actions.extend(heartbeat(&mut coord, t(s), n2, hb));
+            for a in actions {
                 if let CoordAction::Send {
                     to,
                     msg: Message::Dispatch { .. },
@@ -562,12 +619,10 @@ mod tests {
     #[test]
     fn decision_latency_grows_with_node_count() {
         let mut small = Coordinator::new(CoordinatorConfig::default(), 1);
-        small.start(t(0));
         for i in 0..10 {
             register(&mut small, t(1), &format!("s-{i}"));
         }
         let mut big = Coordinator::new(CoordinatorConfig::default(), 1);
-        big.start(t(0));
         for i in 0..400 {
             register(&mut big, t(1), &format!("b-{i}"));
         }
@@ -578,17 +633,19 @@ mod tests {
     #[test]
     fn cancel_pending_and_running_jobs() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let n1 = register(&mut coord, t(1), "m-1");
         heartbeat(&mut coord, t(2), n1, 1);
-        // Pending cancel.
-        let (j1, _) = coord.submit_job(t(3), spec());
-        let actions = coord.cancel_job(t(4), j1);
+        // Pending cancel (same instant: the pass a submission arms fires a
+        // write-latency later, so the job is still queued).
+        let (j1, _) = submit(&mut coord, t(3), spec());
+        coord.send(t(3), CoordEnvelope::CancelJob(j1));
+        let actions = coord.advance(t(3));
         assert!(actions.is_empty(), "pending job cancels without messages");
         // Running cancel.
-        let (j2, _) = coord.submit_job(t(5), spec());
+        let (j2, _) = submit(&mut coord, t(5), spec());
         drive(&mut coord, t(6));
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(7),
             Message::DispatchReply {
                 job: j2,
@@ -596,7 +653,8 @@ mod tests {
                 reason: String::new(),
             },
         );
-        let actions = coord.cancel_job(t(8), j2);
+        coord.send(t(8), CoordEnvelope::CancelJob(j2));
+        let actions = coord.advance(t(8));
         assert!(actions.iter().any(|a| matches!(
             a,
             CoordAction::Send {
@@ -619,13 +677,12 @@ mod tests {
             ..spec()
         };
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let n1 = register(&mut coord, t(1), "m-1");
         let n2 = register(&mut coord, t(1), "m-2");
         heartbeat(&mut coord, t(2), n1, 1);
         heartbeat(&mut coord, t(2), n2, 1);
         // Fill both nodes.
-        let (job_a, _) = coord.submit_job(t(3), big_spec());
+        let (job_a, _) = submit(&mut coord, t(3), big_spec());
         drive(&mut coord, t(4));
         let home = coord
             .directory()
@@ -633,7 +690,8 @@ mod tests {
             .find(|e| e.has_reservation(job_a))
             .map(|e| e.uid)
             .expect("offered somewhere");
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(5),
             Message::DispatchReply {
                 job: job_a,
@@ -642,9 +700,10 @@ mod tests {
             },
         );
         let other = if home == n1 { n2 } else { n1 };
-        let (job_b, _) = coord.submit_job(t(6), big_spec());
+        let (job_b, _) = submit(&mut coord, t(6), big_spec());
         drive(&mut coord, t(7));
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(8),
             Message::DispatchReply {
                 job: job_b,
@@ -661,7 +720,8 @@ mod tests {
             temperature_c: 70.0,
             power_w: 300.0,
         };
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(9),
             Message::Heartbeat {
                 node: home,
@@ -671,7 +731,8 @@ mod tests {
                 workloads: vec![],
             },
         );
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(9),
             Message::Heartbeat {
                 node: other,
@@ -681,11 +742,11 @@ mod tests {
                 workloads: vec![],
             },
         );
-        let (backlog, _) = coord.submit_job(t(10), big_spec());
+        let (backlog, _) = submit(&mut coord, t(10), big_spec());
         drive(&mut coord, t(11));
         // Home dies: job_a displaced, queued BEHIND the backlog job.
-        let mut actions = Vec::new();
-        coord.node_lost(t(12), home, &mut actions);
+        coord.send(t(12), CoordEnvelope::NodeDeparture(home));
+        coord.advance(t(12));
         // Let the requeue write apply (both nodes are full, so the armed
         // pass places nothing).
         drive(&mut coord, t(13));
@@ -697,7 +758,8 @@ mod tests {
         // Home returns fresh: the fast path must place job_a there even
         // though the backlog job is first in dispatch order.
         let machine = if home == n1 { "m-1" } else { "m-2" };
-        coord.handle_message(
+        let mut actions = msg(
+            &mut coord,
             t(20),
             Message::Register {
                 machine_id: machine.into(),
@@ -706,19 +768,9 @@ mod tests {
                 agent_version: 1,
             },
         );
-        heartbeat(&mut coord, t(21), home, 1);
-        let actions = drive(&mut coord, t(22));
-        let dispatches: Vec<(NodeUid, JobId)> = actions
-            .iter()
-            .filter_map(|a| match a {
-                CoordAction::Send {
-                    to,
-                    msg: Message::Dispatch { spec },
-                    ..
-                } => Some((*to, spec.job)),
-                _ => None,
-            })
-            .collect();
+        actions.extend(heartbeat(&mut coord, t(21), home, 1));
+        actions.extend(drive(&mut coord, t(22)));
+        let dispatches = all_dispatches(&actions);
         assert_eq!(
             dispatches,
             vec![(home, job_a)],
@@ -732,16 +784,16 @@ mod tests {
     #[test]
     fn displacement_resets_rejection_exclusions() {
         let mut coord = Coordinator::new(CoordinatorConfig::default(), 1);
-        coord.start(t(0));
         let n1 = register(&mut coord, t(1), "m-1");
         let n2 = register(&mut coord, t(1), "m-2");
         heartbeat(&mut coord, t(2), n1, 1);
         heartbeat(&mut coord, t(2), n2, 1);
-        let (job, _) = coord.submit_job(t(3), spec());
+        let (job, _) = submit(&mut coord, t(3), spec());
         let actions = drive(&mut coord, t(4));
         let (first, _) = find_dispatch(&actions).expect("dispatch");
         // First target rejects; retry lands on the second node.
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(5),
             Message::DispatchReply {
                 job,
@@ -752,7 +804,8 @@ mod tests {
         let actions = drive(&mut coord, t(6));
         let (second, _) = find_dispatch(&actions).expect("second dispatch");
         assert_ne!(first, second);
-        coord.handle_message(
+        msg(
+            &mut coord,
             t(7),
             Message::DispatchReply {
                 job,
@@ -762,11 +815,312 @@ mod tests {
         );
         // The hosting node dies; the once-rejecting node is the only one
         // left and must be offered the displaced job.
-        let mut actions = Vec::new();
-        coord.node_lost(t(10), second, &mut actions);
-        heartbeat(&mut coord, t(11), first, 2);
-        let actions = drive(&mut coord, t(12));
+        coord.send(t(10), CoordEnvelope::NodeDeparture(second));
+        let mut actions = coord.advance(t(10));
+        actions.extend(heartbeat(&mut coord, t(11), first, 2));
+        actions.extend(drive(&mut coord, t(12)));
         let (target, j) = find_dispatch(&actions).expect("re-dispatch after displacement");
         assert_eq!((target, j), (first, job), "stale exclusion was cleared");
+    }
+
+    // ---- actor-turn invariants ------------------------------------------
+
+    /// Heartbeats are shed at the coordinator inbox bound; critical
+    /// envelopes are always admitted (and counted when over the bound).
+    #[test]
+    fn inbox_sheds_heartbeats_but_never_critical_envelopes() {
+        let mut coord = Coordinator::new(
+            CoordinatorConfig {
+                inbox_capacity: 2,
+                ..Default::default()
+            },
+            1,
+        );
+        let hb = |n: u64, s: u64| {
+            Box::new(Message::Heartbeat {
+                node: NodeUid(n),
+                seq: s,
+                accepting: true,
+                gpu_stats: vec![],
+                workloads: vec![],
+            })
+        };
+        assert!(matches!(
+            coord.send(t(1), CoordEnvelope::Msg(hb(1, 1))),
+            SendOutcome::Enqueued { .. }
+        ));
+        assert!(matches!(
+            coord.send(t(1), CoordEnvelope::Msg(hb(2, 1))),
+            SendOutcome::Enqueued { .. }
+        ));
+        assert_eq!(
+            coord.send(t(1), CoordEnvelope::Msg(hb(3, 1))),
+            SendOutcome::Shed,
+            "heartbeat past the bound is shed"
+        );
+        assert_eq!(coord.shed_envelopes(), 1);
+        // A job submission is critical: admitted past the bound, counted.
+        let outcome = coord.send(t(1), CoordEnvelope::SubmitJob(Box::new(spec())));
+        assert!(matches!(outcome, SendOutcome::Enqueued { job: Some(_) }));
+        assert_eq!(coord.over_bound_envelopes(), 1);
+        assert_eq!(coord.inbox_depth(), 3);
+        // Draining empties the inbox; the submission survived.
+        coord.advance(t(1));
+        assert_eq!(coord.inbox_depth(), 0);
+        assert_eq!(coord.live_jobs(), 1);
+    }
+
+    /// With the database write queue at bound, the coordinator defers its
+    /// turns instead of over-filling: every critical write is delayed,
+    /// never dropped, and the stall is visible as inbox sojourn.
+    #[test]
+    fn deferred_turns_never_drop_critical_writes() {
+        let mut config = CoordinatorConfig::default();
+        config.db.inbox_capacity = 4; // tiny bound: stalls are immediate
+        let mut coord = Coordinator::new(config, 1);
+        let node = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), node, 1);
+        // A burst of submissions: 4 writes fill the queue; the rest of the
+        // envelopes must wait for completions.
+        let mut jobs = Vec::new();
+        for _ in 0..16 {
+            let SendOutcome::Enqueued { job: Some(j) } =
+                coord.send(t(3), CoordEnvelope::SubmitJob(Box::new(spec())))
+            else {
+                panic!("critical envelopes are never shed");
+            };
+            jobs.push(j);
+        }
+        coord.advance(t(3));
+        assert!(
+            coord.inbox_depth() > 0,
+            "the burst cannot be admitted in one turn against a 4-deep queue"
+        );
+        assert!(coord.deferred_turns() > 0, "stalls were recorded");
+        // Let the world run: completions free slots, deferred turns retry.
+        drive(&mut coord, t(3600));
+        assert_eq!(coord.inbox_depth(), 0, "every envelope eventually ran");
+        // No submission was lost: every job is tracked (pending, offered,
+        // or placed) and every SubmitJob write applied.
+        assert_eq!(coord.live_jobs(), 16);
+        for j in &jobs {
+            assert!(coord.db().job(*j).is_some(), "job {j:?} row exists");
+        }
+        // The write queue never ran away past its bound by more than the
+        // handful of writes one turn commits.
+        assert!(
+            coord.db_actor().depth_peak() <= 4 + 2,
+            "depth peak {} breaches the bound + one turn's writes",
+            coord.db_actor().depth_peak()
+        );
+        assert!(
+            coord.inbox_sojourn().max().unwrap_or(0.0) > 0.0,
+            "backpressure must be visible as inbox sojourn"
+        );
+    }
+
+    /// A heartbeat that would revive an Offline node is critical, not
+    /// status traffic: at the coordinator inbox bound it must be admitted
+    /// (ordinary heartbeats shed), or an overloaded coordinator could
+    /// keep a returned provider dead indefinitely.
+    #[test]
+    fn reviving_heartbeats_are_not_shed_at_the_inbox_bound() {
+        let mut coord = Coordinator::new(
+            CoordinatorConfig {
+                inbox_capacity: 1,
+                ..Default::default()
+            },
+            1,
+        );
+        let node = register(&mut coord, t(1), "m-1");
+        coord.send(t(2), CoordEnvelope::NodeDeparture(node));
+        coord.advance(t(2));
+        // Fill the inbox to its bound with a critical envelope.
+        coord.send(t(3), CoordEnvelope::SubmitJob(Box::new(spec())));
+        assert_eq!(coord.inbox_depth(), 1);
+        let hb = |n: NodeUid, s: u64| {
+            Box::new(Message::Heartbeat {
+                node: n,
+                seq: s,
+                accepting: true,
+                gpu_stats: vec![],
+                workloads: vec![],
+            })
+        };
+        // An ordinary heartbeat (node is fine... here: unknown uid 99)
+        // sheds at the bound.
+        assert_eq!(
+            coord.send(t(3), CoordEnvelope::Msg(hb(NodeUid(99), 1))),
+            SendOutcome::Shed
+        );
+        // The Offline node's reviving heartbeat is admitted past it.
+        assert!(matches!(
+            coord.send(t(3), CoordEnvelope::Msg(hb(node, 2))),
+            SendOutcome::Enqueued { .. }
+        ));
+        drive(&mut coord, t(4));
+        assert_eq!(
+            coord.directory().get(node).map(|e| e.liveness()),
+            Some(NodeLiveness::Active),
+            "the revival landed despite the saturated inbox"
+        );
+    }
+
+    /// A heartbeat that revives an Offline node submits a critical state
+    /// flip, so unlike ordinary (sheddable-status) heartbeats it must
+    /// defer at the database bound rather than bypass the backpressure.
+    #[test]
+    fn reviving_heartbeats_defer_like_critical_envelopes() {
+        let mut config = CoordinatorConfig::default();
+        config.db.inbox_capacity = 1;
+        let mut coord = Coordinator::new(config, 1);
+        let node = register(&mut coord, t(1), "m-1");
+        drive(&mut coord, t(2)); // settle the registration write
+                                 // Node loss marks it Offline; the SetNodeState(Unavailable) write
+                                 // fills the 1-deep queue.
+        coord.send(t(3), CoordEnvelope::NodeDeparture(node));
+        coord.advance(t(3));
+        assert!(coord.db_actor().would_block());
+        let over_before = coord.db_actor().over_bound_writes();
+        coord.send(
+            t(3),
+            CoordEnvelope::Msg(Box::new(Message::Heartbeat {
+                node,
+                seq: 9,
+                accepting: true,
+                gpu_stats: vec![],
+                workloads: vec![],
+            })),
+        );
+        let actions = coord.advance(t(3));
+        assert!(actions.is_empty(), "reviving turn deferred, no ack yet");
+        assert_eq!(coord.inbox_depth(), 1, "heartbeat waits at the head");
+        assert!(coord.deferred_turns() > 0);
+        // Once the queue drains, the turn runs and the node revives. The
+        // turn was admitted against a free slot; its own status write may
+        // fill that slot before the critical flip (the documented
+        // one-turn slack on a 1-deep queue), but the turn itself never
+        // started against a full queue.
+        drive(&mut coord, t(4));
+        assert_eq!(coord.inbox_depth(), 0);
+        assert!(coord.db_actor().over_bound_writes() <= over_before + 1);
+        assert_eq!(
+            coord.directory().get(node).map(|e| e.liveness()),
+            Some(NodeLiveness::Active)
+        );
+    }
+
+    /// Build the op stream for the drive-equivalence proptest: a mixed
+    /// sequence of registrations, heartbeats, submissions, replies, kills,
+    /// cancels, and departures at non-decreasing integer times — including
+    /// same-instant batches, and including instants where a (drifted)
+    /// sweep timer is due, so the timer-first tie rule is exercised.
+    fn turn_events(ops: &[(u8, u64, u64)]) -> Vec<(SimTime, CoordEnvelope)> {
+        let mut now = 1u64;
+        let mut out = Vec::new();
+        for &(op, a, b) in ops {
+            // 0–3 s steps; same-instant batches when the step is 0.
+            now += b % 4;
+            if now % 5 == 0 {
+                now += 1;
+            }
+            let at = t(now);
+            let env = match op % 7 {
+                0 => CoordEnvelope::Msg(Box::new(Message::Register {
+                    machine_id: format!("m-{}", a % 8),
+                    hostname: format!("h-{}", a % 8),
+                    gpus: vec![GpuModel::Rtx3090.into()],
+                    agent_version: 1,
+                })),
+                1 => CoordEnvelope::Msg(Box::new(Message::Heartbeat {
+                    node: NodeUid(a % 10),
+                    seq: b,
+                    accepting: b % 5 != 0,
+                    gpu_stats: vec![GpuStat {
+                        memory_used: (b % 24) << 30,
+                        memory_total: 24 << 30,
+                        utilization: 0.5,
+                        temperature_c: 50.0,
+                        power_w: 200.0,
+                    }],
+                    workloads: vec![],
+                })),
+                2 => CoordEnvelope::SubmitJob(Box::new(DispatchSpec {
+                    gpu_mem_bytes: (1 + b % 20) << 30,
+                    ..spec()
+                })),
+                3 => CoordEnvelope::Msg(Box::new(Message::DispatchReply {
+                    job: JobId(1 + b % 24),
+                    accepted: a % 2 == 0,
+                    reason: String::new(),
+                })),
+                4 => CoordEnvelope::Msg(Box::new(Message::WorkloadUpdate {
+                    status: WorkloadStatus {
+                        job: JobId(1 + b % 24),
+                        state: if a % 3 == 0 {
+                            WorkloadState::Killed
+                        } else {
+                            WorkloadState::Completed
+                        },
+                        progress: 0.5,
+                        checkpoint_seq: b % 3,
+                    },
+                    exit_code: None,
+                })),
+                5 => CoordEnvelope::CancelJob(JobId(1 + b % 24)),
+                _ => CoordEnvelope::NodeDeparture(NodeUid(a % 10)),
+            };
+            out.push((at, env));
+        }
+        out
+    }
+
+    proptest::proptest! {
+        /// Driving the actor one envelope per `advance` (the pre-refactor
+        /// call-sequence cadence: handle a message, then run due wakes)
+        /// and batching all same-instant envelopes into a single `advance`
+        /// must produce IDENTICAL decisions — the action stream, job
+        /// bookkeeping, and database state cannot depend on how senders
+        /// group their sends. This is the actor-turn invariant the §3b
+        /// refactor relies on.
+        #[test]
+        fn prop_envelope_batching_is_turn_equivalent(
+            ops in proptest::collection::vec((0u8..7, 0u64..16, 0u64..32), 1..60),
+        ) {
+            let mut one_by_one = Coordinator::new(CoordinatorConfig::default(), 9);
+            let mut batched = Coordinator::new(CoordinatorConfig::default(), 9);
+            let mut log_a = Vec::new();
+            let mut log_b = Vec::new();
+
+            // Style A: send + advance per envelope.
+            let mut horizon = SimTime::ZERO;
+            for (at, env) in turn_events(&ops) {
+                one_by_one.send(at, env);
+                log_a.extend(one_by_one.advance(at));
+                horizon = at;
+            }
+            // Style B: batch every same-instant group, one advance each.
+            let mut it = turn_events(&ops).into_iter().peekable();
+            while let Some((at, env)) = it.next() {
+                batched.send(at, env);
+                while it.peek().map(|(bt, _)| *bt == at).unwrap_or(false) {
+                    let (bt, env) = it.next().expect("just peeked");
+                    batched.send(bt, env);
+                }
+                log_b.extend(batched.advance(at));
+            }
+            // Settle both worlds identically (in-flight writes, passes,
+            // offer timeouts) before comparing.
+            let end = horizon + SimDuration::from_secs(60);
+            log_a.extend(drive(&mut one_by_one, end));
+            log_b.extend(drive(&mut batched, end));
+
+            proptest::prop_assert_eq!(format!("{log_a:?}"), format!("{log_b:?}"));
+            proptest::prop_assert_eq!(
+                one_by_one.db().pending_in_order(),
+                batched.db().pending_in_order()
+            );
+            proptest::prop_assert_eq!(one_by_one.live_jobs(), batched.live_jobs());
+        }
     }
 }

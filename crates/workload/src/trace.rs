@@ -114,11 +114,45 @@ fn demand_multiplier(cfg: &TraceConfig, at: SimTime) -> f64 {
 /// Generate the full campus demand trace for a set of labs.
 ///
 /// Arrivals are a non-homogeneous Poisson process per lab, produced by
-/// thinning a homogeneous process at the peak rate.
+/// thinning a homogeneous process at the peak rate. Allocates a fresh
+/// event buffer; semester-scale callers regenerating traces in a loop
+/// should reuse one through [`generate_into`].
 pub fn generate(labs: &[LabProfile], cfg: &TraceConfig, pool: &RngPool) -> Vec<TraceEvent> {
     let mut events = Vec::new();
+    generate_into(labs, cfg, pool, &mut events);
+    events
+}
+
+/// [`generate`] into a caller-owned buffer (cleared first, capacity
+/// reused). The generation loop itself is allocation-free — every event
+/// is plain data, the per-lab RNG streams live on the stack, and the
+/// final ordering pass is an in-place unstable sort on a total key — so
+/// regenerating into a warm buffer performs **zero** heap allocations
+/// (pinned by the counting-allocator test in `tests/alloc.rs`). This is
+/// what keeps multi-campus, semester-length sweeps from thrashing the
+/// allocator once traces are produced per scenario in a loop.
+pub fn generate_into(
+    labs: &[LabProfile],
+    cfg: &TraceConfig,
+    pool: &RngPool,
+    events: &mut Vec<TraceEvent>,
+) {
+    events.clear();
     // Peak multiplier bound for thinning.
     let peak = 0.25 + 1.5 + 0.5;
+    // Size the buffer for the expected accepted-event count (thinning
+    // keeps ≈ mean-multiplier/peak of the homogeneous arrivals) so the
+    // cold path takes O(1) growths instead of O(log n).
+    let horizon_h = cfg.horizon.as_secs_f64() / 3600.0;
+    let expected: f64 = labs
+        .iter()
+        .map(|l| {
+            let train = l.mean_gpu_demand / (cfg.mean_job_hours * 0.85);
+            let interactive = l.interactive_per_day / 24.0;
+            (train + interactive) * horizon_h * 0.75
+        })
+        .sum();
+    events.reserve(expected as usize);
     for (i, lab) in labs.iter().enumerate() {
         let lab_id = LabId(i as u32);
         let mut rng = pool.stream_n("trace-lab", i as u64);
@@ -135,7 +169,6 @@ pub fn generate(labs: &[LabProfile], cfg: &TraceConfig, pool: &RngPool) -> Vec<T
         if base_rate_per_hour > 0.0 && !lab.model_mix.is_empty() {
             let peak_rate = base_rate_per_hour * peak;
             let mut t = 0.0f64;
-            let horizon_h = cfg.horizon.as_secs_f64() / 3600.0;
             loop {
                 t += exponential(&mut rng, peak_rate);
                 if t >= horizon_h {
@@ -166,7 +199,6 @@ pub fn generate(labs: &[LabProfile], cfg: &TraceConfig, pool: &RngPool) -> Vec<T
             let base_rate_per_hour = lab.interactive_per_day / (24.0 * ARRIVAL_CALIBRATION);
             let peak_rate = base_rate_per_hour * peak;
             let mut t = 0.0f64;
-            let horizon_h = cfg.horizon.as_secs_f64() / 3600.0;
             loop {
                 t += exponential(&mut rng, peak_rate);
                 if t >= horizon_h {
@@ -190,8 +222,20 @@ pub fn generate(labs: &[LabProfile], cfg: &TraceConfig, pool: &RngPool) -> Vec<T
             }
         }
     }
-    events.sort_by_key(|e| e.at);
-    events
+    // In-place, allocation-free sort. The key is total over the push
+    // order's tie candidates — (time, lab index, training-before-
+    // interactive) — so the result matches what a stable sort over the
+    // generation order produced (golden traces depend on it).
+    events.sort_unstable_by_key(|e| {
+        (
+            e.at,
+            e.lab,
+            match e.request {
+                Request::Training(_) => 0u8,
+                Request::Interactive(_) => 1,
+            },
+        )
+    });
 }
 
 fn pick_model(rng: &mut impl Rng, mix: &[(ModelClass, f64)]) -> ModelClass {

@@ -1,0 +1,66 @@
+//! Allocation discipline of trace generation.
+//!
+//! `generate` sits in front of every experiment and used to allocate per
+//! event twice over: `Vec` growth on every push batch plus the stable
+//! sort's scratch buffer. Semester-length multi-campus sweeps regenerate
+//! traces per scenario, so the hot loop must be allocation-free once a
+//! buffer exists. This test pins the fix — [`gpunion_workload::generate_into`]
+//! reuses the caller's buffer and orders events with an in-place unstable
+//! sort on a total key — by counting real heap allocations around a warm
+//! regeneration with a counting global allocator. It lives alone in its
+//! own test binary so no concurrent test can perturb the counter.
+
+use gpunion_des::{RngPool, SimDuration};
+use gpunion_workload::{generate_into, paper_campus_labs, TraceConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn trace_generation_does_not_allocate_into_a_warm_buffer() {
+    let labs = paper_campus_labs();
+    let cfg = TraceConfig {
+        horizon: SimDuration::from_days(7),
+        ..Default::default()
+    };
+    let pool = RngPool::new(42);
+    // Cold run sizes the buffer (the reserve estimate keeps growth to a
+    // handful of reallocations even here).
+    let mut events = Vec::new();
+    generate_into(&labs, &cfg, &pool, &mut events);
+    let n = events.len();
+    assert!(n > 500, "a week of campus demand: {n} events");
+
+    // Warm run: every event is plain data, the per-lab RNG streams live
+    // on the stack, and the sort is in-place — zero heap allocations.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    generate_into(&labs, &cfg, &pool, &mut events);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(events.len(), n, "regeneration is deterministic");
+    assert_eq!(
+        after - before,
+        0,
+        "trace hot loop allocated {} times per regeneration",
+        after - before
+    );
+}
