@@ -12,7 +12,7 @@
 //! latency, not allocator teardown.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gpunion_bench::{bench_spec, loaded_coordinator};
+use gpunion_bench::{bench_spec, loaded_coordinator, loaded_coordinator_sharded};
 use gpunion_db::{DbActor, DbActorConfig, WriteIntent};
 use gpunion_des::SimTime;
 use gpunion_protocol::NodeUid;
@@ -31,6 +31,29 @@ fn bench(c: &mut Criterion) {
                 || loaded_coordinator(n, PENDING_JOBS),
                 // One actor turn: apply the pending-queue writes, then the
                 // batched pass (the only mutation path the actor exposes).
+                |coord| coord.advance(SimTime::from_secs(3700)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+
+    // The 10⁵-node fleet variants: the same turn over the sharded
+    // directory (per-shard capacity indexes, k-way-merged views). The
+    // unsharded 100k row is the contrast — sub-linear growth must hold
+    // with and without sharding, and the merge overhead at 16 shards
+    // must stay small (both gated via bench_gate's in-run scale check).
+    let mut g = c.benchmark_group("scheduling_pass_sharded");
+    for (n, shards) in [
+        (50_000usize, 1usize),
+        (50_000, 16),
+        (100_000, 1),
+        (100_000, 16),
+    ] {
+        let id = BenchmarkId::new(format!("nodes_{n}"), format!("shards_{shards}"));
+        g.bench_with_input(id, &(n, shards), |b, &(n, shards)| {
+            b.iter_batched_ref(
+                || loaded_coordinator_sharded(n, PENDING_JOBS, shards),
                 |coord| coord.advance(SimTime::from_secs(3700)),
                 criterion::BatchSize::SmallInput,
             );

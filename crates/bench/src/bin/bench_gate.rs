@@ -1,20 +1,28 @@
 //! CI bench-regression gate.
 //!
 //! Measures the scheduler's headline performance numbers — wall-clock
-//! latency of the actor turn that drains a 20-job scheduling pass at 400
-//! and 10 000 nodes (the quantities EXPERIMENTS.md §5.2 quotes) plus the
-//! simulated database write-queue figures at 400 nodes and the
-//! coordinator-inbox saturation figures at 500 nodes (ρ = 1.2) — writes
-//! them to `BENCH_scheduler.json`, and fails (exit 1) on regression over
-//! the checked-in baseline. Wall-clock rows get `BENCH_GATE_FACTOR`×
+//! latency of the actor turn that drains a 20-job scheduling pass at 400,
+//! 10 000, and 100 000 nodes (the quantities EXPERIMENTS.md §5.2 quotes;
+//! the 100k row runs the 16-way **sharded** directory) plus the simulated
+//! database write-queue figures at 400 nodes and the coordinator-inbox
+//! saturation figures at 500 nodes (ρ = 1.2) — writes them to
+//! `BENCH_scheduler.json` (schema 3), and fails (exit 1) on regression
+//! over the checked-in baseline. Wall-clock rows get `BENCH_GATE_FACTOR`×
 //! headroom (default 2×, absorbing runner-to-runner hardware variance);
 //! the simulated saturation rows are deterministic, so they must match
 //! the baseline to a 1% epsilon — any drift, in either direction, is a
 //! behavioural change that must be re-recorded deliberately.
 //!
-//! The saturation row also asserts the critical-write backpressure
-//! invariant: at ρ > 1 every job submission is deferred behind the
-//! database bound — visible as inbox sojourn — and **none is shed**.
+//! Two cross-row invariants are asserted in-run (same machine, same
+//! build, so the ratios are hardware-independent):
+//!
+//! * **Sub-linear scale**: the sharded 100k-node turn must stay within
+//!   `BENCH_GATE_SCALE_FACTOR`× (default 3×) of the 10k-node turn — a
+//!   10× fleet cannot cost 10× (measured ≈ 1.8×; the per-shard indexes
+//!   stay logarithmic and the k-way merge is O(shards) per pop).
+//! * **Critical-write backpressure**: at ρ > 1 every job submission is
+//!   deferred behind the database bound — visible as inbox sojourn — and
+//!   **none is shed**.
 //!
 //! Usage:
 //!
@@ -24,21 +32,25 @@
 //! bench_gate --baseline <p> --out <p> # explicit paths
 //! ```
 
-use gpunion_bench::{contention_knee_run, loaded_coordinator, saturation_run};
+use gpunion_bench::{contention_knee_run, loaded_coordinator_sharded, saturation_run};
 use gpunion_des::SimTime;
 use std::time::Instant;
 
 const DEFAULT_BASELINE: &str = "crates/bench/baseline/BENCH_scheduler.json";
 const DEFAULT_OUT: &str = "BENCH_scheduler.json";
 const PENDING_JOBS: usize = 20;
+/// Shard count of the gated 100k-node row (the bench default; pick order
+/// is bit-identical at any count, so this only moves cost).
+const SCALE_SHARDS: usize = 16;
 
 /// Median wall-clock nanoseconds of the actor turn that applies the
-/// 20-job queue writes and drains one scheduling pass at `n` nodes
-/// (setup excluded, like the criterion harness).
-fn pass_ns(n: usize, iters: usize) -> u64 {
+/// 20-job queue writes and drains one scheduling pass at `n` nodes over
+/// `shards` directory shards (setup excluded, like the criterion
+/// harness).
+fn pass_ns(n: usize, shards: usize, iters: usize) -> u64 {
     let mut samples: Vec<u64> = (0..iters)
         .map(|_| {
-            let mut coord = loaded_coordinator(n, PENDING_JOBS);
+            let mut coord = loaded_coordinator_sharded(n, PENDING_JOBS, shards);
             let t0 = Instant::now();
             let actions = coord.advance(SimTime::from_secs(3700));
             let dt = t0.elapsed().as_nanos() as u64;
@@ -73,9 +85,26 @@ fn main() {
     let out_path = flag("--out").unwrap_or_else(|| DEFAULT_OUT.into());
     let write_baseline = flag("--write-baseline");
 
-    eprintln!("bench_gate: measuring scheduling pass (400 / 10k nodes)…");
-    let p400 = pass_ns(400, 31);
-    let p10k = pass_ns(10_000, 11);
+    eprintln!("bench_gate: measuring scheduling pass (400 / 10k / 100k-sharded nodes)…");
+    let p400 = pass_ns(400, 1, 31);
+    let p10k = pass_ns(10_000, 1, 11);
+    let p100k = pass_ns(100_000, SCALE_SHARDS, 7);
+    // Sub-linear scale invariant, measured in-run so it is independent of
+    // runner hardware: a 10× fleet must cost nowhere near 10×.
+    let scale_factor: f64 = std::env::var("BENCH_GATE_SCALE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let growth = p100k as f64 / p10k as f64;
+    assert!(
+        growth <= scale_factor,
+        "100k-node sharded turn grew {growth:.2}× over the 10k turn \
+         (bound {scale_factor}×): {p100k} ns vs {p10k} ns"
+    );
+    eprintln!(
+        "bench_gate: scale ok — 100k/{SCALE_SHARDS}-shard turn {p100k} ns is {growth:.2}× \
+         the 10k turn ({p10k} ns), bound {scale_factor}×"
+    );
     eprintln!("bench_gate: measuring db write queue at 400 nodes…");
     let knee = contention_knee_run(400, 7);
     eprintln!("bench_gate: measuring inbox sojourn under saturation (500 nodes, rho = 1.2)…");
@@ -105,7 +134,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"schema\": 2,\n  \"pass_ns_400\": {p400},\n  \"pass_ns_10k\": {p10k},\n  \
+        "{{\n  \"schema\": 3,\n  \"pass_ns_400\": {p400},\n  \"pass_ns_10k\": {p10k},\n  \
+         \"pass_ns_100k_sharded\": {p100k},\n  \"scale_shards\": {SCALE_SHARDS},\n  \
          \"db_write_latency_ms_400\": {:.3},\n  \"db_queue_depth_peak_400\": {},\n  \
          \"inbox_sojourn_ms_sat500\": {:.6},\n  \"deferred_turns_sat500\": {}\n}}\n",
         knee.measured_latency_ms,
@@ -134,7 +164,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2.0);
     let mut failed = false;
-    for (key, measured) in [("pass_ns_400", p400 as f64), ("pass_ns_10k", p10k as f64)] {
+    for (key, measured) in [
+        ("pass_ns_400", p400 as f64),
+        ("pass_ns_10k", p10k as f64),
+        ("pass_ns_100k_sharded", p100k as f64),
+    ] {
         let Some(base) = json_f64(&baseline, key) else {
             eprintln!("bench_gate: baseline missing {key}; failing");
             failed = true;

@@ -11,7 +11,7 @@
 //!
 //! Usage: `scalability [seed]`
 
-use gpunion_bench::{contention_knee_run, loaded_coordinator};
+use gpunion_bench::{contention_knee_run, loaded_coordinator, scale_pass_rows};
 use gpunion_des::SimTime;
 use gpunion_scheduler::CoordAction;
 
@@ -57,4 +57,33 @@ fn main() {
     }
     println!();
     println!("paper: sub-second at ≤50 nodes; heartbeat + DB contention beyond ~200.");
+
+    // Beyond the paper's sweep: wall-clock cost of one 20-job scheduling
+    // turn on 10⁴–10⁵-node fleets, unsharded vs the sharded directory
+    // (per-shard capacity indexes, k-way-merged views — DESIGN.md §3b).
+    // The pending mix is trace-derived, regenerated per fleet size into
+    // one warm buffer (`generate_into`).
+    println!();
+    println!("== Directory sharding: 20-job scheduling-turn cost at scale ==");
+    println!(
+        "{:<9} {:>7} {:>7} {:>14}",
+        "nodes", "shards", "jobs", "turn (µs)"
+    );
+    let fleets = [
+        (10_000, 1),
+        (10_000, 16),
+        (50_000, 1),
+        (50_000, 16),
+        (100_000, 1),
+        (100_000, 16),
+    ];
+    for row in scale_pass_rows(&fleets, 20, 5) {
+        println!(
+            "{:<9} {:>7} {:>7} {:>14.1}",
+            row.nodes,
+            row.shards,
+            row.jobs,
+            row.pass_ns as f64 / 1e3
+        );
+    }
 }

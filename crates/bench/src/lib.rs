@@ -28,7 +28,10 @@ use gpunion_des::{RngPool, SimDuration, SimTime};
 use gpunion_gpu::{paper_testbed, GpuModel};
 use gpunion_protocol::{DispatchSpec, ExecMode, JobId, Message, NodeUid};
 use gpunion_scheduler::{CoordAction, CoordEnvelope, Coordinator, CoordinatorConfig, SendOutcome};
-use gpunion_workload::{generate, paper_campus_labs, Request, TraceConfig};
+use gpunion_workload::{
+    generate, generate_into, paper_campus_labs, Request, TraceConfig, TraceEvent, TrainingJobSpec,
+};
+use std::time::Instant;
 
 /// The §4 network-traffic experiment, fully run: the scenario (for
 /// accounting access), the horizon end, and the backbone capacity.
@@ -249,8 +252,17 @@ pub fn bench_spec() -> DispatchSpec {
 /// never-heartbeating bench fleet stale; placement behaviour is
 /// unaffected.
 pub fn bench_coordinator(n: usize) -> Coordinator {
+    bench_coordinator_sharded(n, 1)
+}
+
+/// [`bench_coordinator`] over a directory with `shards` shards — the
+/// 50k/100k-node fleet variants drive this; `shards = 1` reproduces the
+/// historical unsharded setup exactly (pick order is bit-identical at any
+/// shard count, so the only difference a bench can observe is cost).
+pub fn bench_coordinator_sharded(n: usize, shards: usize) -> Coordinator {
     let config = CoordinatorConfig {
         heartbeat_period: SimDuration::from_secs(24 * 3600),
+        shard_count: shards,
         ..Default::default()
     };
     let mut c = Coordinator::new(config, 1);
@@ -277,11 +289,31 @@ pub fn bench_coordinator(n: usize) -> Coordinator {
 /// ready for one timed [`Coordinator::advance`] at `t ≥ 3700 s`, whose
 /// turn applies the queue writes and drains the pass.
 pub fn loaded_coordinator(n: usize, jobs: usize) -> Coordinator {
-    let mut c = bench_coordinator(n);
-    for _ in 0..jobs {
+    loaded_coordinator_sharded(n, jobs, 1)
+}
+
+/// [`loaded_coordinator`] over `shards` directory shards.
+pub fn loaded_coordinator_sharded(n: usize, jobs: usize, shards: usize) -> Coordinator {
+    loaded_coordinator_with(
+        n,
+        shards,
+        &mut std::iter::repeat_with(bench_spec).take(jobs),
+    )
+}
+
+/// [`bench_coordinator_sharded`] loaded with an explicit pending-job mix
+/// (the trace-driven scale sweep feeds specs derived from generated
+/// campus demand; the gate rows feed the uniform [`bench_spec`]).
+pub fn loaded_coordinator_with(
+    n: usize,
+    shards: usize,
+    specs: &mut dyn Iterator<Item = DispatchSpec>,
+) -> Coordinator {
+    let mut c = bench_coordinator_sharded(n, shards);
+    for spec in specs {
         let outcome = c.send(
             SimTime::from_secs(3601),
-            CoordEnvelope::SubmitJob(Box::new(bench_spec())),
+            CoordEnvelope::SubmitJob(Box::new(spec)),
         );
         assert!(
             matches!(outcome, SendOutcome::Enqueued { job: Some(_) }),
@@ -370,6 +402,108 @@ pub fn saturation_run(nodes: usize, seed: u64) -> SaturationRow {
     }
 }
 
+/// One row of the large-fleet (50k/100k-node) pass-latency sweep: the
+/// wall-clock median of the actor turn that applies `jobs` queue writes
+/// and drains the scheduling pass, at a given fleet size and directory
+/// shard count.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRow {
+    /// Fleet size (registered nodes).
+    pub nodes: usize,
+    /// Directory shard count.
+    pub shards: usize,
+    /// Pending jobs drained by the timed pass.
+    pub jobs: usize,
+    /// Median wall-clock nanoseconds of the timed turn.
+    pub pass_ns: u64,
+}
+
+/// A dispatch spec derived from a generated trace's training request —
+/// the same conversion the platform's `submit_training` performs, so the
+/// scale sweep's pending mix has the campus trace's VRAM/CC shape rather
+/// than a uniform synthetic job.
+fn trace_dispatch_spec(t: &TrainingJobSpec) -> DispatchSpec {
+    let profile = t.model.profile();
+    DispatchSpec {
+        job: JobId(0),
+        image_repo: "pytorch/pytorch".into(),
+        image_tag: "2.3".into(),
+        image_digest: [1; 32],
+        gpus: t.gpus,
+        gpu_mem_bytes: profile.gpu_mem_bytes,
+        min_cc: profile.min_cc.map(|cc| (cc.major, cc.minor)),
+        mode: ExecMode::Batch {
+            entrypoint: vec!["python".into()],
+        },
+        checkpoint_interval_secs: t.checkpoint_interval.as_secs() as u32,
+        storage_nodes: vec![],
+        state_bytes_hint: profile.state_bytes,
+        restore_from_seq: None,
+        priority: t.priority,
+    }
+}
+
+/// Run the multi-fleet pass-latency sweep over `(nodes, shards)` fleet
+/// variants: each fleet's pending mix comes from a freshly generated
+/// campus demand trace, regenerated **into one warm buffer** per fleet
+/// size ([`generate_into`] — zero allocations after the first fleet, the
+/// PR 4 regeneration path), filtered to requests the single-model bench
+/// fleet can host, and the timed quantity is one actor turn (apply the
+/// queue writes + drain the pass), median of `iters` samples.
+pub fn scale_pass_rows(fleets: &[(usize, usize)], jobs: usize, iters: usize) -> Vec<ScaleRow> {
+    let labs = paper_campus_labs();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut rows = Vec::new();
+    for &(nodes, shards) in fleets {
+        // Regenerate this fleet's demand into the shared buffer; the seed
+        // follows the fleet size so rows are independent but fixed.
+        generate_into(
+            &labs,
+            &TraceConfig {
+                horizon: SimDuration::from_days(1),
+                ..Default::default()
+            },
+            &RngPool::new(nodes as u64),
+            &mut events,
+        );
+        let specs: Vec<DispatchSpec> = events
+            .iter()
+            .filter_map(|ev| match &ev.request {
+                Request::Training(t) => {
+                    // The bench fleet is uniform RTX 3090s (24 GB): keep
+                    // the trace's placeable subset so the timed pass
+                    // dispatches every job instead of parking some.
+                    let fits = t.model.profile().gpu_mem_bytes <= 24 << 30 && t.gpus == 1;
+                    fits.then(|| trace_dispatch_spec(t))
+                }
+                Request::Interactive(_) => None,
+            })
+            .take(jobs)
+            .collect();
+        let mut samples: Vec<u64> = (0..iters.max(1))
+            .map(|_| {
+                let mut coord = loaded_coordinator_with(nodes, shards, &mut specs.iter().cloned());
+                let t0 = Instant::now();
+                let actions = coord.advance(SimTime::from_secs(3700));
+                let dt = t0.elapsed().as_nanos() as u64;
+                assert!(
+                    !actions.is_empty(),
+                    "pass placed nothing at {nodes} nodes / {shards} shards"
+                );
+                dt
+            })
+            .collect();
+        samples.sort_unstable();
+        rows.push(ScaleRow {
+            nodes,
+            shards,
+            jobs: specs.len(),
+            pass_ns: samples[samples.len() / 2],
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod golden {
     use super::net_traffic_run;
@@ -396,6 +530,8 @@ mod golden {
         assert_eq!(r.emergency.events, 0, "emergency events");
         assert_eq!(r.temporary.events, 2, "temporary events");
         assert_eq!(r.scheduled.displacements, 4, "scheduled displacements");
+        assert_eq!(r.scheduled.restored, 4, "all scheduled restored from ckpt");
+        assert_eq!(r.scheduled.restarted, 0, "none restarted from scratch");
         assert_eq!(r.temporary.displacements, 2, "temporary displacements");
         assert_eq!(r.temporary.migrated_back, 2, "temporary migrate-backs");
         assert_eq!(r.jobs_completed, 17, "jobs completed in horizon");
@@ -416,7 +552,8 @@ mod golden {
             r.emergency.displacements, 0,
             "no fairly-scorable emergency displacement remains"
         );
-        assert_eq!(r.emergency.successful, 0);
+        assert_eq!(r.emergency.restored, 0);
+        assert_eq!(r.emergency.restarted, 0);
         // The other classes are unaffected by the censoring.
         assert_eq!(r.scheduled.tail_excluded, 0);
         assert_eq!(r.temporary.tail_excluded, 0);

@@ -179,6 +179,12 @@ pub struct CoordinatorConfig {
     /// depth are shed (the next beat carries fresher data); critical
     /// envelopes are always accepted and counted if over the bound.
     pub inbox_capacity: usize,
+    /// Directory shards (by node uid). 1 — the default — reproduces the
+    /// unsharded directory exactly; larger counts keep each per-shard
+    /// index small as fleets grow past 10⁴ nodes, with the read views
+    /// k-way-merged so pick order is bit-identical at any count
+    /// (DESIGN.md §3b).
+    pub shard_count: usize,
     /// Database write-queue parameters (service time, inbox bound).
     pub db: DbActorConfig,
 }
@@ -193,6 +199,7 @@ impl Default for CoordinatorConfig {
             max_retries: 5,
             offer_timeout: SimDuration::from_secs(10),
             inbox_capacity: 4096,
+            shard_count: 1,
             db: DbActorConfig::default(),
         }
     }
@@ -208,6 +215,11 @@ struct JobMeta {
     /// Cleared on displacement — a new epoch with a changed world.
     excluded: Vec<NodeUid>,
     preferred: Option<NodeUid>,
+    /// The preferred home node's directory-shard affinity, cached when the
+    /// preference is set (§3b: the migrate-back fast path reads job +
+    /// home-node state together, so phase-1 placements route through the
+    /// owning shard instead of re-hashing the uid).
+    preferred_shard: Option<u32>,
     /// Capacity held on the preferred home node while a migrate-back
     /// checkpoint round-trip is in flight: (node, held since).
     home_hold: Option<(NodeUid, SimTime)>,
@@ -295,10 +307,11 @@ impl Coordinator {
             .counter("nodes_lost_total", "node losses", labels([]))
             .ok();
         let db = DbActor::new(config.db, seed ^ 0xD8);
+        let dir = Directory::with_shards(config.shard_count);
         let mut coord = Coordinator {
             config,
             db,
-            dir: Directory::new(),
+            dir,
             tokens: TokenRegistry::new(),
             selector,
             inbox: VecDeque::new(),
@@ -642,6 +655,7 @@ impl Coordinator {
                 offered_to: None,
                 excluded: Vec::new(),
                 preferred: None,
+                preferred_shard: None,
                 home_hold: None,
                 latest_checkpoint: None,
                 displaced_from: None,
@@ -723,6 +737,7 @@ impl Coordinator {
         self.drop_hold(job);
         if let Some(meta) = self.jobs.get_mut(&job) {
             meta.preferred = None;
+            meta.preferred_shard = None;
             meta.migrating_back = false;
         }
         self.arm_pass(now);
@@ -872,6 +887,7 @@ impl Coordinator {
                     // later, unrelated displacement still route home and
                     // count as a migrate-back.
                     meta.preferred = None;
+                    meta.preferred_shard = None;
                     meta.migrating_back = false;
                     // Release the offer reservation: the agent has allocated
                     // real VRAM, which the next heartbeat reports. Keeping
@@ -1177,9 +1193,14 @@ impl Coordinator {
             })
             .map(|(j, _)| *j)
             .collect();
+        let shard = self.dir.shard_of(node);
         for job in candidates {
             let meta = self.jobs.get_mut(&job).expect("just listed");
             meta.preferred = Some(node);
+            // §3b affinity rule: cache the home node's owning shard with
+            // the preference, so the phase-1 fast path reads that shard
+            // directly (job meta + home-node state travel together).
+            meta.preferred_shard = Some(shard);
             // A rejection from a past epoch must not veto the return home.
             meta.excluded.retain(|u| *u != node);
             match meta.current_node {
@@ -1266,7 +1287,16 @@ impl Coordinator {
             let meta = self.jobs.get(&job).expect("present");
             // The job's own held home slot counts as free for its check
             // (read-only; a transient miss leaves the hold untouched).
-            if self.dir.is_candidate_for_holder(pref, &meta.spec, job) {
+            // Routed through the home node's cached shard affinity: the
+            // fast path reads job meta and home-node state together
+            // without re-hashing the uid (§3b).
+            let shard = meta
+                .preferred_shard
+                .unwrap_or_else(|| self.dir.shard_of(pref));
+            if self
+                .dir
+                .is_candidate_for_holder_on(shard, pref, &meta.spec, job)
+            {
                 // Swap the hold (if any) for the offer reservation, taken
                 // atomically within this pass by dispatch_offer.
                 self.drop_hold(job);

@@ -1,0 +1,254 @@
+//! The incremental capacity index over one shard's nodes.
+//!
+//! Every mutation of a shard repositions the affected node here in
+//! O(log n). The index keeps *ordered* views so a sharded directory can
+//! compose shards by k-way merge (see [`super::merge`]): each accessor
+//! that feeds a merge yields `(key, value)` pairs in ascending key order,
+//! with the key chosen so that merging per-shard streams reproduces the
+//! unsharded iteration order bit-for-bit.
+
+use super::entry::{NodeEntry, NodeLiveness};
+use gpunion_des::SimTime;
+use gpunion_protocol::NodeUid;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Free-VRAM bucket: floor(log2(bytes)), so bucket `b` holds nodes whose
+/// largest free slot is in `[2^b, 2^(b+1))`. A job needing `mem` bytes can
+/// only be served from buckets `>= bucket_of(mem)`.
+pub(crate) fn vram_bucket(bytes: u64) -> u8 {
+    if bytes == 0 {
+        0
+    } else {
+        (63 - bytes.leading_zeros()) as u8
+    }
+}
+
+/// GPU speed tier from peak FP32 TFLOPS. Monotone in TFLOPS, so tier order
+/// agrees with speed order across tiers; ties inside a tier are resolved by
+/// the exact value at ranking time.
+pub(crate) fn speed_tier(tflops: f64) -> u8 {
+    if tflops < 25.0 {
+        0
+    } else if tflops < 50.0 {
+        1
+    } else if tflops < 100.0 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Index class of a node: (free-VRAM bucket, compute capability, speed tier).
+///
+/// Ordered by bucket first so `candidates` can range-scan "every class with
+/// at least this much free per-slot VRAM". The tier keeps same-speed-class
+/// nodes co-located for tier-constrained queries; it is static per node
+/// (TFLOPS come from the registration inventory), so it never causes
+/// reclassification churn — only `bucket` moves as capacity changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct ClassKey {
+    bucket: u8,
+    cc: (u8, u8),
+    tier: u8,
+}
+
+/// Where one node currently sits in the index (for in-place updates).
+#[derive(Debug, Clone, Copy)]
+struct IndexedAt {
+    class: ClassKey,
+    total_free: u64,
+    speed_bits: u64,
+    heartbeat: SimTime,
+}
+
+/// The incremental capacity index of one shard.
+///
+/// Maintains four ordered views over the *schedulable* (Active) nodes —
+/// by capacity class for eligibility pruning, by total free VRAM for
+/// least-loaded picks, by device speed for fastest-device picks, and by uid
+/// for round-robin — plus a heartbeat-recency view over all non-offline
+/// nodes for staleness sweeps.
+#[derive(Debug, Default)]
+pub(crate) struct CapacityIndex {
+    /// (bucket, cc, tier) → members.
+    by_class: BTreeMap<ClassKey, BTreeSet<NodeUid>>,
+    /// (total effective free, uid): iterate in reverse for least-loaded.
+    /// `Reverse<NodeUid>` makes the reverse iteration tie-break on low uid.
+    by_free: BTreeSet<(u64, Reverse<NodeUid>)>,
+    /// (tflops bits, uid): iterate in reverse for fastest-device.
+    by_speed: BTreeSet<(u64, Reverse<NodeUid>)>,
+    /// Active nodes by uid (round-robin cursor scans).
+    by_uid: BTreeSet<NodeUid>,
+    /// (last heartbeat, uid) over non-offline nodes (staleness sweeps).
+    by_heartbeat: BTreeSet<(SimTime, NodeUid)>,
+    /// Current position of every tracked node.
+    entries: HashMap<NodeUid, IndexedAt>,
+    /// Nodes tracked only for heartbeat staleness (Paused/Departing).
+    unscheduled: HashMap<NodeUid, SimTime>,
+}
+
+impl CapacityIndex {
+    fn summarize(entry: &NodeEntry) -> IndexedAt {
+        IndexedAt {
+            class: ClassKey {
+                bucket: vram_bucket(entry.max_slot_free()),
+                cc: entry.max_cc(),
+                tier: speed_tier(entry.best_tflops()),
+            },
+            total_free: entry.total_free(),
+            speed_bits: entry.best_tflops().to_bits(),
+            heartbeat: entry.last_heartbeat,
+        }
+    }
+
+    fn remove_scheduled(&mut self, uid: NodeUid) {
+        if let Some(at) = self.entries.remove(&uid) {
+            if let Some(set) = self.by_class.get_mut(&at.class) {
+                set.remove(&uid);
+                if set.is_empty() {
+                    self.by_class.remove(&at.class);
+                }
+            }
+            self.by_free.remove(&(at.total_free, Reverse(uid)));
+            self.by_speed.remove(&(at.speed_bits, Reverse(uid)));
+            self.by_uid.remove(&uid);
+            self.by_heartbeat.remove(&(at.heartbeat, uid));
+        }
+    }
+
+    fn remove_unscheduled(&mut self, uid: NodeUid) {
+        if let Some(hb) = self.unscheduled.remove(&uid) {
+            self.by_heartbeat.remove(&(hb, uid));
+        }
+    }
+
+    /// Reposition only the capacity-derived views (class bucket, total
+    /// free) after a reservation change. Heartbeat recency, speed, and uid
+    /// views are untouched — this is the scheduling pass's per-placement
+    /// index update.
+    pub(crate) fn update_capacity(&mut self, entry: &NodeEntry) {
+        let uid = entry.uid;
+        let Some(at) = self.entries.get(&uid).copied() else {
+            // Not schedulable (non-Active): capacity views don't track it.
+            return;
+        };
+        let class = ClassKey {
+            bucket: vram_bucket(entry.max_slot_free()),
+            ..at.class
+        };
+        let total_free = entry.total_free();
+        if class != at.class {
+            if let Some(set) = self.by_class.get_mut(&at.class) {
+                set.remove(&uid);
+                if set.is_empty() {
+                    self.by_class.remove(&at.class);
+                }
+            }
+            self.by_class.entry(class).or_default().insert(uid);
+        }
+        if total_free != at.total_free {
+            self.by_free.remove(&(at.total_free, Reverse(uid)));
+            self.by_free.insert((total_free, Reverse(uid)));
+        }
+        let at = self.entries.get_mut(&uid).expect("present above");
+        at.class = class;
+        at.total_free = total_free;
+    }
+
+    /// Re-derive a node's index position from its current entry state.
+    pub(crate) fn refresh(&mut self, entry: &NodeEntry) {
+        let uid = entry.uid;
+        self.remove_scheduled(uid);
+        self.remove_unscheduled(uid);
+        match entry.liveness() {
+            NodeLiveness::Active => {
+                let at = Self::summarize(entry);
+                self.by_class.entry(at.class).or_default().insert(uid);
+                self.by_free.insert((at.total_free, Reverse(uid)));
+                self.by_speed.insert((at.speed_bits, Reverse(uid)));
+                self.by_uid.insert(uid);
+                self.by_heartbeat.insert((at.heartbeat, uid));
+                self.entries.insert(uid, at);
+            }
+            NodeLiveness::Paused | NodeLiveness::Departing => {
+                self.by_heartbeat.insert((entry.last_heartbeat, uid));
+                self.unscheduled.insert(uid, entry.last_heartbeat);
+            }
+            NodeLiveness::Offline => {}
+        }
+    }
+
+    /// Schedulable (Active) node count.
+    pub(crate) fn schedulable(&self) -> usize {
+        self.by_uid.len()
+    }
+
+    // ---- merge-ready ordered streams ---------------------------------
+    //
+    // Every stream yields `(key, ())` (or `(key, value)`) pairs in
+    // ascending key order, and every key EMBEDS the node uid: keys are
+    // therefore unique across shards, a k-way merge of per-shard streams
+    // has no ties to break, and ties *within* a sort dimension (equal
+    // free VRAM, equal TFLOPS) break on uid exactly like the unsharded
+    // reverse iteration did.
+
+    /// Members of classes that could serve a slot of `mem` bytes at
+    /// `min_cc`, keyed `(Reverse(class), uid)` in ascending key order —
+    /// i.e. largest-free classes first, uid ascending within a class,
+    /// exactly the unsharded candidate order. Superset of the exact
+    /// answer; callers verify per node.
+    pub(crate) fn class_stream(
+        &self,
+        mem: u64,
+        min_cc: Option<(u8, u8)>,
+    ) -> impl Iterator<Item = ((Reverse<ClassKey>, NodeUid), ())> + '_ {
+        let floor = ClassKey {
+            bucket: vram_bucket(mem),
+            cc: (0, 0),
+            tier: 0,
+        };
+        self.by_class
+            .range(floor..)
+            .rev()
+            .filter(move |(k, _)| min_cc.is_none_or(|cc| k.cc >= cc))
+            .flat_map(|(k, set)| set.iter().map(move |&uid| ((Reverse(*k), uid), ())))
+    }
+
+    /// Keyed `(Reverse(total free), uid)` ascending — most-free first,
+    /// uid ascending on ties (the unsharded least-loaded order).
+    pub(crate) fn free_stream(&self) -> impl Iterator<Item = ((Reverse<u64>, NodeUid), ())> + '_ {
+        self.by_free
+            .iter()
+            .rev()
+            .map(|&(free, Reverse(uid))| ((Reverse(free), uid), ()))
+    }
+
+    /// Keyed `(Reverse(tflops bits), uid)` ascending — fastest first,
+    /// uid ascending on ties (the unsharded fastest-device order).
+    pub(crate) fn speed_stream(&self) -> impl Iterator<Item = ((Reverse<u64>, NodeUid), ())> + '_ {
+        self.by_speed
+            .iter()
+            .rev()
+            .map(|&(bits, Reverse(uid))| ((Reverse(bits), uid), ()))
+    }
+
+    /// Active uids in `range`, ascending (round-robin segments).
+    pub(crate) fn uid_stream<R>(&self, range: R) -> impl Iterator<Item = (NodeUid, ())> + '_
+    where
+        R: std::ops::RangeBounds<NodeUid>,
+    {
+        self.by_uid.range(range).map(|&uid| (uid, ()))
+    }
+
+    /// Non-offline `(last heartbeat, uid)` strictly before `cutoff`,
+    /// ascending (staleness sweeps).
+    pub(crate) fn heartbeat_stream(
+        &self,
+        cutoff: SimTime,
+    ) -> impl Iterator<Item = ((SimTime, NodeUid), ())> + '_ {
+        self.by_heartbeat
+            .range(..(cutoff, NodeUid(u64::MAX)))
+            .map(|&key| (key, ()))
+    }
+}

@@ -21,7 +21,7 @@ pub mod strategy;
 pub use coordinator::{
     CoordAction, CoordEnvelope, Coordinator, CoordinatorConfig, JobEvent, SendOutcome,
 };
-pub use directory::{Directory, NodeEntry, NodeLiveness, Reliability};
+pub use directory::{Directory, NodeEntry, NodeLiveness, Reliability, ShardedDirectory};
 pub use strategy::{Selector, Strategy};
 
 #[cfg(test)]
@@ -1121,6 +1121,53 @@ mod tests {
                 batched.db().pending_in_order()
             );
             proptest::prop_assert_eq!(one_by_one.live_jobs(), batched.live_jobs());
+        }
+
+        /// Directory sharding is pure mechanism: a coordinator with a
+        /// sharded directory must make IDENTICAL decisions to the
+        /// single-shard one on any envelope stream — action log, pending
+        /// queue, and job bookkeeping all bit-equal. (The directory-level
+        /// proptest proves the merged views match; this proves nothing at
+        /// the coordinator layer — timers, passes, migrate-back affinity
+        /// routing — leaks the shard count either.)
+        #[test]
+        fn prop_shard_count_never_changes_decisions(
+            ops in proptest::collection::vec((0u8..7, 0u64..16, 0u64..32), 1..60),
+            shards in 2usize..9,
+        ) {
+            let unsharded = CoordinatorConfig::default();
+            let sharded_cfg = CoordinatorConfig {
+                shard_count: shards,
+                ..CoordinatorConfig::default()
+            };
+            let mut reference = Coordinator::new(unsharded, 9);
+            let mut sharded = Coordinator::new(sharded_cfg, 9);
+            let mut log_a = Vec::new();
+            let mut log_b = Vec::new();
+            let mut horizon = SimTime::ZERO;
+            for (at, env) in turn_events(&ops) {
+                reference.send(at, env);
+                log_a.extend(reference.advance(at));
+                horizon = at;
+            }
+            for (at, env) in turn_events(&ops) {
+                sharded.send(at, env);
+                log_b.extend(sharded.advance(at));
+            }
+            let end = horizon + SimDuration::from_secs(60);
+            log_a.extend(drive(&mut reference, end));
+            log_b.extend(drive(&mut sharded, end));
+
+            proptest::prop_assert_eq!(format!("{log_a:?}"), format!("{log_b:?}"));
+            proptest::prop_assert_eq!(
+                reference.db().pending_in_order(),
+                sharded.db().pending_in_order()
+            );
+            proptest::prop_assert_eq!(reference.live_jobs(), sharded.live_jobs());
+            let uids = |c: &Coordinator| -> Vec<NodeUid> {
+                c.directory().iter().map(|e| e.uid).collect()
+            };
+            proptest::prop_assert_eq!(uids(&reference), uids(&sharded));
         }
     }
 }

@@ -9,9 +9,11 @@
 //!
 //! Strategies never scan the whole directory. [`Selector::pick`] — the hot
 //! path the batched scheduling pass drains jobs through — pops from the
-//! index's ordered views (free-capacity order, device-speed order, uid order
-//! for round-robin), verifying each popped node exactly, so a placement
-//! decision is O(log n) on a fleet where most nodes are eligible.
+//! directory's ordered views (free-capacity order, device-speed order, uid
+//! order for round-robin; each a lazy k-way merge of the per-shard capacity
+//! indexes, bit-identical to the unsharded order), verifying each popped
+//! node exactly, so a placement decision is O(shards + log n) on a fleet
+//! where most nodes are eligible.
 //! [`Selector::rank`] returns the full ordering (diagnostics, tests,
 //! embedding loops that want fallbacks) over the index's pre-filtered
 //! candidate set.
@@ -85,12 +87,12 @@ impl Selector {
         let ok = |uid: &NodeUid| !exclude.contains(uid) && dir.is_candidate(*uid, spec);
         match self.strategy {
             Strategy::RoundRobin => {
-                let hit = dir.index().round_robin_from(self.rr_cursor).find(ok)?;
+                let hit = dir.round_robin_from(self.rr_cursor).find(ok)?;
                 self.rr_cursor = NodeUid(hit.0 + 1);
                 Some(hit)
             }
-            Strategy::LeastLoaded => dir.index().by_free_desc().find(ok),
-            Strategy::FastestDevice => dir.index().by_speed_desc().find(ok),
+            Strategy::LeastLoaded => dir.by_free_desc().find(ok),
+            Strategy::FastestDevice => dir.by_speed_desc().find(ok),
             Strategy::ReliabilityAware => Self::eligible(dir, spec, exclude)
                 .max_by(|a, b| {
                     Self::reliability_score(a)
