@@ -16,11 +16,13 @@
 //!   seed, so runs are bit-reproducible and baselines can be compared on
 //!   identical traces.
 
+pub mod join;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use join::{drain_order, JoinPoint};
 pub use rng::{chance, exponential, log_normal, RngPool};
 pub use sim::{EventId, Sim};
 pub use stats::{Histogram, Online, TimeWeighted};

@@ -185,6 +185,15 @@ pub struct CoordinatorConfig {
     /// k-way-merged so pick order is bit-identical at any count
     /// (DESIGN.md §3b).
     pub shard_count: usize,
+    /// Directory shard-actor worker threads. 0 — the default — applies
+    /// shard intents inline on the coordinator's thread (the degenerate
+    /// actor: the exact pre-actor code path, byte-stable goldens);
+    /// `W ≥ 1` multiplexes the shards onto `W` worker threads behind
+    /// per-worker inboxes, with every read quiescing at the join point
+    /// first (DESIGN.md §3b). Scheduling decisions are bit-identical at
+    /// any value (property-tested). Defaults to `GPUNION_WORKER_THREADS`
+    /// when set, so CI can run the whole suite threaded.
+    pub worker_threads: usize,
     /// Database write-queue parameters (service time, inbox bound).
     pub db: DbActorConfig,
 }
@@ -200,6 +209,10 @@ impl Default for CoordinatorConfig {
             offer_timeout: SimDuration::from_secs(10),
             inbox_capacity: 4096,
             shard_count: 1,
+            worker_threads: std::env::var("GPUNION_WORKER_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
             db: DbActorConfig::default(),
         }
     }
@@ -307,7 +320,7 @@ impl Coordinator {
             .counter("nodes_lost_total", "node losses", labels([]))
             .ok();
         let db = DbActor::new(config.db, seed ^ 0xD8);
-        let dir = Directory::with_shards(config.shard_count);
+        let dir = Directory::with_shards_workers(config.shard_count, config.worker_threads);
         let mut coord = Coordinator {
             config,
             db,

@@ -233,12 +233,25 @@ impl CapacityIndex {
             .map(|&(bits, Reverse(uid))| ((Reverse(bits), uid), ()))
     }
 
-    /// Active uids in `range`, ascending (round-robin segments).
+    /// Active uids in `range`, ascending (round-robin segments of the
+    /// reference enumeration — see `ShardedDirectory::round_robin_from`).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn uid_stream<R>(&self, range: R) -> impl Iterator<Item = (NodeUid, ())> + '_
     where
         R: std::ops::RangeBounds<NodeUid>,
     {
         self.by_uid.range(range).map(|&uid| (uid, ()))
+    }
+
+    /// Smallest Active uid in `range` — one tree descent, no iterator
+    /// state. The round-robin gather's per-shard reply: each refill asks
+    /// every shard for its next uid and merges the answers, re-asking
+    /// only the shard whose uid won (see `directory::merge::RrGather`).
+    pub(crate) fn first_uid_in(
+        &self,
+        range: (std::ops::Bound<NodeUid>, std::ops::Bound<NodeUid>),
+    ) -> Option<NodeUid> {
+        self.by_uid.range(range).next().copied()
     }
 
     /// Non-offline `(last heartbeat, uid)` strictly before `cutoff`,

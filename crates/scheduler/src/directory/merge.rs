@@ -15,6 +15,82 @@
 //! heads beats a binary heap: no allocation per item, no sift traffic,
 //! and the heads vector stays in cache.
 
+use gpunion_protocol::NodeUid;
+use std::collections::VecDeque;
+
+/// Where a round-robin gather enumeration stands inside its circle.
+///
+/// An enumeration of `circle(origin)` visits uids in `[origin, ∞)` (the
+/// tail), then `[0, origin)` (the head). Each segment tracks the last
+/// uid gathered so a refill resumes with `Excluded` bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GatherPos {
+    /// In `[origin, ∞)`; `Some(u)` = resume strictly after `u`.
+    Tail(Option<NodeUid>),
+    /// In `[0, origin)`; `Some(u)` = resume strictly after `u`.
+    Head(Option<NodeUid>),
+    /// The full circle has been gathered.
+    Done,
+}
+
+/// The round-robin scatter–gather reply buffer.
+///
+/// Each refill (`ShardedDirectory::fill_round_robin`) quiesces every
+/// shard lane at the join point, gathers each lane's next Active uid,
+/// and merges the replies in ascending-uid order into `buf` — the same
+/// embedded-uid key order `KWayMerge` uses, so consuming the buffer is
+/// bit-identical to walking `round_robin_from(origin)`. All storage
+/// (`buf`, the `heads` scratch) is reused across refills: the warm pass
+/// allocates nothing on this path (pinned by `tests/alloc.rs`).
+///
+/// The buffer may outlive the pick that filled it; `Selector::pick`
+/// guards reuse with two checks — `epoch` (any membership mutation
+/// invalidates) and the expected cursor (consumption must continue where
+/// the previous pick stopped) — and restarts the circle whenever an
+/// in-progress enumeration could not serve the current pick exactly.
+#[derive(Debug, Clone)]
+pub(crate) struct RrGather {
+    /// Gathered uids, merged order, not yet consumed by picks.
+    pub(crate) buf: VecDeque<NodeUid>,
+    /// Per-shard next-uid scratch for the refill merge.
+    pub(crate) heads: Vec<Option<NodeUid>>,
+    /// Heads correspond to `pos`'s segment (false forces a re-prime).
+    pub(crate) heads_primed: bool,
+    /// Directory membership epoch the enumeration was started under.
+    pub(crate) epoch: u64,
+    /// The circle's start (and wrap endpoint).
+    pub(crate) origin: NodeUid,
+    /// Refill resume position.
+    pub(crate) pos: GatherPos,
+    /// The cursor the next pick must present for the buffer to still
+    /// correspond to its enumeration (`None` = must restart).
+    pub(crate) expected_cursor: Option<NodeUid>,
+}
+
+impl RrGather {
+    pub(crate) fn new() -> Self {
+        RrGather {
+            buf: VecDeque::new(),
+            heads: Vec::new(),
+            heads_primed: false,
+            epoch: 0,
+            origin: NodeUid(0),
+            pos: GatherPos::Done,
+            expected_cursor: None,
+        }
+    }
+
+    /// Start a fresh enumeration of `circle(cursor)` under `epoch`.
+    pub(crate) fn reset(&mut self, epoch: u64, cursor: NodeUid) {
+        self.buf.clear();
+        self.heads_primed = false;
+        self.epoch = epoch;
+        self.origin = cursor;
+        self.pos = GatherPos::Tail(None);
+        self.expected_cursor = Some(cursor);
+    }
+}
+
 /// Merge `k` ascending `(K, V)` streams into one ascending stream.
 pub(crate) struct KWayMerge<K: Ord, V, I: Iterator<Item = (K, V)>> {
     iters: Vec<I>,

@@ -18,9 +18,14 @@
 //! embedding loops that want fallbacks) over the index's pre-filtered
 //! candidate set.
 
-use crate::directory::{Directory, NodeEntry};
+use crate::directory::{Directory, GatherPos, NodeEntry, RrGather};
 use gpunion_protocol::{DispatchSpec, NodeUid};
 use serde::{Deserialize, Serialize};
+
+/// Uids gathered per round-robin refill: enough for a whole scheduling
+/// pass's picks in one scatter–gather, small enough that a mostly-
+/// ineligible fleet doesn't over-fetch.
+const RR_GATHER_CHUNK: usize = 32;
 
 /// Selectable allocation strategies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +50,10 @@ pub struct Selector {
     strategy: Strategy,
     /// Round-robin resumes scanning at this uid.
     rr_cursor: NodeUid,
+    /// Reusable round-robin scatter–gather buffer: one refill serves many
+    /// picks, so a 20-job pass pays the per-shard stream setup once
+    /// instead of once per pick.
+    gather: RrGather,
 }
 
 impl Selector {
@@ -53,6 +62,7 @@ impl Selector {
         Selector {
             strategy,
             rr_cursor: NodeUid(0),
+            gather: RrGather::new(),
         }
     }
 
@@ -87,7 +97,7 @@ impl Selector {
         let ok = |uid: &NodeUid| !exclude.contains(uid) && dir.is_candidate(*uid, spec);
         match self.strategy {
             Strategy::RoundRobin => {
-                let hit = dir.round_robin_from(self.rr_cursor).find(ok)?;
+                let hit = self.rr_pick(dir, ok)?;
                 self.rr_cursor = NodeUid(hit.0 + 1);
                 Some(hit)
             }
@@ -102,6 +112,64 @@ impl Selector {
                         .then(b.uid.cmp(&a.uid))
                 })
                 .map(|e| e.uid),
+        }
+    }
+
+    /// Round-robin pick through the scatter–gather buffer: exactly
+    /// equivalent to `dir.round_robin_from(cursor).find(ok)` (tested
+    /// against it), but the per-shard stream setup is paid once per
+    /// refill, not once per pick.
+    ///
+    /// Exactness argument. The buffer holds a prefix-ordered suffix of
+    /// `circle(origin)` = `[origin, ∞) ++ [0, origin)`. Reuse is allowed
+    /// only when (a) no membership mutation happened since the fill
+    /// (epoch check — reserve/release don't count, and eligibility is
+    /// re-verified per uid via `ok` anyway) and (b) the pick's cursor is
+    /// exactly where consumption stopped (`expected_cursor`). Under
+    /// those conditions the remaining enumeration visits the same uids
+    /// in the same order a fresh `circle(cursor)` scan would — except
+    /// the part already consumed by earlier picks, which a fresh scan
+    /// re-checks (non-membership mutations like `release` can requalify
+    /// a previously skipped uid without bumping the epoch). So: if a hit
+    /// occurs before the resumed enumeration runs dry, it is the fresh
+    /// scan's hit (the shared prefix is order-identical); if it
+    /// completes with no hit, the full circle is restarted at `cursor` —
+    /// uids re-checked by the restart stay ineligible because nothing
+    /// mutates mid-pick — and only a restarted (fresh-this-pick) scan
+    /// that comes up dry may conclude `None`.
+    ///
+    /// Assumes the selector serves one directory for its lifetime (as
+    /// the coordinator's does): the epoch clock is per-directory.
+    fn rr_pick(&mut self, dir: &Directory, ok: impl Fn(&NodeUid) -> bool) -> Option<NodeUid> {
+        let epoch = dir.membership_epoch();
+        let g = &mut self.gather;
+        let mut fresh = g.epoch != epoch || g.expected_cursor != Some(self.rr_cursor);
+        if fresh {
+            g.reset(epoch, self.rr_cursor);
+        }
+        loop {
+            while let Some(uid) = g.buf.pop_front() {
+                if ok(&uid) {
+                    g.expected_cursor = Some(NodeUid(uid.0 + 1));
+                    return Some(uid);
+                }
+            }
+            if g.pos == GatherPos::Done {
+                if !fresh {
+                    // The enumeration was partly consumed by earlier
+                    // picks, so this pick never saw the full circle.
+                    // Restart it at the cursor before concluding None.
+                    g.reset(epoch, self.rr_cursor);
+                    fresh = true;
+                    continue;
+                }
+                // Whole circle scanned this pick, nothing eligible. The
+                // next pick must rescan (eligibility changes between
+                // picks without bumping the membership epoch).
+                g.expected_cursor = None;
+                return None;
+            }
+            dir.fill_round_robin(g, RR_GATHER_CHUNK);
         }
     }
 
@@ -298,5 +366,57 @@ mod tests {
         let mut sel = Selector::new(Strategy::RoundRobin);
         let picks: Vec<NodeUid> = (0..6).filter_map(|_| sel.pick(&d, &spec(4), &[])).collect();
         assert_eq!(picks, [&uids[..], &uids[..]].concat(), "wraps twice");
+    }
+
+    proptest::proptest! {
+        /// The gather-buffered round-robin pick is *exactly* the fresh
+        /// enumeration `round_robin_from(cursor).find(ok)`, under any
+        /// interleaving of picks with membership mutations (register,
+        /// liveness flips) and capacity mutations (reserve/release) —
+        /// the cases the epoch clock, `expected_cursor` check, and the
+        /// Done-restart rule each exist for.
+        #[test]
+        fn prop_gathered_pick_matches_fresh_enumeration(
+            actions in proptest::collection::vec((0u8..9, 0u64..10, 0u64..32), 1..120),
+            shards in 1usize..9,
+        ) {
+            let mut d = Directory::with_shards(shards);
+            let mut sel = Selector::new(Strategy::RoundRobin);
+            let mut cursor = NodeUid(0); // reference's mirror of rr_cursor
+            for (kind, a, b) in actions {
+                match kind {
+                    0 | 1 => {
+                        let gpus: Vec<gpunion_protocol::GpuInfo> =
+                            vec![GpuModel::ALL[(a % 5) as usize].into()];
+                        d.register(&format!("m-{a}"), "h", gpus, t(b));
+                    }
+                    2 => {
+                        d.reserve(NodeUid(a), JobId(b), 1, (b % 24) << 30, None);
+                    }
+                    3 => d.release(NodeUid(a), JobId(b)),
+                    4 => {
+                        let l = match b % 4 {
+                            0 => NodeLiveness::Active,
+                            1 => NodeLiveness::Paused,
+                            2 => NodeLiveness::Departing,
+                            _ => NodeLiveness::Offline,
+                        };
+                        d.set_liveness(NodeUid(a), l);
+                    }
+                    _ => {
+                        // A pick turn: spec varies so eligibility shifts
+                        // between picks over one gather buffer.
+                        let s = spec(b % 30);
+                        let ok = |uid: &NodeUid| d.is_candidate(*uid, &s);
+                        let want = d.round_robin_from(cursor).find(ok);
+                        if let Some(hit) = want {
+                            cursor = NodeUid(hit.0 + 1);
+                        }
+                        let got = sel.pick(&d, &s, &[]);
+                        proptest::prop_assert_eq!(got, want, "pick at cursor {:?}", cursor);
+                    }
+                }
+            }
+        }
     }
 }
