@@ -9,10 +9,96 @@
 //! sanity-check the full stack against the capacity abstraction.
 
 use crate::model::{CampusShape, ChurnReaction, Outcome, PlatformPolicy, Visibility};
-use gpunion_des::{chance, log_normal, RngPool, Sim, SimDuration, SimTime, TimeWeighted};
+use gpunion_des::{
+    chance, log_normal, RngPool, Sim, SimDuration, SimTime, TimeWeighted, TypedEvent,
+};
 use gpunion_workload::{InterruptionEvent, LabId, Request, TraceEvent};
 use rand::rngs::SmallRng;
 use std::collections::VecDeque;
+
+/// The pool simulator: every event the capacity model schedules is a
+/// typed [`PoolEvent`] value — no boxed closures, no allocation on the
+/// schedule→fire cycle (trace arrivals index into `PoolWorld::trace`
+/// instead of each capturing a clone of their event).
+type PoolSim = Sim<PoolWorld, PoolEvent>;
+
+/// Typed events of the capacity model.
+#[derive(Debug)]
+enum PoolEvent {
+    /// A trace arrival (index into `PoolWorld::trace`).
+    Arrival(u32),
+    /// Churn: a host goes down.
+    HostDown(usize),
+    /// Churn: a host returns.
+    HostUp(usize),
+    /// A reclaim-latency probe on a host.
+    Probe(usize),
+    /// A queued session's patience expires.
+    GiveUp { id: u64 },
+    /// A placed session ends (guarded by placement incarnation).
+    SessionEnd { id: u64, incarnation: u64 },
+    /// A placed training job finishes (guarded by placement incarnation).
+    JobFinish { id: u64, incarnation: u64 },
+    /// Reservation padding elapsed: actually release the GPU.
+    FreeSlot { host: usize, gpu: usize },
+    /// A churn-displaced job re-enters the queue after its resubmit delay.
+    Requeue(QueuedJob),
+    /// A borrow negotiation concluded: enqueue the unlocked copy.
+    EnqueueUnlocked(QueuedJob),
+    /// Join overhead elapsed after a host returned: retry the queues.
+    DrainAfterJoin,
+}
+
+impl TypedEvent<PoolWorld> for PoolEvent {
+    fn fire(self, w: &mut PoolWorld, sim: &mut PoolSim) {
+        match self {
+            PoolEvent::Arrival(i) => {
+                let ev = w.trace[i as usize].clone();
+                arrival(w, sim, &ev);
+            }
+            PoolEvent::HostDown(h) => host_down(w, sim, h),
+            PoolEvent::HostUp(h) => host_up(w, sim, h),
+            PoolEvent::Probe(h) => probe_reclaim(w, sim.now(), h),
+            PoolEvent::GiveUp { id } => {
+                let before = w.session_queue.len();
+                w.session_queue.retain(|s| s.id != id);
+                if w.session_queue.len() < before {
+                    w.outcome.sessions_abandoned += 1;
+                }
+            }
+            PoolEvent::SessionEnd { id, incarnation } => {
+                if w.units.get(&id).map(|u| u.incarnation) == Some(incarnation) {
+                    let u = w.units.remove(&id).expect("checked");
+                    free_slot(w, sim, u.host, u.gpu);
+                }
+            }
+            PoolEvent::JobFinish { id, incarnation } => {
+                let Some(u) = w.units.get(&id) else { return };
+                if u.incarnation != incarnation {
+                    return;
+                }
+                let (host, gpu, release_at) = (u.host, u.gpu, u.release_at);
+                w.units.remove(&id);
+                w.outcome.jobs_completed += 1;
+                if release_at > sim.now() {
+                    // Reservation padding: GPU stays blocked (reserved-idle).
+                    w.hosts[host].working[gpu] = false;
+                    w.hosts[host].update_util(sim.now());
+                    sim.schedule_typed_at(release_at, PoolEvent::FreeSlot { host, gpu });
+                } else {
+                    free_slot(w, sim, host, gpu);
+                }
+            }
+            PoolEvent::FreeSlot { host, gpu } => free_slot(w, sim, host, gpu),
+            PoolEvent::Requeue(job) => {
+                w.job_queue.push_back(job);
+                drain_queues(w, sim);
+            }
+            PoolEvent::EnqueueUnlocked(job) => enqueue_job(w, sim, job),
+            PoolEvent::DrainAfterJoin => drain_queues(w, sim),
+        }
+    }
+}
 
 /// Reference device speed used to normalize work (RTX 3090 TFLOPS).
 const REF_TFLOPS: f64 = 35.6;
@@ -114,6 +200,9 @@ struct PoolWorld {
     rng: SmallRng,
     next_id: u64,
     next_incarnation: u64,
+    /// The replayed trace; arrival events carry an index into it rather
+    /// than each boxing a clone of their event.
+    trace: Vec<TraceEvent>,
     #[allow(dead_code)] // reserved for horizon-aware admission policies
     horizon_end: SimTime,
 }
@@ -170,7 +259,7 @@ pub fn run_capacity_model(
     horizon: SimDuration,
     pool_seed: &RngPool,
 ) -> Outcome {
-    let mut sim: Sim<PoolWorld> = Sim::new();
+    let mut sim: PoolSim = Sim::new();
     let hosts = campus
         .hosts
         .iter()
@@ -202,37 +291,25 @@ pub fn run_capacity_model(
         rng: pool_seed.stream("capacity-model"),
         next_id: 0,
         next_incarnation: 0,
+        trace: trace.to_vec(),
         horizon_end: SimTime::ZERO + horizon,
     };
 
-    // Schedule trace arrivals.
-    for ev in trace {
-        let ev = ev.clone();
-        sim.schedule_at(ev.at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-            arrival(w, sim, &ev);
-        });
+    // Schedule trace arrivals (by index into the world's trace copy).
+    for (i, ev) in trace.iter().enumerate() {
+        sim.schedule_typed_at(ev.at, PoolEvent::Arrival(i as u32));
     }
     // Schedule churn.
     for ev in churn {
         let Some(&host) = churn_hosts.get(ev.node_index) else {
             continue;
         };
-        let returns = ev.returns_at;
-        sim.schedule_at(ev.at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-            host_down(w, sim, host);
-        });
-        sim.schedule_at(
-            returns,
-            move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-                host_up(w, sim, host);
-            },
-        );
+        sim.schedule_typed_at(ev.at, PoolEvent::HostDown(host));
+        sim.schedule_typed_at(ev.returns_at, PoolEvent::HostUp(host));
     }
     // Schedule reclaim probes.
     for (at, host) in reclaim_probes.iter().copied() {
-        sim.schedule_at(at, move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-            probe_reclaim(w, sim.now(), host);
-        });
+        sim.schedule_typed_at(at, PoolEvent::Probe(host));
     }
 
     sim.run_until(&mut world, SimTime::ZERO + horizon);
@@ -259,7 +336,7 @@ pub fn run_capacity_model(
     world.outcome
 }
 
-fn arrival(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, ev: &TraceEvent) {
+fn arrival(w: &mut PoolWorld, sim: &mut PoolSim, ev: &TraceEvent) {
     match &ev.request {
         Request::Training(spec) => {
             let total_ref = spec.expected_duration(REF_TFLOPS).as_secs_f64();
@@ -301,21 +378,12 @@ fn arrival(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, ev: &TraceEvent) {
             }
             w.session_queue.push_back(qs);
             // Give-up timer.
-            sim.schedule_at(
-                sim.now() + spec.patience,
-                move |w: &mut PoolWorld, _sim: &mut Sim<PoolWorld>| {
-                    let before = w.session_queue.len();
-                    w.session_queue.retain(|s| s.id != id);
-                    if w.session_queue.len() < before {
-                        w.outcome.sessions_abandoned += 1;
-                    }
-                },
-            );
+            sim.schedule_typed_at(sim.now() + spec.patience, PoolEvent::GiveUp { id });
         }
     }
 }
 
-fn enqueue_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob) {
+fn enqueue_job(w: &mut PoolWorld, sim: &mut PoolSim, job: QueuedJob) {
     // Manual coordination: a lab without capacity may try to borrow.
     if let Visibility::OwnLabOnly {
         borrow_success,
@@ -329,11 +397,9 @@ fn enqueue_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob) {
             let delay = log_normal(&mut w.rng, negotiation_median.as_secs_f64(), 0.5);
             let mut unlocked = job.clone();
             unlocked.borrow_unlocked = true;
-            sim.schedule_in(
+            sim.schedule_typed_in(
                 SimDuration::from_secs_f64(delay),
-                move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-                    enqueue_job(w, sim, unlocked.clone());
-                },
+                PoolEvent::EnqueueUnlocked(unlocked),
             );
             // The original stays in the own-lab queue too; whichever copy
             // places first wins (the other is deduplicated at placement).
@@ -343,7 +409,7 @@ fn enqueue_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob) {
     drain_queues(w, sim);
 }
 
-fn try_place_session(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, qs: &QueuedSession) -> bool {
+fn try_place_session(w: &mut PoolWorld, sim: &mut PoolSim, qs: &QueuedSession) -> bool {
     let Some((h, g)) = w.find_slot(qs.lab, qs.mem, false, sim.now()) else {
         return false;
     };
@@ -352,11 +418,7 @@ fn try_place_session(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, qs: &QueuedSes
 }
 
 /// Informal borrowing path: any host, bypassing visibility.
-fn try_place_session_anywhere(
-    w: &mut PoolWorld,
-    sim: &mut Sim<PoolWorld>,
-    qs: &QueuedSession,
-) -> bool {
+fn try_place_session_anywhere(w: &mut PoolWorld, sim: &mut PoolSim, qs: &QueuedSession) -> bool {
     let Some((h, g)) = w.find_slot(qs.lab, qs.mem, true, sim.now()) else {
         return false;
     };
@@ -364,13 +426,7 @@ fn try_place_session_anywhere(
     true
 }
 
-fn place_session(
-    w: &mut PoolWorld,
-    sim: &mut Sim<PoolWorld>,
-    qs: &QueuedSession,
-    h: usize,
-    g: usize,
-) {
+fn place_session(w: &mut PoolWorld, sim: &mut PoolSim, qs: &QueuedSession, h: usize, g: usize) {
     let id = qs.id;
     let ends_at = sim.now() + qs.duration;
     w.hosts[h].gpus[g] = Some(id);
@@ -394,18 +450,10 @@ fn place_session(
         },
     );
     w.outcome.sessions_served += 1;
-    sim.schedule_at(
-        ends_at,
-        move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-            if w.units.get(&id).map(|u| u.incarnation) == Some(incarnation) {
-                let u = w.units.remove(&id).expect("checked");
-                free_slot(w, sim, u.host, u.gpu);
-            }
-        },
-    );
+    sim.schedule_typed_at(ends_at, PoolEvent::SessionEnd { id, incarnation });
 }
 
-fn drain_queues(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>) {
+fn drain_queues(w: &mut PoolWorld, sim: &mut PoolSim) {
     // Humans waiting beat batch jobs.
     let mut i = 0;
     while i < w.session_queue.len() {
@@ -442,7 +490,7 @@ fn drain_queues(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>) {
     }
 }
 
-fn place_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob, h: usize, g: usize) {
+fn place_job(w: &mut PoolWorld, sim: &mut PoolSim, job: QueuedJob, h: usize, g: usize) {
     let now = sim.now();
     w.outcome
         .job_wait
@@ -479,41 +527,17 @@ fn place_job(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, job: QueuedJob, h: usi
     );
     // Completion (guarded by incarnation: a displaced-and-replaced unit
     // must not be completed by this placement's stale event).
-    sim.schedule_at(
-        finish_at,
-        move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-            let Some(u) = w.units.get(&id) else { return };
-            if u.incarnation != incarnation {
-                return;
-            }
-            let (host, gpu, release_at) = (u.host, u.gpu, u.release_at);
-            w.units.remove(&id);
-            w.outcome.jobs_completed += 1;
-            if release_at > sim.now() {
-                // Reservation padding: GPU stays blocked (reserved-idle).
-                w.hosts[host].working[gpu] = false;
-                w.hosts[host].update_util(sim.now());
-                sim.schedule_at(
-                    release_at,
-                    move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-                        free_slot(w, sim, host, gpu);
-                    },
-                );
-            } else {
-                free_slot(w, sim, host, gpu);
-            }
-        },
-    );
+    sim.schedule_typed_at(finish_at, PoolEvent::JobFinish { id, incarnation });
 }
 
-fn free_slot(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize, g: usize) {
+fn free_slot(w: &mut PoolWorld, sim: &mut PoolSim, h: usize, g: usize) {
     w.hosts[h].gpus[g] = None;
     w.hosts[h].working[g] = false;
     w.hosts[h].update_util(sim.now());
     drain_queues(w, sim);
 }
 
-fn host_down(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
+fn host_down(w: &mut PoolWorld, sim: &mut PoolSim, h: usize) {
     if !w.hosts[h].up {
         return;
     }
@@ -549,7 +573,7 @@ fn host_down(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
                 let ran_ref = now.since(u.started_at).as_secs_f64() * rate;
                 let done_now = (u.done_ref + ran_ref).min(total_ref);
                 let requeue =
-                    |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, done: f64, delay: SimDuration| {
+                    |w: &mut PoolWorld, sim: &mut PoolSim, done: f64, delay: SimDuration| {
                         let job = QueuedJob {
                             id,
                             lab: u.lab,
@@ -564,13 +588,7 @@ fn host_down(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
                         if delay.is_zero() {
                             w.job_queue.push_back(job);
                         } else {
-                            sim.schedule_in(
-                                delay,
-                                move |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-                                    w.job_queue.push_back(job.clone());
-                                    drain_queues(w, sim);
-                                },
-                            );
+                            sim.schedule_typed_in(delay, PoolEvent::Requeue(job));
                         }
                     };
                 match w.policy.churn {
@@ -599,7 +617,7 @@ fn host_down(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
     drain_queues(w, sim);
 }
 
-fn host_up(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
+fn host_up(w: &mut PoolWorld, sim: &mut PoolSim, h: usize) {
     if w.hosts[h].up {
         return;
     }
@@ -607,9 +625,7 @@ fn host_up(w: &mut PoolWorld, sim: &mut Sim<PoolWorld>, h: usize) {
     let overhead = w.policy.join_overhead;
     w.hosts[h].usable_at = sim.now() + overhead;
     w.outcome.join_turnaround.record(overhead.as_secs_f64());
-    sim.schedule_in(overhead, |w: &mut PoolWorld, sim: &mut Sim<PoolWorld>| {
-        drain_queues(w, sim);
-    });
+    sim.schedule_typed_in(overhead, PoolEvent::DrainAfterJoin);
 }
 
 /// Measure how long the owner of host `h` would wait to get it back.

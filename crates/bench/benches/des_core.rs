@@ -1,0 +1,34 @@
+//! Criterion micro-bench: per-event cost of the DES core itself.
+//!
+//! `typed_wheel` drives the semester fleet (per-node 60 s heartbeats +
+//! weekly audits) on the typed-event slab + hierarchical timer wheel —
+//! the warm path is allocation-free, so this measures pure queue and
+//! dispatch cost. `boxed_heap` is the pre-refactor cost model on the
+//! frozen [`HeapSim`] reference: a fresh `Box<dyn FnOnce>` per re-arm
+//! and a global binary heap per pop. Same fleet, same horizon, same
+//! (asserted-identical) event count, so the ratio is the per-event
+//! speedup the typed core buys. A one-day horizon keeps a criterion
+//! sample near 100 ms at 64 nodes; `bench_gate` runs the full 6-week
+//! semester row and gates its wall clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpunion_bench::{semester_sweep_heap, semester_sweep_run};
+
+/// One simulated day: 1 440 beats per node, audits pending in overflow.
+const DAYS: u64 = 1;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_core");
+    for nodes in [16u32, 64] {
+        g.bench_with_input(BenchmarkId::new("typed_wheel", nodes), &nodes, |b, &n| {
+            b.iter(|| semester_sweep_run(n, DAYS).events)
+        });
+        g.bench_with_input(BenchmarkId::new("boxed_heap", nodes), &nodes, |b, &n| {
+            b.iter(|| semester_sweep_heap(n, DAYS).events)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,17 +4,19 @@
 //! latency of the actor turn that drains a 20-job scheduling pass at 400,
 //! 10 000, and 100 000 nodes (the quantities EXPERIMENTS.md §5.2 quotes;
 //! the 100k rows run the 16-way **sharded** directory, cold and warm)
-//! plus the simulated database write-queue figures at 400 nodes and the
-//! coordinator-inbox saturation figures at 500 nodes (ρ = 1.2) — writes
-//! them to `BENCH_scheduler.json` (schema 4), and fails (exit 1) on
+//! plus the simulated database write-queue figures at 400 nodes, the
+//! coordinator-inbox saturation figures at 500 nodes (ρ = 1.2), and the
+//! semester-scale DES row (6 weeks of 60 s heartbeats + weekly audits at
+//! 400 nodes on the typed-event wheel core, ≈24 M events) — writes
+//! them to `BENCH_scheduler.json` (schema 5), and fails (exit 1) on
 //! regression over the checked-in baseline. Wall-clock rows get
 //! `BENCH_GATE_FACTOR`× headroom (default 2×, absorbing runner-to-runner
-//! hardware variance); the simulated saturation rows are deterministic,
-//! so they must match the baseline to a 1% epsilon — any drift, in
-//! either direction, is a behavioural change that must be re-recorded
-//! deliberately.
+//! hardware variance); the simulated saturation and semester event-count
+//! rows are deterministic, so they must match the baseline to a 1%
+//! epsilon — any drift, in either direction, is a behavioural change
+//! that must be re-recorded deliberately.
 //!
-//! Three cross-row invariants are asserted in-run (same machine, same
+//! Cross-row invariants are asserted in-run (same machine, same
 //! build, so the ratios are hardware-independent; they compare sample
 //! **minima** — the least-noisy estimator on a shared runner — so a
 //! single cold-cache outlier cannot fail the gate):
@@ -33,6 +35,14 @@
 //! * **Critical-write backpressure**: at ρ > 1 every job submission is
 //!   deferred behind the database bound — visible as inbox sojourn — and
 //!   **none is shed**.
+//! * **Typed core beats the boxed heap**: the semester fleet's per-event
+//!   cost on the typed wheel core must stay at or below
+//!   `BENCH_GATE_DES_FACTOR`× (default 1×) the per-event cost of the
+//!   same fleet on the frozen boxed-closure `HeapSim` reference — the
+//!   tentpole's reason to exist, measured like-for-like in-run.
+//! * **Semester in single-digit seconds**: the 6-week 400-node row must
+//!   finish within `BENCH_GATE_SEMESTER_SECS` (default 10) wall-clock
+//!   seconds — the absolute bound EXPERIMENTS.md §5.3 quotes.
 //!
 //! Usage:
 //!
@@ -43,8 +53,8 @@
 //! ```
 
 use gpunion_bench::{
-    contention_knee_run, loaded_coordinator_sharded, saturation_run, warm_actor_pass_ns, PassStats,
-    PASS_JOBS,
+    contention_knee_run, loaded_coordinator_sharded, saturation_run, semester_sweep_heap,
+    semester_sweep_run, warm_actor_pass_ns, PassStats, PASS_JOBS,
 };
 use gpunion_des::SimTime;
 use std::time::Instant;
@@ -144,6 +154,43 @@ fn main() {
          the cold 10k turn ({} ns), bound {actor_factor}× (minima)",
         pactor.min_ns, p10k.min_ns
     );
+    eprintln!("bench_gate: running semester DES sweep (6 weeks, 400 nodes, typed wheel core)…");
+    let sem = semester_sweep_run(400, 42);
+    eprintln!(
+        "bench_gate: semester row — {} events in {:.0} ms ({:.0} ns/event)",
+        sem.events,
+        sem.wall_ms,
+        sem.ns_per_event()
+    );
+    // Absolute bound: a semester at campus scale stays single-digit
+    // seconds (the EXPERIMENTS.md §5.3 claim).
+    let semester_secs = env_factor("BENCH_GATE_SEMESTER_SECS", 10.0);
+    assert!(
+        sem.wall_ms <= semester_secs * 1e3,
+        "semester sweep took {:.1} s (bound {semester_secs} s)",
+        sem.wall_ms / 1e3
+    );
+    // Typed-vs-heap invariant, in-run so it is hardware-independent: the
+    // per-event cost of the typed wheel core must not exceed the boxed
+    // binary-heap reference on the same fleet (one week is enough signal
+    // — per-event cost is horizon-independent for this workload).
+    eprintln!("bench_gate: running heap-reference week (boxed closures, 400 nodes)…");
+    let sem_heap = semester_sweep_heap(400, 7);
+    let des_factor = env_factor("BENCH_GATE_DES_FACTOR", 1.0);
+    let des_ratio = sem.ns_per_event() / sem_heap.ns_per_event();
+    assert!(
+        des_ratio <= des_factor,
+        "typed core per-event cost is {des_ratio:.2}× the boxed-heap reference \
+         (bound {des_factor}×): {:.0} ns vs {:.0} ns per event",
+        sem.ns_per_event(),
+        sem_heap.ns_per_event()
+    );
+    eprintln!(
+        "bench_gate: des core ok — typed {:.0} ns/event is {des_ratio:.2}× the boxed-heap \
+         reference ({:.0} ns/event), bound {des_factor}×",
+        sem.ns_per_event(),
+        sem_heap.ns_per_event()
+    );
     eprintln!("bench_gate: measuring db write queue at 400 nodes…");
     let knee = contention_knee_run(400, 7);
     eprintln!("bench_gate: measuring inbox sojourn under saturation (500 nodes, rho = 1.2)…");
@@ -173,11 +220,12 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"schema\": 4,\n  \"pass_ns_400\": {},\n  \"pass_ns_10k\": {},\n  \
+        "{{\n  \"schema\": 5,\n  \"pass_ns_400\": {},\n  \"pass_ns_10k\": {},\n  \
          \"pass_ns_100k_sharded\": {},\n  \"pass_ns_100k_actor\": {},\n  \
          \"scale_shards\": {SCALE_SHARDS},\n  \
          \"db_write_latency_ms_400\": {:.3},\n  \"db_queue_depth_peak_400\": {},\n  \
-         \"inbox_sojourn_ms_sat500\": {:.6},\n  \"deferred_turns_sat500\": {}\n}}\n",
+         \"inbox_sojourn_ms_sat500\": {:.6},\n  \"deferred_turns_sat500\": {},\n  \
+         \"semester_events_400\": {},\n  \"semester_wall_ms_400\": {:.3}\n}}\n",
         p400.median_ns,
         p10k.median_ns,
         p100k.median_ns,
@@ -185,7 +233,9 @@ fn main() {
         knee.measured_latency_ms,
         knee.peak_queue_depth,
         sat.inbox_sojourn_ms_mean,
-        sat.deferred_turns
+        sat.deferred_turns,
+        sem.events,
+        sem.wall_ms
     );
     let target = write_baseline.clone().unwrap_or_else(|| out_path.clone());
     std::fs::write(&target, &json).unwrap_or_else(|e| panic!("write {target}: {e}"));
@@ -210,6 +260,7 @@ fn main() {
         ("pass_ns_10k", p10k.median_ns as f64),
         ("pass_ns_100k_sharded", p100k.median_ns as f64),
         ("pass_ns_100k_actor", pactor.median_ns as f64),
+        ("semester_wall_ms_400", sem.wall_ms),
     ] {
         let Some(base) = json_f64(&baseline, key) else {
             eprintln!("bench_gate: baseline missing {key}; failing");
@@ -217,8 +268,14 @@ fn main() {
             continue;
         };
         let ratio = measured / base;
+        // Signed delta so a passing run still shows drift direction at a
+        // glance (negative = faster than baseline).
+        let delta = (ratio - 1.0) * 100.0;
         let verdict = if ratio > factor { "REGRESSED" } else { "ok" };
-        eprintln!("bench_gate: {key}: {measured:.0} vs baseline {base:.0} ({ratio:.2}×) {verdict}");
+        eprintln!(
+            "bench_gate: {key}: {measured:.0} vs baseline {base:.0} \
+             ({ratio:.2}×, {delta:+.1}%) {verdict}"
+        );
         if ratio > factor {
             failed = true;
         }
@@ -231,6 +288,7 @@ fn main() {
     for (key, measured) in [
         ("inbox_sojourn_ms_sat500", sat.inbox_sojourn_ms_mean),
         ("deferred_turns_sat500", sat.deferred_turns as f64),
+        ("semester_events_400", sem.events as f64),
     ] {
         let Some(base) = json_f64(&baseline, key) else {
             eprintln!("bench_gate: baseline missing {key}; failing");
@@ -238,10 +296,12 @@ fn main() {
             continue;
         };
         let tol = (base.abs() * 0.01).max(1e-5);
-        let drifted = (measured - base).abs() > tol;
+        let delta = measured - base;
+        let drifted = delta.abs() > tol;
         let verdict = if drifted { "DRIFTED" } else { "ok" };
         eprintln!(
-            "bench_gate: {key}: {measured:.6} vs baseline {base:.6} (deterministic) {verdict}"
+            "bench_gate: {key}: {measured:.6} vs baseline {base:.6} \
+             (deterministic, {delta:+.6}) {verdict}"
         );
         if drifted {
             failed = true;

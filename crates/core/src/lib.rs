@@ -14,7 +14,10 @@ pub use case_study::{
     attribute_displacements, campus_shape, run_fig2, run_fig3, run_fig3_sharded, run_table1,
     Fig2Report, Fig3Report, MigrationClassStats,
 };
-pub use platform::{Displacement, Payload, Platform, PlatformConfig, PlatformStats};
+pub use platform::{
+    Displacement, Injection, Payload, Platform, PlatformConfig, PlatformEvent, PlatformSim,
+    PlatformStats,
+};
 pub use scenario::{InjectedInterruption, Scenario};
 
 #[cfg(test)]

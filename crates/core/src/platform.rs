@@ -10,7 +10,7 @@
 
 use gpunion_agent::{Action, Agent, AgentConfig, FlowPeer, FlowPurpose};
 use gpunion_container::ImageRegistry;
-use gpunion_des::{RngPool, Sim, SimDuration, SimTime};
+use gpunion_des::{RngPool, Sim, SimDuration, SimTime, TypedEvent};
 use gpunion_gpu::{GpuServer, ServerSpec};
 use gpunion_protocol::{DispatchSpec, Envelope, ExecMode, JobId, Message, NodeUid, WorkloadState};
 use gpunion_scheduler::{
@@ -19,8 +19,100 @@ use gpunion_scheduler::{
 use gpunion_simnet::{
     star_campus, Bandwidth, FlowOutcome, NetEvent, Network, NodeId, TrafficClass,
 };
-use gpunion_workload::{InteractiveSpec, TrainingJobSpec, TrainingRun};
-use std::collections::{BTreeMap, HashMap};
+use gpunion_workload::{InteractiveSpec, InterruptionKind, TrainingJobSpec, TrainingRun};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The platform simulator: a [`Sim`] whose hot recurring events — pump
+/// wakes, boot registrations, harness injections — are typed
+/// [`PlatformEvent`] values (allocation-free on the warm path), with boxed
+/// closures still available for ad-hoc scenario actions.
+pub type PlatformSim = Sim<Platform, PlatformEvent>;
+
+/// Typed top-level simulation events.
+///
+/// These replace the boxed closures the platform used to schedule for its
+/// recurring work: the values live in the simulator's event slab, so the
+/// steady-state schedule→fire cycle touches no allocator and `cancel`
+/// (pump re-arming) is an O(1) generation bump.
+#[derive(Debug)]
+pub enum PlatformEvent {
+    /// Wake the pump: advance all passive components to `now`.
+    Pump,
+    /// Boot-time registration of the agent at this address.
+    Boot(NodeId),
+    /// A staged harness injection (arrivals, lifecycle steps, provider
+    /// interruptions).
+    Inject(Injection),
+}
+
+/// A harness injection: what `Scenario` used to encode as (triple-)nested
+/// boxed closures, now plain data dispatched by [`Platform::run_injection`].
+///
+/// Arrival variants box their specs so the recurring variants stay small in
+/// the event slab; the boxing happens once at scenario construction (the
+/// cold path), exactly where the old closure capture allocated.
+#[derive(Debug)]
+pub enum Injection {
+    /// Submit a training job.
+    Training {
+        /// Harness trace index.
+        tag: u64,
+        /// The job.
+        spec: Box<TrainingJobSpec>,
+    },
+    /// An interactive session arrives (starts its lifecycle chain).
+    InteractiveArrive {
+        /// Harness trace index.
+        tag: u64,
+        /// The session.
+        spec: Box<InteractiveSpec>,
+    },
+    /// Patience check: abandon the session if it never started.
+    InteractivePatience {
+        /// The session's job id.
+        job: JobId,
+        /// How long it runs once started.
+        duration: SimDuration,
+    },
+    /// A served session ends (user logs out).
+    InteractiveEnd {
+        /// The session's job id.
+        job: JobId,
+    },
+    /// A provider interruption hits a host.
+    Interrupt {
+        /// The host.
+        host: NodeId,
+        /// Interruption class.
+        kind: InterruptionKind,
+    },
+    /// The provider returns after an outage.
+    ProviderReturn {
+        /// The host.
+        host: NodeId,
+    },
+}
+
+impl TypedEvent<Platform> for PlatformEvent {
+    fn fire(self, w: &mut Platform, sim: &mut PlatformSim) {
+        match self {
+            PlatformEvent::Pump => {
+                w.pump_armed = None;
+                w.pump(sim);
+            }
+            PlatformEvent::Boot(addr) => {
+                let actions = w
+                    .agents
+                    .get_mut(&addr)
+                    .expect("agent exists")
+                    .start_registration(sim.now());
+                w.apply_agent_actions(sim.now(), addr, actions);
+                w.pump(sim);
+            }
+            PlatformEvent::Inject(inj) => w.run_injection(sim, inj),
+        }
+    }
+}
 
 /// What travels on the simulated network.
 #[derive(Debug, Clone)]
@@ -171,6 +263,17 @@ pub struct Platform {
     /// The coordinator–switch backbone link (traffic-share reporting).
     backbone_link: Option<gpunion_simnet::LinkId>,
     pump_armed: Option<(SimTime, gpunion_des::EventId)>,
+    /// Wake-ordered index over agents with a pending timer: the pump pops
+    /// only the due prefix — O(due), not O(agents).
+    wake_index: BTreeSet<(SimTime, NodeId)>,
+    /// The wake time currently recorded in the index per agent (so a
+    /// refresh is a cheap compare + at most one remove/insert).
+    wake_cache: HashMap<NodeId, SimTime>,
+    /// Set when `agent_mut` hands out raw access (timers may have changed
+    /// behind the index's back); the next pump resyncs from scratch.
+    wake_dirty: bool,
+    /// Reusable buffer for the due agents of one pump iteration.
+    due_scratch: Vec<NodeId>,
 }
 
 impl Platform {
@@ -214,6 +317,11 @@ impl Platform {
             stats: PlatformStats::default(),
             backbone_link,
             pump_armed: None,
+            wake_index: BTreeSet::new(),
+            wake_cache: HashMap::new(),
+            // Resync on the first pump: agents may carry deploy-time timers.
+            wake_dirty: true,
+            due_scratch: Vec::new(),
         };
         (platform, hosts)
     }
@@ -229,8 +337,10 @@ impl Platform {
         self.agents.get(&addr)
     }
 
-    /// Mutable agent access.
+    /// Mutable agent access. Marks the wake index dirty: the caller may
+    /// arm or clear agent timers directly, so the next pump resyncs.
     pub fn agent_mut(&mut self, addr: NodeId) -> Option<&mut Agent> {
+        self.wake_dirty = true;
         self.agents.get_mut(&addr)
     }
 
@@ -272,20 +382,11 @@ impl Platform {
     // ---- boot ----------------------------------------------------------
 
     /// Kick everything off: agents register at slightly staggered times.
-    pub fn boot(world: &mut Platform, sim: &mut Sim<Platform>) {
-        let addrs: Vec<NodeId> = world.agents.keys().copied().collect();
-        for (i, addr) in addrs.into_iter().enumerate() {
-            sim.schedule_at(
+    pub fn boot(world: &mut Platform, sim: &mut PlatformSim) {
+        for (i, addr) in world.agents.keys().copied().enumerate() {
+            sim.schedule_typed_at(
                 SimTime::from_millis(10 + i as u64 * 3),
-                move |w: &mut Platform, sim: &mut Sim<Platform>| {
-                    let actions = w
-                        .agents
-                        .get_mut(&addr)
-                        .expect("agent exists")
-                        .start_registration(sim.now());
-                    w.apply_agent_actions(sim.now(), addr, actions);
-                    w.pump(sim);
-                },
+                PlatformEvent::Boot(addr),
             );
         }
     }
@@ -420,6 +521,7 @@ impl Platform {
                 self.displaced_runs.insert(job, run);
             }
         }
+        self.refresh_wake(addr);
     }
 
     // ---- action routing -------------------------------------------------
@@ -560,6 +662,10 @@ impl Platform {
                 }
             }
         }
+        // Every path that mutates an agent's timers ends here (wakes,
+        // deliveries, flow completions, departures), so re-indexing once per
+        // call keeps the wake index exact.
+        self.refresh_wake(addr);
     }
 
     fn route_net_events(&mut self, now: SimTime, events: Vec<NetEvent<Payload>>) {
@@ -646,10 +752,120 @@ impl Platform {
         self.apply_agent_actions(now, addr, actions);
     }
 
+    // ---- harness injections -------------------------------------------
+
+    /// Run one staged injection: the bodies of the old scenario closures,
+    /// verbatim — including the trailing pump and the order in which
+    /// follow-up lifecycle events are scheduled, so event sequencing (and
+    /// with it every golden) is unchanged.
+    pub fn run_injection(&mut self, sim: &mut PlatformSim, inj: Injection) {
+        let now = sim.now();
+        match inj {
+            Injection::Training { tag, spec } => {
+                self.submit_training(now, tag, &spec, vec![]);
+                self.pump(sim);
+            }
+            Injection::InteractiveArrive { tag, spec } => {
+                let job = self.submit_interactive(now, tag, &spec);
+                sim.schedule_typed_in(
+                    spec.patience,
+                    PlatformEvent::Inject(Injection::InteractivePatience {
+                        job,
+                        duration: spec.duration,
+                    }),
+                );
+                self.pump(sim);
+            }
+            Injection::InteractivePatience { job, duration } => {
+                let started = self
+                    .stats
+                    .first_event(job, |e| matches!(e, JobEvent::Started { .. }));
+                match started {
+                    Some(start) => {
+                        self.stats.sessions_served += 1;
+                        let end = start + duration;
+                        sim.schedule_typed_at(
+                            end.max(now),
+                            PlatformEvent::Inject(Injection::InteractiveEnd { job }),
+                        );
+                    }
+                    None => {
+                        self.stats.sessions_abandoned += 1;
+                        self.cancel(now, job);
+                    }
+                }
+                self.pump(sim);
+            }
+            Injection::InteractiveEnd { job } => {
+                self.cancel(now, job);
+                self.pump(sim);
+            }
+            Injection::Interrupt { host, kind } => {
+                match kind {
+                    InterruptionKind::ScheduledDeparture => self.scheduled_departure(now, host),
+                    InterruptionKind::EmergencyDeparture
+                    | InterruptionKind::TemporaryUnavailability => {
+                        self.emergency_departure(now, host)
+                    }
+                }
+                self.pump(sim);
+            }
+            Injection::ProviderReturn { host } => {
+                self.provider_return(now, host);
+                self.pump(sim);
+            }
+        }
+    }
+
     // ---- the pump ---------------------------------------------------------
 
+    /// Re-index one agent's next wake after its timers may have changed.
+    fn refresh_wake(&mut self, addr: NodeId) {
+        let wake = self.agents.get(&addr).and_then(|a| a.next_wake());
+        let cached = self.wake_cache.get(&addr).copied();
+        if wake == cached {
+            return;
+        }
+        if let Some(t) = cached {
+            self.wake_index.remove(&(t, addr));
+        }
+        match wake {
+            Some(t) => {
+                self.wake_index.insert((t, addr));
+                self.wake_cache.insert(addr, t);
+            }
+            None => {
+                self.wake_cache.remove(&addr);
+            }
+        }
+    }
+
+    /// Rebuild the wake index from every agent (after raw `agent_mut`
+    /// access invalidated it).
+    fn resync_wakes(&mut self) {
+        self.wake_index.clear();
+        self.wake_cache.clear();
+        for (addr, a) in &self.agents {
+            if let Some(t) = a.next_wake() {
+                self.wake_index.insert((t, *addr));
+                self.wake_cache.insert(*addr, t);
+            }
+        }
+        self.wake_dirty = false;
+    }
+
     /// Advance every passive component to `sim.now()` and re-arm the wake.
-    pub fn pump(&mut self, sim: &mut Sim<Platform>) {
+    ///
+    /// Agent wakes come off the wake index: each iteration pops only the
+    /// due prefix — O(due · log n) instead of the old full O(n) scan — and
+    /// visits the due agents in ascending address order, exactly the order
+    /// the old scan produced. Agents woken *by* this iteration's processing
+    /// (a delivery arming a timer at or before `now`) re-enter the index
+    /// via `refresh_wake` and are caught by the next iteration, as before.
+    pub fn pump(&mut self, sim: &mut PlatformSim) {
+        if self.wake_dirty {
+            self.resync_wakes();
+        }
         let now = sim.now();
         loop {
             let mut progressed = false;
@@ -668,14 +884,21 @@ impl Platform {
                 self.apply_coord_actions(now, actions);
                 progressed = true;
             }
-            let addrs: Vec<NodeId> = self
-                .agents
-                .iter()
-                .filter(|(_, a)| a.next_wake().map(|t| t <= now).unwrap_or(false))
-                .map(|(addr, _)| *addr)
-                .collect();
-            for addr in addrs {
-                let agent = self.agents.get_mut(&addr).expect("listed");
+            let mut due = std::mem::take(&mut self.due_scratch);
+            due.clear();
+            while let Some(&(t, addr)) = self.wake_index.first() {
+                if t > now {
+                    break;
+                }
+                self.wake_index.pop_first();
+                self.wake_cache.remove(&addr);
+                due.push(addr);
+            }
+            // The index orders by (time, addr); the old scan woke due agents
+            // in pure address order. Restore that order.
+            due.sort_unstable();
+            for &addr in &due {
+                let agent = self.agents.get_mut(&addr).expect("indexed agents exist");
                 let mut actions = agent.on_wake(now);
                 if agent.has_pending_verifications() {
                     actions.extend(agent.complete_verifications(now, &self.registry));
@@ -683,6 +906,7 @@ impl Platform {
                 self.apply_agent_actions(now, addr, actions);
                 progressed = true;
             }
+            self.due_scratch = due;
             if !progressed {
                 break;
             }
@@ -690,7 +914,7 @@ impl Platform {
         self.arm_pump(sim);
     }
 
-    fn arm_pump(&mut self, sim: &mut Sim<Platform>) {
+    fn arm_pump(&mut self, sim: &mut PlatformSim) {
         let mut next = self.net.next_event_at();
         let mut fold = |t: Option<SimTime>| {
             if let Some(t) = t {
@@ -698,9 +922,8 @@ impl Platform {
             }
         };
         fold(self.coordinator.next_wake());
-        for a in self.agents.values() {
-            fold(a.next_wake());
-        }
+        // The earliest agent wake is the index head — no per-agent scan.
+        fold(self.wake_index.first().map(|&(t, _)| t));
         let Some(at) = next else {
             return;
         };
@@ -710,10 +933,7 @@ impl Platform {
             }
             sim.cancel(id);
         }
-        let id = sim.schedule_at(at, |w: &mut Platform, sim: &mut Sim<Platform>| {
-            w.pump_armed = None;
-            w.pump(sim);
-        });
+        let id = sim.schedule_typed_at(at, PlatformEvent::Pump);
         self.pump_armed = Some((at, id));
     }
 }

@@ -1,14 +1,13 @@
-//! Scenario driver: a `Sim<Platform>` plus injection helpers.
+//! Scenario driver: a [`PlatformSim`] plus injection helpers.
 //!
 //! Harnesses describe *what happens when* (job arrivals, session arrivals,
 //! provider interruptions); the scenario schedules it all and runs the
 //! event loop.
 
-use crate::platform::{Platform, PlatformConfig};
-use gpunion_des::{Sim, SimTime};
+use crate::platform::{Injection, Platform, PlatformConfig, PlatformEvent, PlatformSim};
+use gpunion_des::SimTime;
 use gpunion_gpu::ServerSpec;
 use gpunion_protocol::JobId;
-use gpunion_scheduler::JobEvent;
 use gpunion_simnet::NodeId;
 use gpunion_workload::{InteractiveSpec, InterruptionEvent, InterruptionKind, TrainingJobSpec};
 
@@ -27,7 +26,7 @@ pub struct InjectedInterruption {
 
 /// The scenario runner.
 pub struct Scenario {
-    sim: Sim<Platform>,
+    sim: PlatformSim,
     /// The platform under test (public for report extraction).
     pub world: Platform,
     hosts: Vec<NodeId>,
@@ -39,7 +38,7 @@ impl Scenario {
     /// Deploy and boot a platform on the given server specs.
     pub fn new(config: PlatformConfig, specs: &[ServerSpec]) -> Self {
         let (mut world, hosts) = Platform::deploy(&config, specs);
-        let mut sim = Sim::new();
+        let mut sim = PlatformSim::new();
         Platform::boot(&mut world, &mut sim);
         Scenario {
             sim,
@@ -64,10 +63,11 @@ impl Scenario {
         self.sim.run_until(&mut self.world, t);
     }
 
-    /// Schedule an arbitrary action against the platform.
+    /// Schedule an arbitrary action against the platform (the boxed-closure
+    /// fallback; harness-trace injections go through the typed path below).
     pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut Platform, SimTime) + 'static) {
         self.sim
-            .schedule_at(at, move |w: &mut Platform, sim: &mut Sim<Platform>| {
+            .schedule_at(at, move |w: &mut Platform, sim: &mut PlatformSim| {
                 f(w, sim.now());
                 w.pump(sim);
             });
@@ -75,49 +75,28 @@ impl Scenario {
 
     /// Submit a training job at `at`, tagged with the caller's index.
     pub fn submit_training_at(&mut self, at: SimTime, tag: u64, spec: TrainingJobSpec) {
-        self.schedule(at, move |w, now| {
-            w.submit_training(now, tag, &spec, vec![]);
-        });
+        self.sim.schedule_typed_at(
+            at,
+            PlatformEvent::Inject(Injection::Training {
+                tag,
+                spec: Box::new(spec),
+            }),
+        );
     }
 
     /// Submit an interactive session at `at` with full lifecycle management:
     /// abandoned if not running within patience, otherwise ended after its
-    /// duration.
+    /// duration. The whole chain — arrival, patience check, session end —
+    /// runs as typed injection events (`Platform::run_injection`), not
+    /// nested boxed closures.
     pub fn submit_interactive_at(&mut self, at: SimTime, tag: u64, spec: InteractiveSpec) {
-        let patience = spec.patience;
-        let duration = spec.duration;
-        self.sim
-            .schedule_at(at, move |w: &mut Platform, sim: &mut Sim<Platform>| {
-                let job = w.submit_interactive(sim.now(), tag, &spec);
-                // Patience check.
-                sim.schedule_in(
-                    patience,
-                    move |w: &mut Platform, sim: &mut Sim<Platform>| {
-                        let started = w
-                            .stats
-                            .first_event(job, |e| matches!(e, JobEvent::Started { .. }));
-                        match started {
-                            Some(start) => {
-                                w.stats.sessions_served += 1;
-                                let end = start + duration;
-                                sim.schedule_at(
-                                    end.max(sim.now()),
-                                    move |w: &mut Platform, sim: &mut Sim<Platform>| {
-                                        w.cancel(sim.now(), job);
-                                        w.pump(sim);
-                                    },
-                                );
-                            }
-                            None => {
-                                w.stats.sessions_abandoned += 1;
-                                w.cancel(sim.now(), job);
-                            }
-                        }
-                        w.pump(sim);
-                    },
-                );
-                w.pump(sim);
-            });
+        self.sim.schedule_typed_at(
+            at,
+            PlatformEvent::Inject(Injection::InteractiveArrive {
+                tag,
+                spec: Box::new(spec),
+            }),
+        );
     }
 
     /// Inject provider interruptions. `volunteer_hosts` maps the event's
@@ -137,16 +116,17 @@ impl Scenario {
                 kind: ev.kind,
                 returns_at: ev.returns_at,
             });
-            let kind = ev.kind;
-            let returns = ev.returns_at;
-            self.schedule(ev.at, move |w, now| match kind {
-                InterruptionKind::ScheduledDeparture => w.scheduled_departure(now, host),
-                InterruptionKind::EmergencyDeparture
-                | InterruptionKind::TemporaryUnavailability => w.emergency_departure(now, host),
-            });
-            self.schedule(returns, move |w, now| {
-                w.provider_return(now, host);
-            });
+            self.sim.schedule_typed_at(
+                ev.at,
+                PlatformEvent::Inject(Injection::Interrupt {
+                    host,
+                    kind: ev.kind,
+                }),
+            );
+            self.sim.schedule_typed_at(
+                ev.returns_at,
+                PlatformEvent::Inject(Injection::ProviderReturn { host }),
+            );
         }
     }
 

@@ -16,15 +16,20 @@
 //!   seed, so runs are bit-reproducible and baselines can be compared on
 //!   identical traces.
 
+pub mod event;
 pub mod join;
+pub mod reference;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
+mod wheel;
 
+pub use event::{EventId, Never, TypedEvent};
 pub use join::{drain_order, JoinPoint};
+pub use reference::{HeapEventId, HeapSim};
 pub use rng::{chance, exponential, log_normal, RngPool};
-pub use sim::{EventId, Sim};
+pub use sim::Sim;
 pub use stats::{Histogram, Online, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 
@@ -32,6 +37,156 @@ pub use time::{SimDuration, SimTime};
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+
+    /// One step of the equivalence workload driven against both queues.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Near-horizon event (exercises wheel levels 0–3).
+        Schedule { dt: u64 },
+        /// Far-future event (exercises the overflow heap + promotion).
+        ScheduleFar { dt: u64 },
+        /// Event whose handler schedules a follow-up (insert-during-fire).
+        Chained { dt: u64, child_dt: u64 },
+        /// Cancel one previously returned id (fired, pending, or repeat).
+        Cancel { pick: usize },
+        /// Bounded run with a relative deadline.
+        RunUntil { dt: u64 },
+        /// Fire exactly one event.
+        Step,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // The vendored prop_oneof! picks uniformly; repeated arms bias the
+        // mix toward scheduling so runs stay event-rich.
+        prop_oneof![
+            (0u64..1 << 20).prop_map(|dt| Op::Schedule { dt }),
+            (0u64..1 << 20).prop_map(|dt| Op::Schedule { dt }),
+            (0u64..64).prop_map(|dt| Op::Schedule { dt }),
+            (1u64 << 41..1 << 45).prop_map(|dt| Op::ScheduleFar { dt }),
+            (0u64..1 << 14, 0u64..1 << 14).prop_map(|(dt, child_dt)| Op::Chained { dt, child_dt }),
+            any::<u64>().prop_map(|pick| Op::Cancel {
+                pick: pick as usize
+            }),
+            any::<u64>().prop_map(|pick| Op::Cancel {
+                pick: pick as usize
+            }),
+            (0u64..1 << 21).prop_map(|dt| Op::RunUntil { dt }),
+            (0u64..1 << 21).prop_map(|dt| Op::RunUntil { dt }),
+            Just(Op::Step),
+        ]
+    }
+
+    /// Fire log: (event label, fire time).
+    type Log = Vec<(u64, u64)>;
+    /// Labels ≥ this mark chained children (scheduled mid-fire).
+    const CHILD: u64 = 1 << 32;
+
+    fn recorder_new(label: u64) -> impl FnOnce(&mut Log, &mut Sim<Log>) {
+        move |w, s| w.push((label, s.now().as_nanos()))
+    }
+    fn recorder_ref(label: u64) -> impl FnOnce(&mut Log, &mut HeapSim<Log>) {
+        move |w, s| w.push((label, s.now().as_nanos()))
+    }
+
+    proptest! {
+        /// The slab + timer-wheel [`Sim`] is observationally identical to the
+        /// frozen heap-backed [`HeapSim`] oracle under random interleavings
+        /// of schedule / far-schedule / chained-schedule / cancel /
+        /// `run_until` / `step`: same fire logs (so the exact `(time, seq)`
+        /// FIFO tie-break), same clock, same executed counts. `cancel`
+        /// return values match wherever the old semantics were sound; for
+        /// already-fired ids — the old leak — the new queue must refuse, and
+        /// `pending()` must equal the exact live count throughout.
+        #[test]
+        fn wheel_matches_heap_oracle(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let mut sim: Sim<Log> = Sim::new();
+            let mut oracle: HeapSim<Log> = HeapSim::new();
+            let (mut wn, mut wo): (Log, Log) = (Vec::new(), Vec::new());
+            // Parallel id tables: (label, new id, oracle id, is chain parent).
+            let mut ids: Vec<(u64, EventId, HeapEventId, bool)> = Vec::new();
+            let mut label = 0u64;
+            let mut cancelled_ok = 0usize;
+            let mut cancelled_labels = std::collections::HashSet::new();
+            for op in ops {
+                match op {
+                    Op::Schedule { dt } | Op::ScheduleFar { dt } => {
+                        let l = label;
+                        label += 1;
+                        let at = sim.now() + SimDuration::from_nanos(dt);
+                        let a = sim.schedule_at(at, recorder_new(l));
+                        let b = oracle.schedule_at(at, recorder_ref(l));
+                        ids.push((l, a, b, false));
+                    }
+                    Op::Chained { dt, child_dt } => {
+                        let l = label;
+                        label += 1;
+                        let at = sim.now() + SimDuration::from_nanos(dt);
+                        let d = SimDuration::from_nanos(child_dt);
+                        let a = sim.schedule_at(at, move |w: &mut Log, s: &mut Sim<Log>| {
+                            w.push((l, s.now().as_nanos()));
+                            s.schedule_in(d, recorder_new(l + CHILD));
+                        });
+                        let b = oracle.schedule_at(at, move |w: &mut Log, s: &mut HeapSim<Log>| {
+                            w.push((l, s.now().as_nanos()));
+                            s.schedule_in(d, recorder_ref(l + CHILD));
+                        });
+                        ids.push((l, a, b, true));
+                    }
+                    Op::Cancel { pick } => {
+                        if ids.is_empty() {
+                            continue;
+                        }
+                        let (l, a, b, _) = ids[pick % ids.len()];
+                        let fired = wn.iter().any(|(fl, _)| *fl == l);
+                        let r_new = sim.cancel(a);
+                        let r_ref = oracle.cancel(b);
+                        if fired || cancelled_labels.contains(&l) {
+                            // Retired ids: the old queue could still answer
+                            // `true` here (cancel-after-fire leaks into the
+                            // side-table; re-cancel after the entry popped
+                            // re-inserts) — the warts this PR fixes. The new
+                            // queue must refuse.
+                            prop_assert!(!r_new, "cancel of retired id {l} must fail");
+                        } else {
+                            // Genuinely live: both must cancel it.
+                            prop_assert!(r_new, "cancel of live id {l} must succeed");
+                            prop_assert!(r_ref, "oracle refused a live id {l}");
+                            cancelled_labels.insert(l);
+                        }
+                        cancelled_ok += usize::from(r_new);
+                    }
+                    Op::RunUntil { dt } => {
+                        let deadline = sim.now() + SimDuration::from_nanos(dt);
+                        let n = sim.run_until(&mut wn, deadline);
+                        let m = oracle.run_until(&mut wo, deadline);
+                        prop_assert_eq!(n, m, "run_until executed counts diverged");
+                    }
+                    Op::Step => {
+                        prop_assert_eq!(sim.step(&mut wn), oracle.step(&mut wo));
+                    }
+                }
+                prop_assert_eq!(sim.now(), oracle.now());
+                prop_assert_eq!(&wn, &wo);
+                // Every fired chain parent scheduled exactly one child.
+                let chain_parents = wn
+                    .iter()
+                    .filter(|(fl, _)| *fl < CHILD && ids.iter().any(|(l, _, _, c)| l == fl && *c))
+                    .count();
+                let scheduled = label as usize + chain_parents;
+                prop_assert_eq!(
+                    sim.pending(),
+                    scheduled - wn.len() - cancelled_ok,
+                    "pending() must be the exact live count"
+                );
+            }
+            sim.run(&mut wn);
+            oracle.run(&mut wo);
+            prop_assert_eq!(&wn, &wo);
+            prop_assert_eq!(sim.now(), oracle.now());
+            prop_assert_eq!(sim.events_executed(), oracle.events_executed());
+            prop_assert_eq!(sim.pending(), 0usize);
+        }
+    }
 
     proptest! {
         /// Events always execute in non-decreasing time order, regardless of

@@ -1,52 +1,32 @@
 //! The discrete-event simulator core.
 //!
-//! A [`Sim<W>`] owns the virtual clock and a priority queue of scheduled
-//! events. Events are boxed `FnOnce(&mut W, &mut Sim<W>)` closures: they
-//! receive mutable access both to the world state `W` and to the simulator
-//! itself, so handlers can schedule follow-up events, cancel timers, and read
-//! the clock.
+//! A [`Sim<W, E>`] owns the virtual clock, a generation-stamped event slab
+//! ([`crate::event`]), and a hierarchical timer wheel (`wheel` module).
+//! Events come in two flavours:
+//!
+//! * **Typed events** — values of a world-specific enum `E` implementing
+//!   [`TypedEvent`], scheduled with [`Sim::schedule_typed_at`]. These are
+//!   plain data in slab slots: the warm schedule→fire cycle allocates
+//!   nothing and `cancel` is an O(1) generation bump. The hot recurring
+//!   kinds (pump wakes, heartbeats, harness injections) use this path.
+//! * **Boxed closures** — `FnOnce(&mut W, &mut Sim<W, E>)` via
+//!   [`Sim::schedule_at`], the compatibility fallback for one-off scenario
+//!   actions. Worlds that only need closures use `Sim<W>`: the event
+//!   parameter defaults to the uninhabited [`Never`].
 //!
 //! Determinism: events at the same instant fire in the order they were
 //! scheduled (a monotonically increasing sequence number breaks ties), so a
-//! simulation with a fixed seed is exactly reproducible. This mirrors the
-//! design of event-driven network stacks where reproducibility under fault
-//! injection is a first-class requirement.
+//! simulation with a fixed seed is exactly reproducible. The timer wheel
+//! preserves the `(time, seq)` FIFO contract bit-identically with the old
+//! heap-backed queue — proven by a proptest in this crate that runs
+//! [`HeapSim`](crate::reference::HeapSim) as a reference oracle.
 
+use crate::event::{EventId, EventSlab, Never, Payload, TypedEvent};
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use crate::wheel::{TimerWheel, WheelEntry};
 
-/// Identifier for a scheduled event, used to cancel pending timers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
-
-type Action<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
-
-struct Scheduled<W> {
-    at: SimTime,
-    seq: u64,
-    action: Action<W>,
-}
-
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// Discrete-event simulator over a world state `W`.
+/// Discrete-event simulator over a world state `W` and a typed-event enum
+/// `E` (defaulting to the uninhabited [`Never`] for closure-only worlds).
 ///
 /// ```
 /// use gpunion_des::{Sim, SimDuration, SimTime};
@@ -54,7 +34,7 @@ impl<W> Ord for Scheduled<W> {
 /// #[derive(Default)]
 /// struct World { pings: u32 }
 ///
-/// let mut sim = Sim::new();
+/// let mut sim: Sim<World> = Sim::new();
 /// let mut world = World::default();
 /// sim.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| w.pings += 1);
 /// sim.schedule_in(SimDuration::from_secs(2), |w: &mut World, _| w.pings += 1);
@@ -62,28 +42,28 @@ impl<W> Ord for Scheduled<W> {
 /// assert_eq!(world.pings, 2);
 /// assert_eq!(sim.now(), SimTime::from_secs(2));
 /// ```
-pub struct Sim<W> {
+pub struct Sim<W, E = Never> {
     now: SimTime,
-    heap: BinaryHeap<Scheduled<W>>,
+    slab: EventSlab<W, E>,
+    wheel: TimerWheel,
     next_seq: u64,
-    cancelled: HashSet<u64>,
     executed: u64,
 }
 
-impl<W> Default for Sim<W> {
+impl<W, E: TypedEvent<W>> Default for Sim<W, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> Sim<W> {
+impl<W, E: TypedEvent<W>> Sim<W, E> {
     /// A fresh simulator with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         Sim {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            slab: EventSlab::new(),
+            wheel: TimerWheel::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
             executed: 0,
         }
     }
@@ -98,9 +78,28 @@ impl<W> Sim<W> {
         self.executed
     }
 
-    /// Number of events still pending (excluding cancelled ones not yet popped).
+    /// Number of events still pending. Exact: fired and cancelled events
+    /// leave the count the moment they retire (unlike the old heap's
+    /// cancellation side-table, which made this an estimate).
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len().min(self.heap.len())
+        self.slab.live()
+    }
+
+    /// Slab-insert + wheel-file with the next sequence number; the single
+    /// path every schedule variant funnels through, so the `(time, seq)`
+    /// allocation order is identical to the old heap push order.
+    fn schedule_payload(&mut self, at: SimTime, payload: Payload<W, E>) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = self.slab.insert(payload);
+        self.wheel.insert(WheelEntry {
+            at: at.as_nanos(),
+            seq,
+            slot: id.slot,
+            gen: id.gen,
+        });
+        id
     }
 
     /// Schedule `action` at absolute time `at`. Scheduling in the past fires
@@ -108,66 +107,73 @@ impl<W> Sim<W> {
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        action: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+        action: impl FnOnce(&mut W, &mut Sim<W, E>) + 'static,
     ) -> EventId {
-        let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled {
-            at,
-            seq,
-            action: Box::new(action),
-        });
-        EventId(seq)
+        self.schedule_payload(at, Payload::Once(Box::new(action)))
     }
 
     /// Schedule `action` after a relative delay.
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        action: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+        action: impl FnOnce(&mut W, &mut Sim<W, E>) + 'static,
     ) -> EventId {
         self.schedule_at(self.now + delay, action)
     }
 
     /// Schedule `action` at the current instant, after already-queued events
     /// for this instant.
-    pub fn schedule_now(&mut self, action: impl FnOnce(&mut W, &mut Sim<W>) + 'static) -> EventId {
+    pub fn schedule_now(
+        &mut self,
+        action: impl FnOnce(&mut W, &mut Sim<W, E>) + 'static,
+    ) -> EventId {
         self.schedule_at(self.now, action)
     }
 
-    /// Cancel a pending event. Returns `true` if the event had not yet fired.
-    /// Cancelling an already-fired or already-cancelled event is a no-op.
+    /// Schedule a typed event at absolute time `at` (clamped to now, like
+    /// [`Sim::schedule_at`]). No allocation on the warm path: the value
+    /// lives in a recycled slab slot.
+    pub fn schedule_typed_at(&mut self, at: SimTime, event: E) -> EventId {
+        self.schedule_payload(at, Payload::Typed(event))
+    }
+
+    /// Schedule a typed event after a relative delay.
+    pub fn schedule_typed_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_typed_at(self.now + delay, event)
+    }
+
+    /// Cancel a pending event. Returns `true` only if the event had not yet
+    /// fired (and was not already cancelled): the slot's generation stamp
+    /// went stale the moment it retired, so this is O(1) with no growing
+    /// side-table, and ids of fired events are correctly refused.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
-        }
-        self.cancelled.insert(id.0)
+        // Dropping the payload frees the slot; the wheel entry is discarded
+        // lazily when it surfaces (its generation stamp no longer matches).
+        self.slab.take(id.slot, id.gen).is_some()
     }
 
     /// Schedule a repeating event with a fixed period. The action runs first
     /// after one full `period`, then repeatedly until it returns `false` or
     /// is cancelled via the returned id's *current* incarnation.
     ///
-    /// Note: because each firing re-schedules itself, the returned [`EventId`]
+    /// Note: because each firing re-arms itself, the returned [`EventId`]
     /// only cancels the *first* pending occurrence. For cancellable periodic
     /// timers, have the closure consult world state and return `false`.
+    ///
+    /// The action is boxed once; every re-arm reuses the same box (the old
+    /// implementation re-boxed a fresh closure per tick).
     pub fn schedule_every(
         &mut self,
         period: SimDuration,
-        action: impl FnMut(&mut W, &mut Sim<W>) -> bool + 'static,
+        action: impl FnMut(&mut W, &mut Sim<W, E>) -> bool + 'static,
     ) -> EventId {
-        fn tick<W>(
-            period: SimDuration,
-            mut action: impl FnMut(&mut W, &mut Sim<W>) -> bool + 'static,
-            w: &mut W,
-            sim: &mut Sim<W>,
-        ) {
-            if action(w, sim) {
-                sim.schedule_in(period, move |w, sim| tick(period, action, w, sim));
-            }
-        }
-        self.schedule_in(period, move |w, sim| tick(period, action, w, sim))
+        self.schedule_payload(
+            self.now + period,
+            Payload::Every {
+                action: Box::new(action),
+                period,
+            },
+        )
     }
 
     /// Run until the queue drains. Returns the number of events executed.
@@ -181,8 +187,14 @@ impl<W> Sim<W> {
     /// unless `deadline` is [`SimTime::MAX`].
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> u64 {
         let start_count = self.executed;
-        while let Some(ev) = self.heap.peek() {
-            if ev.at > deadline {
+        while let Some(ev) = self.wheel.peek() {
+            if !self.slab.is_live(ev.slot, ev.gen) {
+                // Cancelled: its slab slot was already freed; drop the
+                // stale wheel entry without touching the clock.
+                self.wheel.pop();
+                continue;
+            }
+            if SimTime::from_nanos(ev.at) > deadline {
                 // Advance the clock to the deadline so callers observe a
                 // consistent "simulated through `deadline`" view.
                 if deadline != SimTime::MAX {
@@ -190,16 +202,10 @@ impl<W> Sim<W> {
                 }
                 break;
             }
-            let ev = self.heap.pop().expect("peeked");
-            if self.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            debug_assert!(ev.at >= self.now, "event queue must be monotone");
-            self.now = ev.at;
-            self.executed += 1;
-            (ev.action)(world, self);
+            self.wheel.pop();
+            self.fire(world, ev);
         }
-        if self.heap.is_empty() && deadline != SimTime::MAX && self.now < deadline {
+        if self.wheel.is_empty() && deadline != SimTime::MAX && self.now < deadline {
             self.now = deadline;
         }
         self.executed - start_count
@@ -209,14 +215,35 @@ impl<W> Sim<W> {
     /// event fired at.
     pub fn step(&mut self, world: &mut W) -> Option<SimTime> {
         loop {
-            let ev = self.heap.pop()?;
-            if self.cancelled.remove(&ev.seq) {
+            let ev = self.wheel.pop()?;
+            if !self.slab.is_live(ev.slot, ev.gen) {
                 continue;
             }
-            self.now = ev.at;
-            self.executed += 1;
-            (ev.action)(world, self);
+            self.fire(world, ev);
             return Some(self.now);
+        }
+    }
+
+    /// Advance the clock to `ev.at` and dispatch its (live) payload.
+    fn fire(&mut self, world: &mut W, ev: WheelEntry) {
+        debug_assert!(ev.at >= self.now.as_nanos(), "event queue must be monotone");
+        self.wheel.advance_to(ev.at);
+        self.now = SimTime::from_nanos(ev.at);
+        self.executed += 1;
+        let payload = self
+            .slab
+            .take(ev.slot, ev.gen)
+            .expect("liveness checked before firing");
+        match payload {
+            Payload::Typed(event) => event.fire(world, self),
+            Payload::Once(action) => action(world, self),
+            Payload::Every { mut action, period } => {
+                if action(world, self) {
+                    // Re-arm with the same box — the only allocation a
+                    // periodic timer ever pays is its initial one.
+                    self.schedule_payload(self.now + period, Payload::Every { action, period });
+                }
+            }
         }
     }
 }
@@ -287,6 +314,52 @@ mod tests {
         assert_eq!(w.log, vec![(20, "kept")]);
     }
 
+    /// Regression (satellite): the old implementation let `cancel` of an
+    /// already-fired id insert into the cancellation side-table forever —
+    /// `pending()` undercounted and the set grew unbounded. Fired ids must
+    /// be refused.
+    #[test]
+    fn cancel_after_fire_returns_false_and_keeps_pending_exact() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        let fired = sim.schedule_at(SimTime::from_nanos(1), record("fired"));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(1, "fired")]);
+        assert!(!sim.cancel(fired), "fired ids must not be cancellable");
+        assert!(!sim.cancel(fired), "…no matter how often they are retried");
+
+        // pending() stays exact through an interleaving of fires and
+        // cancels (the old estimate would now undercount by one per
+        // cancel-after-fire above).
+        let a = sim.schedule_at(SimTime::from_nanos(10), record("a"));
+        let b = sim.schedule_at(SimTime::from_nanos(20), record("b"));
+        sim.schedule_at(SimTime::from_nanos(30), record("c"));
+        assert_eq!(sim.pending(), 3);
+        assert!(sim.cancel(b));
+        assert_eq!(sim.pending(), 2);
+        sim.run_until(&mut w, SimTime::from_nanos(15));
+        assert_eq!(sim.pending(), 1, "a fired, b cancelled, c remains");
+        assert!(!sim.cancel(a), "fired after cancel of a sibling");
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut w);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn event_id_slots_are_generation_stamped_across_reuse() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        let first = sim.schedule_at(SimTime::from_nanos(1), record("one"));
+        sim.run_until(&mut w, SimTime::from_nanos(5));
+        // The freed slot is reused; the stale id must not cancel the new
+        // tenant.
+        let second = sim.schedule_at(SimTime::from_nanos(10), record("two"));
+        assert!(!sim.cancel(first));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(1, "one"), (10, "two")]);
+        assert!(!sim.cancel(second));
+    }
+
     #[test]
     fn run_until_respects_deadline_and_resumes() {
         let mut sim = Sim::new();
@@ -308,7 +381,7 @@ mod tests {
 
     #[test]
     fn periodic_event_stops_when_action_returns_false() {
-        let mut sim = Sim::new();
+        let mut sim: Sim<W> = Sim::new();
         let counter = Rc::new(RefCell::new(0));
         let c = counter.clone();
         let mut w = W::default();
@@ -352,5 +425,132 @@ mod tests {
         assert_eq!(sim.pending(), 2);
         sim.cancel(a);
         assert_eq!(sim.pending(), 1);
+    }
+
+    // ----- typed-event and wheel-horizon coverage -----
+
+    enum Tick {
+        Beat,
+        Chain { hops: u32, step: SimDuration },
+    }
+
+    #[derive(Default)]
+    struct TickWorld {
+        beats: u64,
+        last: SimTime,
+    }
+
+    impl TypedEvent<TickWorld> for Tick {
+        fn fire(self, w: &mut TickWorld, sim: &mut Sim<TickWorld, Tick>) {
+            match self {
+                Tick::Beat => {
+                    w.beats += 1;
+                    w.last = sim.now();
+                }
+                Tick::Chain { hops, step } => {
+                    w.beats += 1;
+                    w.last = sim.now();
+                    if hops > 0 {
+                        sim.schedule_typed_in(
+                            step,
+                            Tick::Chain {
+                                hops: hops - 1,
+                                step,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_fire_and_interleave_with_closures() {
+        let mut sim: Sim<TickWorld, Tick> = Sim::new();
+        let mut w = TickWorld::default();
+        sim.schedule_typed_at(SimTime::from_nanos(10), Tick::Beat);
+        sim.schedule_at(SimTime::from_nanos(10), |w: &mut TickWorld, _| {
+            w.beats += 100
+        });
+        sim.schedule_typed_at(SimTime::from_nanos(5), Tick::Beat);
+        sim.run(&mut w);
+        // t=5 beat, then at t=10 the typed beat (scheduled first) precedes
+        // the closure.
+        assert_eq!(w.beats, 102);
+        assert_eq!(w.last, SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn typed_event_cancel_is_exact() {
+        let mut sim: Sim<TickWorld, Tick> = Sim::new();
+        let mut w = TickWorld::default();
+        let id = sim.schedule_typed_at(SimTime::from_nanos(10), Tick::Beat);
+        assert_eq!(sim.pending(), 1);
+        assert!(sim.cancel(id));
+        assert_eq!(sim.pending(), 0);
+        sim.run(&mut w);
+        assert_eq!(w.beats, 0);
+        assert!(!sim.cancel(id));
+    }
+
+    /// A typed chain walking across wheel levels (steps far larger than one
+    /// level span) fires at exactly the arithmetic instants.
+    #[test]
+    fn typed_chain_crosses_wheel_levels_exactly() {
+        let step = SimDuration::from_nanos((1 << 20) + 17);
+        let mut sim: Sim<TickWorld, Tick> = Sim::new();
+        let mut w = TickWorld::default();
+        sim.schedule_typed_at(SimTime::ZERO + step, Tick::Chain { hops: 9, step });
+        sim.run(&mut w);
+        assert_eq!(w.beats, 10);
+        assert_eq!(w.last.as_nanos(), ((1u64 << 20) + 17) * 10);
+    }
+
+    /// Events at the `SimTime::MAX` horizon live in the far-future overflow
+    /// and still fire, after everything else, with the clock landing on MAX.
+    #[test]
+    fn event_at_time_max_fires_last() {
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::MAX, record("horizon"));
+        sim.schedule_at(SimTime::from_secs(1), record("near"));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(1_000_000_000, "near"), (u64::MAX, "horizon")]);
+        assert_eq!(sim.now(), SimTime::MAX);
+    }
+
+    /// Far-future events must be promoted out of the overflow heap even
+    /// when nearer same-epoch events are scheduled after the clock has
+    /// entered that epoch (the promotion-order trap).
+    #[test]
+    fn overflow_promotion_keeps_time_order() {
+        const EPOCH: u64 = 1 << 42; // first time beyond the wheel horizon
+        let mut sim = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(
+            SimTime::from_nanos(EPOCH + 1),
+            |w: &mut W, sim: &mut Sim<W>| {
+                w.log.push((sim.now().as_nanos(), "m"));
+                // Later than the still-overflowed (EPOCH + 10) event: the wheel
+                // must promote that one ahead of this same-epoch insert.
+                sim.schedule_at(
+                    SimTime::from_nanos(EPOCH + 50),
+                    |w: &mut W, sim: &mut Sim<W>| {
+                        w.log.push((sim.now().as_nanos(), "w"));
+                    },
+                );
+            },
+        );
+        sim.schedule_at(
+            SimTime::from_nanos(EPOCH + 10),
+            |w: &mut W, sim: &mut Sim<W>| {
+                w.log.push((sim.now().as_nanos(), "f"));
+            },
+        );
+        sim.run(&mut w);
+        assert_eq!(
+            w.log,
+            vec![(EPOCH + 1, "m"), (EPOCH + 10, "f"), (EPOCH + 50, "w")]
+        );
     }
 }
