@@ -15,11 +15,11 @@
 
 use crate::config::AgentConfig;
 use gpunion_container::{ContainerConfigBuilder, ContainerId, ContainerRuntime, ImageRegistry};
-use gpunion_des::{SimDuration, SimTime};
+use gpunion_des::{SimDuration, SimTime, TokenBucket};
 use gpunion_gpu::{ComputeCapability, GpuIndex, GpuServer, MemAllocId};
 use gpunion_protocol::{
-    AuthToken, DepartureMode, DispatchSpec, ExecMode, JobId, KillReason, Message, NodeUid,
-    WorkloadState, WorkloadStatus,
+    AuthToken, Control, DepartureMode, DispatchSpec, ExecMode, FreeSlice, JobId, KillReason,
+    Message, NodeUid, Work, WorkloadState, WorkloadStatus,
 };
 use gpunion_storage::CheckpointCostModel;
 use gpunion_telemetry::{labels, Registry};
@@ -162,11 +162,16 @@ pub struct Agent {
     /// Verifications that fired from a timer and await the image registry
     /// (drained by [`Agent::complete_verifications`]).
     pending_verifications: Vec<(SimTime, JobId, ContainerId)>,
+    /// REST control-panel rate limiter (same [`TokenBucket`] the
+    /// coordinator's admission gate uses). `None` when `rest_burst == 0`.
+    rest_bucket: Option<TokenBucket>,
 }
 
 impl Agent {
     /// A new, unregistered agent on the given hardware.
     pub fn new(config: AgentConfig, server: GpuServer) -> Self {
+        let rest_bucket = (config.rest_burst > 0)
+            .then(|| TokenBucket::new(config.rest_burst, config.rest_rate_per_sec, SimTime::ZERO));
         Agent {
             config,
             server,
@@ -182,7 +187,21 @@ impl Agent {
             metrics: Registry::new(),
             departure_deadline: None,
             pending_verifications: Vec::new(),
+            rest_bucket,
         }
+    }
+
+    /// REST admission: take one token from the control-panel bucket.
+    /// Returns `Err(retry_after_ms)` when the limiter is dry.
+    pub fn rest_admit(&mut self, now: SimTime) -> Result<(), u64> {
+        let Some(bucket) = &mut self.rest_bucket else {
+            return Ok(());
+        };
+        if bucket.try_take(now) {
+            return Ok(());
+        }
+        let wait = bucket.time_to_next(now).map(|d| d.as_millis()).unwrap_or(0);
+        Err(wait.max(1))
     }
 
     /// Current phase.
@@ -293,18 +312,21 @@ impl Agent {
     /// is connected).
     pub fn start_registration(&mut self, _now: SimTime) -> Vec<Action> {
         self.phase = AgentPhase::Registering;
-        vec![Action::Send(Message::Register {
-            machine_id: self.config.machine_id.clone(),
-            hostname: self.config.hostname.clone(),
-            gpus: self
-                .server
-                .spec()
-                .gpus
-                .iter()
-                .map(|m| (*m).into())
-                .collect(),
-            agent_version: self.config.version,
-        })]
+        vec![Action::Send(
+            Control::Register {
+                machine_id: self.config.machine_id.clone(),
+                hostname: self.config.hostname.clone(),
+                gpus: self
+                    .server
+                    .spec()
+                    .gpus
+                    .iter()
+                    .map(|m| (*m).into())
+                    .collect(),
+                agent_version: self.config.version,
+            }
+            .into(),
+        )]
     }
 
     fn heartbeat(&mut self, now: SimTime) -> Message {
@@ -324,13 +346,14 @@ impl Agent {
         ) {
             c.inc();
         }
-        Message::Heartbeat {
+        Control::Heartbeat {
             node: uid,
             seq: self.heartbeat_seq,
             accepting: self.phase == AgentPhase::Active,
             gpu_stats,
             workloads,
         }
+        .into()
     }
 
     fn workload_statuses(&mut self, now: SimTime) -> Vec<WorkloadStatus> {
@@ -365,7 +388,15 @@ impl Agent {
     ) -> Vec<Action> {
         let mut actions = Vec::new();
         match msg {
-            Message::RegisterAck {
+            Message::Control(c) => self.handle_control(now, c, &mut actions),
+            Message::Work(w) => self.handle_work(now, w, registry, &mut actions),
+        }
+        actions
+    }
+
+    fn handle_control(&mut self, now: SimTime, msg: Control, actions: &mut Vec<Action>) {
+        match msg {
+            Control::RegisterAck {
                 node,
                 token,
                 heartbeat_period_ms,
@@ -377,10 +408,40 @@ impl Agent {
                 // First heartbeat immediately; then periodic.
                 actions.push(Action::Send(self.heartbeat(now)));
                 self.arm(now + self.config.heartbeat_period, Timer::Heartbeat);
+                // Pull mode: a freshly booted node is all free capacity.
+                self.offer_capacity(actions);
             }
-            Message::Dispatch { spec } => self.dispatch(now, spec, registry, &mut actions),
-            Message::Kill { job, reason } => self.kill_workload(now, job, reason, &mut actions),
-            Message::CheckpointRequest { job } => {
+            Control::HeartbeatAck { .. } => {}
+            _ => {
+                actions.push(Action::Send(
+                    Control::Error {
+                        code: 400,
+                        detail: "unexpected message for agent".into(),
+                    }
+                    .into(),
+                ));
+            }
+        }
+    }
+
+    fn handle_work(
+        &mut self,
+        now: SimTime,
+        msg: Work,
+        registry: &ImageRegistry,
+        actions: &mut Vec<Action>,
+    ) {
+        match msg {
+            Work::Dispatch { spec } => self.dispatch(now, spec, registry, actions),
+            // A grant is a dispatch the agent asked for; admission is
+            // identical (the offer may have gone stale under the lease).
+            Work::WorkGrant { spec, .. } => self.dispatch(now, spec, registry, actions),
+            Work::GrantNack { .. } => {
+                // Nothing matched our offer; stay quiet until the next
+                // capacity-freeing event re-offers.
+            }
+            Work::Kill { job, reason } => self.kill_workload(now, job, reason, actions),
+            Work::CheckpointRequest { job } => {
                 if let Some(w) = self.workloads.get(&job) {
                     if matches!(w.phase, WorkPhase::Running { .. }) {
                         self.disarm_checkpoint_timer(job);
@@ -388,15 +449,68 @@ impl Agent {
                     }
                 }
             }
-            Message::HeartbeatAck { .. } => {}
             _ => {
-                actions.push(Action::Send(Message::Error {
-                    code: 400,
-                    detail: "unexpected message for agent".into(),
-                }));
+                actions.push(Action::Send(
+                    Control::Error {
+                        code: 400,
+                        detail: "unexpected message for agent".into(),
+                    }
+                    .into(),
+                ));
             }
         }
-        actions
+    }
+
+    /// Pull-mode: advertise current free capacity to the coordinator.
+    /// No-op unless `pull_mode` is on, the agent is active, and at least one
+    /// GPU has free VRAM.
+    fn offer_capacity(&mut self, actions: &mut Vec<Action>) {
+        if !self.config.pull_mode || self.phase != AgentPhase::Active {
+            return;
+        }
+        let Some(uid) = self.uid else {
+            return;
+        };
+        let free_slices = self.free_slices();
+        if free_slices.is_empty() {
+            return;
+        }
+        actions.push(Action::Send(
+            Work::WorkRequest {
+                node: uid,
+                free_slices,
+                deadline_ms: self.config.offer_deadline_ms,
+            }
+            .into(),
+        ));
+    }
+
+    /// Free capacity grouped by (free VRAM, compute capability) shape, one
+    /// [`FreeSlice`] per distinct shape, deterministically ordered by GPU
+    /// index.
+    fn free_slices(&self) -> Vec<FreeSlice> {
+        let mut slices: Vec<FreeSlice> = Vec::new();
+        for (_, dev) in self.server.devices() {
+            let free = dev.free_bytes();
+            if free == 0 {
+                continue;
+            }
+            let spec = dev.spec();
+            let cc = spec.compute_capability;
+            match slices
+                .iter_mut()
+                .find(|s| s.mem_bytes == free && s.cc_major == cc.major && s.cc_minor == cc.minor)
+            {
+                Some(s) => s.count = s.count.saturating_add(1),
+                None => slices.push(FreeSlice {
+                    count: 1,
+                    mem_bytes: free,
+                    cc_major: cc.major,
+                    cc_minor: cc.minor,
+                }),
+            }
+        }
+        slices
     }
 
     fn disarm_checkpoint_timer(&mut self, job: JobId) {
@@ -413,37 +527,46 @@ impl Agent {
     ) {
         let job = spec.job;
         if self.phase != AgentPhase::Active {
-            actions.push(Action::Send(Message::DispatchReply {
-                job,
-                accepted: false,
-                reason: format!("node not accepting (phase {:?})", self.phase),
-            }));
+            actions.push(Action::Send(
+                Work::DispatchReply {
+                    job,
+                    accepted: false,
+                    reason: format!("node not accepting (phase {:?})", self.phase),
+                }
+                .into(),
+            ));
             return;
         }
         // Admission: GPUs available?
         let min_cc = spec.min_cc.map(|(a, b)| ComputeCapability::new(a, b));
         let candidates = self.server.find_gpus(spec.gpu_mem_bytes, min_cc);
         if candidates.len() < spec.gpus as usize {
-            actions.push(Action::Send(Message::DispatchReply {
-                job,
-                accepted: false,
-                reason: format!(
-                    "insufficient GPUs: need {}, have {}",
-                    spec.gpus,
-                    candidates.len()
-                ),
-            }));
+            actions.push(Action::Send(
+                Work::DispatchReply {
+                    job,
+                    accepted: false,
+                    reason: format!(
+                        "insufficient GPUs: need {}, have {}",
+                        spec.gpus,
+                        candidates.len()
+                    ),
+                }
+                .into(),
+            ));
             return;
         }
         // Build + validate the container config from the wire spec.
         let image_ref = match registry_lookup(registry, &spec) {
             Some(r) => r,
             None => {
-                actions.push(Action::Send(Message::DispatchReply {
-                    job,
-                    accepted: false,
-                    reason: "image not in registry".into(),
-                }));
+                actions.push(Action::Send(
+                    Work::DispatchReply {
+                        job,
+                        accepted: false,
+                        reason: "image not in registry".into(),
+                    }
+                    .into(),
+                ));
                 return;
             }
         };
@@ -455,11 +578,14 @@ impl Agent {
         let config = match builder.build() {
             Ok(c) => c,
             Err(e) => {
-                actions.push(Action::Send(Message::DispatchReply {
-                    job,
-                    accepted: false,
-                    reason: format!("config rejected: {e}"),
-                }));
+                actions.push(Action::Send(
+                    Work::DispatchReply {
+                        job,
+                        accepted: false,
+                        reason: format!("config rejected: {e}"),
+                    }
+                    .into(),
+                ));
                 return;
             }
         };
@@ -474,11 +600,14 @@ impl Agent {
                     for (i, a) in gpus.drain(..) {
                         let _ = self.server.free_on(i, a);
                     }
-                    actions.push(Action::Send(Message::DispatchReply {
-                        job,
-                        accepted: false,
-                        reason: format!("allocation failed: {e}"),
-                    }));
+                    actions.push(Action::Send(
+                        Work::DispatchReply {
+                            job,
+                            accepted: false,
+                            reason: format!("allocation failed: {e}"),
+                        }
+                        .into(),
+                    ));
                     return;
                 }
             }
@@ -493,11 +622,14 @@ impl Agent {
             .manifest(&registry_lookup(registry, &spec).expect("checked"))
             .map(|m| m.transfer_bytes())
             .unwrap_or(pull_bytes);
-        actions.push(Action::Send(Message::DispatchReply {
-            job,
-            accepted: true,
-            reason: String::new(),
-        }));
+        actions.push(Action::Send(
+            Work::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            }
+            .into(),
+        ));
         self.workloads.insert(
             job,
             Workload {
@@ -644,15 +776,18 @@ impl Agent {
             self.arm(now + eta, Timer::JobComplete(job));
         }
         let (progress, seq) = self.run_progress(job);
-        actions.push(Action::Send(Message::WorkloadUpdate {
-            status: WorkloadStatus {
-                job,
-                state: WorkloadState::Running,
-                progress,
-                checkpoint_seq: seq,
-            },
-            exit_code: None,
-        }));
+        actions.push(Action::Send(
+            Work::WorkloadUpdate {
+                status: WorkloadStatus {
+                    job,
+                    state: WorkloadState::Running,
+                    progress,
+                    checkpoint_seq: seq,
+                },
+                exit_code: None,
+            }
+            .into(),
+        ));
     }
 
     /// Peak FP32 TFLOPS of the first GPU a job is bound to.
@@ -812,17 +947,22 @@ impl Agent {
         };
         let _ = self.runtime.exited(now, container, 0);
         self.release_gpus(now, job);
-        actions.push(Action::Send(Message::WorkloadUpdate {
-            status: WorkloadStatus {
-                job,
-                state: WorkloadState::Completed,
-                progress: 1.0,
-                checkpoint_seq: ckpt_seq,
-            },
-            exit_code: Some(0),
-        }));
+        actions.push(Action::Send(
+            Work::WorkloadUpdate {
+                status: WorkloadStatus {
+                    job,
+                    state: WorkloadState::Completed,
+                    progress: 1.0,
+                    checkpoint_seq: ckpt_seq,
+                },
+                exit_code: Some(0),
+            }
+            .into(),
+        ));
         self.disarm_job_timers(job);
         self.workloads.remove(&job);
+        // Pull mode: the completed job's VRAM is back on the market.
+        self.offer_capacity(actions);
     }
 
     fn release_gpus(&mut self, now: SimTime, job: JobId) {
@@ -856,21 +996,26 @@ impl Agent {
         if let Some(run) = &mut w.run {
             run.rollback_to_checkpoint();
         }
-        actions.push(Action::Send(Message::WorkloadUpdate {
-            status: WorkloadStatus {
-                job,
-                state: WorkloadState::Killed,
-                progress: w.run.as_ref().map(|r| r.progress()).unwrap_or(0.0),
-                checkpoint_seq: w.run.as_ref().map(|r| r.checkpoint_seq()).unwrap_or(0),
-            },
-            exit_code: Some(137),
-        }));
+        actions.push(Action::Send(
+            Work::WorkloadUpdate {
+                status: WorkloadStatus {
+                    job,
+                    state: WorkloadState::Killed,
+                    progress: w.run.as_ref().map(|r| r.progress()).unwrap_or(0.0),
+                    checkpoint_seq: w.run.as_ref().map(|r| r.checkpoint_seq()).unwrap_or(0),
+                },
+                exit_code: Some(137),
+            }
+            .into(),
+        ));
         let _ = reason;
         // Keep the entry until the embedding loop collects the rolled-back
         // run for requeue, unless nothing is recoverable.
         if self.workloads[&job].run.is_none() {
             self.workloads.remove(&job);
         }
+        // Pull mode: the kill freed GPUs; re-offer them.
+        self.offer_capacity(actions);
     }
 
     /// Discard a workload entry after the loop migrated its run, freeing
@@ -891,19 +1036,27 @@ impl Agent {
         self.release_gpus(now, job);
         self.disarm_job_timers(job);
         self.workloads.remove(&job);
-        actions.push(Action::Send(Message::WorkloadUpdate {
-            status: WorkloadStatus {
-                job,
-                state: WorkloadState::Failed,
-                progress: 0.0,
-                checkpoint_seq: 0,
-            },
-            exit_code: None,
-        }));
-        actions.push(Action::Send(Message::Error {
-            code: 500,
-            detail: format!("job {}: {why}", job.0),
-        }));
+        actions.push(Action::Send(
+            Work::WorkloadUpdate {
+                status: WorkloadStatus {
+                    job,
+                    state: WorkloadState::Failed,
+                    progress: 0.0,
+                    checkpoint_seq: 0,
+                },
+                exit_code: None,
+            }
+            .into(),
+        ));
+        actions.push(Action::Send(
+            Control::Error {
+                code: 500,
+                detail: format!("job {}: {why}", job.0),
+            }
+            .into(),
+        ));
+        // Pull mode: the failed job's GPUs are free again.
+        self.offer_capacity(actions);
     }
 
     // ---- flows ---------------------------------------------------------
@@ -934,12 +1087,15 @@ impl Agent {
                         }
                         None => (0, Vec::new()),
                     };
-                    actions.push(Action::Send(Message::CheckpointDone {
-                        job,
-                        seq,
-                        transfer_bytes: transfer,
-                        stored_on,
-                    }));
+                    actions.push(Action::Send(
+                        Work::CheckpointDone {
+                            job,
+                            seq,
+                            transfer_bytes: transfer,
+                            stored_on,
+                        }
+                        .into(),
+                    ));
                     self.maybe_finish_departure(now, &mut actions);
                 } else if let Some(w) = self.workloads.get_mut(&job) {
                     // Failed upload: the last checkpoint isn't durable; the
@@ -989,7 +1145,9 @@ impl Agent {
             _ => return actions,
         }
         if let Some(uid) = self.uid {
-            actions.push(Action::Send(Message::PauseScheduling { node: uid, paused }));
+            actions.push(Action::Send(
+                Control::PauseScheduling { node: uid, paused }.into(),
+            ));
         }
         actions
     }
@@ -1004,7 +1162,9 @@ impl Agent {
             actions.push(Action::GoOffline);
             return actions;
         };
-        actions.push(Action::Send(Message::DepartureNotice { node: uid, mode }));
+        actions.push(Action::Send(
+            Control::DepartureNotice { node: uid, mode }.into(),
+        ));
         match mode {
             DepartureMode::Emergency => {
                 self.phase = AgentPhase::Departed;

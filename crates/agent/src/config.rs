@@ -21,6 +21,17 @@ pub struct AgentConfig {
     pub departure_grace: SimDuration,
     /// Agent software version.
     pub version: u32,
+    /// Pull-mode marketplace: emit `WorkRequest` offers on capacity-freeing
+    /// events instead of waiting for coordinator-pushed dispatches. Off by
+    /// default so push-mode traces stay byte-identical.
+    pub pull_mode: bool,
+    /// Validity window advertised on each `WorkRequest` offer.
+    pub offer_deadline_ms: u32,
+    /// REST control-panel rate limit: bucket burst capacity. `0` disables
+    /// limiting (the default — existing harnesses hammer `/status` freely).
+    pub rest_burst: u64,
+    /// REST control-panel rate limit: sustained requests per second.
+    pub rest_rate_per_sec: u64,
 }
 
 impl AgentConfig {
@@ -34,6 +45,10 @@ impl AgentConfig {
             heartbeat_period: SimDuration::from_secs(5),
             departure_grace: SimDuration::from_secs(120),
             version: 1_000_000, // 1.0.0
+            pull_mode: false,
+            offer_deadline_ms: 15_000,
+            rest_burst: 0,
+            rest_rate_per_sec: 0,
         }
     }
 }

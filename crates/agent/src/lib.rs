@@ -29,8 +29,8 @@ mod tests {
     use gpunion_des::SimTime;
     use gpunion_gpu::{GpuModel, GpuServer, ServerSpec};
     use gpunion_protocol::{
-        AuthToken, DepartureMode, DispatchSpec, ExecMode, HttpRequest, JobId, KillReason, Message,
-        Method, NodeUid, WorkloadState,
+        AuthToken, Control, DepartureMode, DispatchSpec, ExecMode, HttpRequest, JobId, KillReason,
+        Message, Method, NodeUid, UserId, Work, WorkloadState,
     };
     use gpunion_workload::{ModelClass, TrainingJobSpec, TrainingRun};
     use rand::rngs::SmallRng;
@@ -56,15 +56,16 @@ mod tests {
         let mut agent = new_agent();
         let actions = agent.start_registration(t(0));
         assert_eq!(actions.len(), 1);
-        let ack = Message::RegisterAck {
+        let ack = Control::RegisterAck {
             node: NodeUid(7),
             token: AuthToken([9; 16]),
             heartbeat_period_ms: 5_000,
-        };
+        }
+        .into();
         let actions = agent.handle_message(t(1), ack, &registry);
         assert!(matches!(
             actions[0],
-            Action::Send(Message::Heartbeat { .. })
+            Action::Send(Message::Control(Control::Heartbeat { .. }))
         ));
         assert_eq!(agent.phase(), AgentPhase::Active);
         (agent, registry, refs)
@@ -87,6 +88,7 @@ mod tests {
             state_bytes_hint: 100 << 20,
             restore_from_seq: None,
             priority: 1,
+            user: UserId::SYSTEM,
         }
     }
 
@@ -121,7 +123,7 @@ mod tests {
         let actions = drive(&mut agent, &registry, t(26));
         let beats = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send(Message::Heartbeat { .. })))
+            .filter(|a| matches!(a, Action::Send(Message::Control(Control::Heartbeat { .. }))))
             .count();
         // Heartbeats at 6, 11, 16, 21, 26 (first was at ack time).
         assert_eq!(beats, 5);
@@ -131,11 +133,11 @@ mod tests {
     fn dispatch_pipeline_reaches_running() {
         let (mut agent, registry, refs) = registered_agent();
         let spec = dispatch_spec(&refs, 42);
-        let actions = agent.handle_message(t(2), Message::Dispatch { spec }, &registry);
+        let actions = agent.handle_message(t(2), Work::Dispatch { spec }.into(), &registry);
         // Accepted + image pull flow.
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::DispatchReply { accepted: true, .. })
+            Action::Send(Message::Work(Work::DispatchReply { accepted: true, .. }))
         )));
         let flow = actions.iter().find_map(|a| match a {
             Action::StartFlow {
@@ -162,13 +164,13 @@ mod tests {
         let actions = drive(&mut agent, &registry, t(90));
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::WorkloadUpdate {
+            Action::Send(Message::Work(Work::WorkloadUpdate {
                 status: gpunion_protocol::WorkloadStatus {
                     state: WorkloadState::Running,
                     ..
                 },
                 ..
-            })
+            }))
         )));
         assert_eq!(agent.workload_count(), 1);
         // The GPU is now allocated and busy.
@@ -188,17 +190,18 @@ mod tests {
         agent.set_paused(true);
         let actions = agent.handle_message(
             t(2),
-            Message::Dispatch {
+            Work::Dispatch {
                 spec: dispatch_spec(&refs, 1),
-            },
+            }
+            .into(),
             &registry,
         );
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::DispatchReply {
+            Action::Send(Message::Work(Work::DispatchReply {
                 accepted: false,
                 ..
-            })
+            }))
         )));
     }
 
@@ -207,13 +210,13 @@ mod tests {
         let (mut agent, registry, refs) = registered_agent();
         let mut spec = dispatch_spec(&refs, 1);
         spec.gpu_mem_bytes = 100 << 30; // > 24 GB
-        let actions = agent.handle_message(t(2), Message::Dispatch { spec }, &registry);
+        let actions = agent.handle_message(t(2), Work::Dispatch { spec }.into(), &registry);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::DispatchReply {
+            Action::Send(Message::Work(Work::DispatchReply {
                 accepted: false,
                 ..
-            })
+            }))
         )));
         assert_eq!(agent.workload_count(), 0);
     }
@@ -222,7 +225,7 @@ mod tests {
     fn kill_switch_frees_everything() {
         let (mut agent, registry, refs) = registered_agent();
         let spec = dispatch_spec(&refs, 5);
-        agent.handle_message(t(2), Message::Dispatch { spec }, &registry);
+        agent.handle_message(t(2), Work::Dispatch { spec }.into(), &registry);
         agent.attach_run(
             JobId(5),
             TrainingRun::new(TrainingJobSpec::new(ModelClass::CnnSmall, 50_000)),
@@ -236,13 +239,13 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::WorkloadUpdate {
+            Action::Send(Message::Work(Work::WorkloadUpdate {
                 status: gpunion_protocol::WorkloadStatus {
                     state: WorkloadState::Killed,
                     ..
                 },
                 ..
-            })
+            }))
         )));
         // GPU memory released.
         assert_eq!(
@@ -260,9 +263,10 @@ mod tests {
         let (mut agent, registry, refs) = registered_agent();
         agent.handle_message(
             t(2),
-            Message::Dispatch {
+            Work::Dispatch {
                 spec: dispatch_spec(&refs, 9),
-            },
+            }
+            .into(),
             &registry,
         );
         agent.attach_run(
@@ -282,10 +286,10 @@ mod tests {
         assert_eq!(resp.status, 202);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::DepartureNotice {
+            Action::Send(Message::Control(Control::DepartureNotice {
                 mode: DepartureMode::Graceful { .. },
                 ..
-            })
+            }))
         )));
         assert_eq!(agent.phase(), AgentPhase::Departing);
 
@@ -312,7 +316,7 @@ mod tests {
         );
         assert!(actions
             .iter()
-            .any(|a| matches!(a, Action::Send(Message::CheckpointDone { .. }))));
+            .any(|a| matches!(a, Action::Send(Message::Work(Work::CheckpointDone { .. })))));
         assert!(actions.iter().any(|a| matches!(a, Action::GoOffline)));
         assert_eq!(agent.phase(), AgentPhase::Departed);
     }
@@ -334,7 +338,7 @@ mod tests {
         let mut spec = dispatch_spec(&refs, 3);
         spec.state_bytes_hint = 14 << 30;
         spec.gpu_mem_bytes = 20 << 30;
-        agent.handle_message(t(2), Message::Dispatch { spec }, &registry);
+        agent.handle_message(t(2), Work::Dispatch { spec }.into(), &registry);
         agent.attach_run(
             JobId(3),
             TrainingRun::new(TrainingJobSpec::new(ModelClass::MemoryIntensive, 500_000)),
@@ -349,9 +353,10 @@ mod tests {
 
         // Depart with a 1-second grace — far too short for a 14 GB capture.
         let actions = agent.depart(t(130), DepartureMode::Graceful { grace_secs: 1 });
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Send(Message::DepartureNotice { .. }))));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send(Message::Control(Control::DepartureNotice { .. }))
+        )));
         let actions = drive(&mut agent, &registry, t(140));
         assert!(
             actions.iter().any(|a| matches!(a, Action::GoOffline)),
@@ -384,12 +389,37 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::PauseScheduling { paused: true, .. })
+            Action::Send(Message::Control(Control::PauseScheduling {
+                paused: true,
+                ..
+            }))
         )));
         assert_eq!(agent.phase(), AgentPhase::Paused);
         let (resp, _) = rest::handle(&mut agent, t(6), &HttpRequest::new(Method::Post, "/resume"));
         assert_eq!(resp.status, 200);
         assert_eq!(agent.phase(), AgentPhase::Active);
+    }
+
+    #[test]
+    fn rest_rate_limit_429_with_retry_hint() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut config = AgentConfig::new("ws-1", &mut rng);
+        config.rest_burst = 2;
+        config.rest_rate_per_sec = 1;
+        let server = GpuServer::new(ServerSpec::workstation("ws-1", GpuModel::Rtx3090));
+        let mut agent = Agent::new(config, server);
+        let status = HttpRequest::new(Method::Get, "/status");
+        // Burst of 2 admitted; the third in the same instant is shed.
+        assert_eq!(rest::handle(&mut agent, t(10), &status).0.status, 200);
+        assert_eq!(rest::handle(&mut agent, t(10), &status).0.status, 200);
+        let (resp, actions) = rest::handle(&mut agent, t(10), &status);
+        assert_eq!(resp.status, 429);
+        assert!(actions.is_empty(), "a shed request triggers nothing");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"retry_after_ms\":1000"), "{body}");
+        // One second later the bucket has refilled one token.
+        assert_eq!(rest::handle(&mut agent, t(11), &status).0.status, 200);
+        assert_eq!(rest::handle(&mut agent, t(11), &status).0.status, 429);
     }
 
     #[test]
@@ -411,7 +441,7 @@ mod tests {
         let (mut agent, registry, refs) = registered_agent();
         let mut spec = dispatch_spec(&refs, 11);
         spec.checkpoint_interval_secs = 60;
-        agent.handle_message(t(2), Message::Dispatch { spec }, &registry);
+        agent.handle_message(t(2), Work::Dispatch { spec }.into(), &registry);
         agent.attach_run(
             JobId(11),
             TrainingRun::new(TrainingJobSpec::new(ModelClass::CnnLarge, 2_000_000)),
@@ -444,7 +474,7 @@ mod tests {
         let (mut agent, registry, refs) = registered_agent();
         let mut spec = dispatch_spec(&refs, 21);
         spec.checkpoint_interval_secs = 0; // keep timers simple
-        agent.handle_message(t(2), Message::Dispatch { spec }, &registry);
+        agent.handle_message(t(2), Work::Dispatch { spec }.into(), &registry);
         // Tiny job: finishes in seconds.
         agent.attach_run(
             JobId(21),
@@ -459,13 +489,13 @@ mod tests {
         let actions = drive(&mut agent, &registry, t(600));
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::WorkloadUpdate {
+            Action::Send(Message::Work(Work::WorkloadUpdate {
                 status: gpunion_protocol::WorkloadStatus {
                     state: WorkloadState::Completed,
                     ..
                 },
                 exit_code: Some(0),
-            })
+            }))
         )));
         assert_eq!(agent.workload_count(), 0);
         assert_eq!(
@@ -483,9 +513,10 @@ mod tests {
         let (mut agent, registry, refs) = registered_agent();
         agent.handle_message(
             t(2),
-            Message::Dispatch {
+            Work::Dispatch {
                 spec: dispatch_spec(&refs, 30),
-            },
+            }
+            .into(),
             &registry,
         );
         agent.attach_run(
@@ -507,7 +538,7 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send(Message::WorkloadUpdate { status, .. })
+            Action::Send(Message::Work(Work::WorkloadUpdate { status, .. }))
                 if status.state == WorkloadState::Killed
         )));
         let _ = KillReason::ProviderKillSwitch;
@@ -519,7 +550,10 @@ mod tests {
         let actions = agent.reconnect(t(500));
         assert_eq!(agent.phase(), AgentPhase::Registering);
         assert_eq!(agent.uid(), None);
-        assert!(matches!(actions[0], Action::Send(Message::Register { .. })));
+        assert!(matches!(
+            actions[0],
+            Action::Send(Message::Control(Control::Register { .. }))
+        ));
     }
 
     #[test]
@@ -527,9 +561,10 @@ mod tests {
         let (mut agent, registry, refs) = registered_agent();
         agent.handle_message(
             t(2),
-            Message::Dispatch {
+            Work::Dispatch {
                 spec: dispatch_spec(&refs, 40),
-            },
+            }
+            .into(),
             &registry,
         );
         agent.attach_run(

@@ -23,6 +23,11 @@ use gpunion_protocol::{DepartureMode, HttpRequest, HttpResponse, JobId, KillReas
 /// Dispatch an HTTP request against the agent. Returns the response plus
 /// any platform actions the provider's command triggered.
 pub fn handle(agent: &mut Agent, now: SimTime, req: &HttpRequest) -> (HttpResponse, Vec<Action>) {
+    // Control-panel rate limit (429 with a retry hint when the provider's
+    // tooling hammers the API). Configured off by default.
+    if let Err(retry_after_ms) = agent.rest_admit(now) {
+        return (HttpResponse::too_many_requests(retry_after_ms), Vec::new());
+    }
     match (req.method, req.path.as_str()) {
         (Method::Get, "/status") => (status_response(agent, now), Vec::new()),
         (Method::Get, "/metrics") => (

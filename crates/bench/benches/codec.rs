@@ -3,13 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gpunion_protocol::{
-    AuthToken, Envelope, GpuStat, JobId, Message, NodeUid, WorkloadState, WorkloadStatus,
+    AuthToken, Control, Envelope, GpuStat, JobId, Message, NodeUid, WorkloadState, WorkloadStatus,
 };
 
 fn heartbeat(gpus: usize, workloads: usize) -> Envelope {
     Envelope::new(
         AuthToken([7; 16]),
-        Message::Heartbeat {
+        Message::Control(Control::Heartbeat {
             node: NodeUid(3),
             seq: 123,
             accepting: true,
@@ -32,7 +32,7 @@ fn heartbeat(gpus: usize, workloads: usize) -> Envelope {
                 };
                 workloads
             ],
-        },
+        }),
     )
 }
 

@@ -8,7 +8,7 @@
 //! coordinator-inbox saturation figures at 500 nodes (ρ = 1.2), and the
 //! semester-scale DES row (6 weeks of 60 s heartbeats + weekly audits at
 //! 400 nodes on the typed-event wheel core, ≈24 M events) — writes
-//! them to `BENCH_scheduler.json` (schema 5), and fails (exit 1) on
+//! them to `BENCH_scheduler.json` (schema 6), and fails (exit 1) on
 //! regression over the checked-in baseline. Wall-clock rows get
 //! `BENCH_GATE_FACTOR`× headroom (default 2×, absorbing runner-to-runner
 //! hardware variance); the simulated saturation and semester event-count
@@ -40,6 +40,9 @@
 //!   `BENCH_GATE_DES_FACTOR`× (default 1×) the per-event cost of the
 //!   same fleet on the frozen boxed-closure `HeapSim` reference — the
 //!   tentpole's reason to exist, measured like-for-like in-run.
+//! * **Criticals never shed**: with token-bucket admission on and batch
+//!   submissions at ρ > 1, some batch load is shed at the inbox and
+//!   every interactive-priority (critical) submission is admitted.
 //! * **Semester in single-digit seconds**: the 6-week 400-node row must
 //!   finish within `BENCH_GATE_SEMESTER_SECS` (default 10) wall-clock
 //!   seconds — the absolute bound EXPERIMENTS.md §5.3 quotes.
@@ -53,8 +56,9 @@
 //! ```
 
 use gpunion_bench::{
-    contention_knee_run, loaded_coordinator_sharded, saturation_run, semester_sweep_heap,
-    semester_sweep_run, warm_actor_pass_ns, PassStats, PASS_JOBS,
+    admission_shed_run, contention_knee_run, loaded_coordinator_sharded, market_grant_run,
+    saturation_run, semester_sweep_heap, semester_sweep_run, warm_actor_pass_ns, PassStats,
+    PASS_JOBS,
 };
 use gpunion_des::SimTime;
 use std::time::Instant;
@@ -218,11 +222,40 @@ fn main() {
         sat.inbox_sojourn_ms_max,
         sat.db_shed_status_writes
     );
+    eprintln!("bench_gate: filling the fair-share queue (10⁶ jobs, 10⁶ users)…");
+    let market = market_grant_run(1_000_000, 1_000_000, 1_001);
+    eprintln!(
+        "bench_gate: marketplace row — admit {} ns/job amortized, grant {} ns at \
+         {}-deep queue over {} users",
+        market.admit_ns, market.grant_ns, market.queued_jobs, market.users
+    );
+    // Admission-shedding invariant (deterministic, ρ > 1): batch overload
+    // is shed at the inbox; critical submissions NEVER are.
+    eprintln!("bench_gate: driving token-bucket admission at rho > 1…");
+    let adm = admission_shed_run(60);
+    assert!(
+        adm.batch_shed > 0,
+        "rho > 1 shed no batch submissions: {adm:?}"
+    );
+    assert_eq!(
+        adm.critical_admitted, adm.critical_offered,
+        "critical submissions were shed: {adm:?}"
+    );
+    eprintln!(
+        "bench_gate: admission ok — {}/{} batch admitted ({} shed), {}/{} criticals admitted",
+        adm.batch_admitted,
+        adm.batch_offered,
+        adm.batch_shed,
+        adm.critical_admitted,
+        adm.critical_offered
+    );
 
     let json = format!(
-        "{{\n  \"schema\": 5,\n  \"pass_ns_400\": {},\n  \"pass_ns_10k\": {},\n  \
+        "{{\n  \"schema\": 6,\n  \"pass_ns_400\": {},\n  \"pass_ns_10k\": {},\n  \
          \"pass_ns_100k_sharded\": {},\n  \"pass_ns_100k_actor\": {},\n  \
          \"scale_shards\": {SCALE_SHARDS},\n  \
+         \"grant_ns_1m_queue\": {},\n  \"admit_ns_1m_queue\": {},\n  \
+         \"admission_batch_shed_60s\": {},\n  \
          \"db_write_latency_ms_400\": {:.3},\n  \"db_queue_depth_peak_400\": {},\n  \
          \"inbox_sojourn_ms_sat500\": {:.6},\n  \"deferred_turns_sat500\": {},\n  \
          \"semester_events_400\": {},\n  \"semester_wall_ms_400\": {:.3}\n}}\n",
@@ -230,6 +263,9 @@ fn main() {
         p10k.median_ns,
         p100k.median_ns,
         pactor.median_ns,
+        market.grant_ns,
+        market.admit_ns,
+        adm.batch_shed,
         knee.measured_latency_ms,
         knee.peak_queue_depth,
         sat.inbox_sojourn_ms_mean,
@@ -260,6 +296,8 @@ fn main() {
         ("pass_ns_10k", p10k.median_ns as f64),
         ("pass_ns_100k_sharded", p100k.median_ns as f64),
         ("pass_ns_100k_actor", pactor.median_ns as f64),
+        ("grant_ns_1m_queue", market.grant_ns as f64),
+        ("admit_ns_1m_queue", market.admit_ns as f64),
         ("semester_wall_ms_400", sem.wall_ms),
     ] {
         let Some(base) = json_f64(&baseline, key) else {
@@ -288,6 +326,7 @@ fn main() {
     for (key, measured) in [
         ("inbox_sojourn_ms_sat500", sat.inbox_sojourn_ms_mean),
         ("deferred_turns_sat500", sat.deferred_turns as f64),
+        ("admission_batch_shed_60s", adm.batch_shed as f64),
         ("semester_events_400", sem.events as f64),
     ] {
         let Some(base) = json_f64(&baseline, key) else {

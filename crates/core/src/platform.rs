@@ -12,7 +12,9 @@ use gpunion_agent::{Action, Agent, AgentConfig, FlowPeer, FlowPurpose};
 use gpunion_container::ImageRegistry;
 use gpunion_des::{RngPool, Sim, SimDuration, SimTime, TypedEvent};
 use gpunion_gpu::{GpuServer, ServerSpec};
-use gpunion_protocol::{DispatchSpec, Envelope, ExecMode, JobId, Message, NodeUid, WorkloadState};
+use gpunion_protocol::{
+    Control, DispatchSpec, Envelope, ExecMode, JobId, Message, NodeUid, UserId, Work, WorkloadState,
+};
 use gpunion_scheduler::{
     CoordAction, CoordEnvelope, Coordinator, CoordinatorConfig, JobEvent, SendOutcome,
 };
@@ -420,6 +422,7 @@ impl Platform {
             state_bytes_hint: profile.state_bytes,
             restore_from_seq: None,
             priority: spec.priority,
+            user: UserId::SYSTEM,
         };
         let job = self.submit_envelope(now, dispatch);
         self.fresh_runs.insert(job, spec.clone());
@@ -459,6 +462,7 @@ impl Platform {
             state_bytes_hint: 0,
             restore_from_seq: None,
             priority: 3, // humans waiting rank above batch
+            user: UserId::SYSTEM,
         };
         let job = self.submit_envelope(now, dispatch);
         self.stats.tag_to_job.insert(tag, job);
@@ -535,7 +539,7 @@ impl Platform {
                     // A RegisterAck is the first action naming a (possibly
                     // fresh) uid: learn its address from the directory's
                     // machine id before routing.
-                    if let Message::RegisterAck { node, .. } = &msg {
+                    if let Message::Control(Control::RegisterAck { node, .. }) = &msg {
                         if let Some(addr) = self
                             .coordinator
                             .directory()
@@ -585,7 +589,7 @@ impl Platform {
                     // Harvest displaced runs on kill notifications before the
                     // message leaves (the coordinator may immediately
                     // redispatch).
-                    if let Message::WorkloadUpdate { status, .. } = &msg {
+                    if let Message::Work(Work::WorkloadUpdate { status, .. }) = &msg {
                         if status.state == WorkloadState::Killed {
                             if let Some(agent) = self.agents.get_mut(&addr) {
                                 if let Some(run) = agent.take_run(status.job) {
@@ -703,7 +707,7 @@ impl Platform {
     }
 
     fn deliver_to_coordinator(&mut self, now: SimTime, env: Envelope) {
-        if let Message::CheckpointDone { job, .. } = &env.msg {
+        if let Message::Work(Work::CheckpointDone { job, .. }) = &env.msg {
             self.stats.last_checkpoint.insert(*job, now);
         }
         // Enqueue only: the coordinator is an actor — its turn runs inside
@@ -716,7 +720,7 @@ impl Platform {
         // Fresh-run attachment: if this is a dispatch the agent accepts, the
         // canonical run must be attached immediately after.
         let dispatch_job = match &env.msg {
-            Message::Dispatch { spec } => Some((spec.job, spec.restore_from_seq)),
+            Message::Work(Work::Dispatch { spec }) => Some((spec.job, spec.restore_from_seq)),
             _ => None,
         };
         let Some(agent) = self.agents.get_mut(&addr) else {
@@ -728,7 +732,7 @@ impl Platform {
             let accepted = actions.iter().any(|a| {
                 matches!(
                     a,
-                    Action::Send(Message::DispatchReply { accepted: true, .. })
+                    Action::Send(Message::Work(Work::DispatchReply { accepted: true, .. }))
                 )
             });
             if accepted {

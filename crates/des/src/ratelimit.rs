@@ -1,0 +1,176 @@
+//! Token-bucket rate limiting over simulation time.
+//!
+//! One shared limiter type for every admission front door: the agent's REST
+//! surface throttles provider-facing requests with it, and the coordinator's
+//! DES admission path sheds non-critical job submissions with the identical
+//! arithmetic. Refill is computed lazily from elapsed [`SimTime`], so the
+//! bucket costs nothing while idle and never needs a timer.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A token bucket: `capacity` tokens max, refilled continuously at
+/// `refill_per_sec`. Each admitted request takes one token; a request that
+/// arrives to an empty bucket is rejected (shed / 429).
+///
+/// Token arithmetic is integer nanosecond-exact: the bucket tracks spent
+/// tokens as a nanosecond-scaled deficit, so two buckets fed the same
+/// `(now, try_take)` sequence always agree — required for deterministic
+/// replay in the simulator.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Maximum burst, in tokens.
+    capacity: u64,
+    /// Refill rate, tokens per second.
+    refill_per_sec: u64,
+    /// Available tokens, scaled by `SCALE` for fractional refill.
+    scaled_tokens: u64,
+    /// Last refill instant.
+    last: SimTime,
+}
+
+/// Fixed-point scale: 1 token = 1e9 units (nanosecond-per-second symmetry,
+/// so refill is `elapsed_ns * refill_per_sec` with no division).
+const SCALE: u64 = 1_000_000_000;
+
+impl TokenBucket {
+    /// A full bucket created at `now`.
+    pub fn new(capacity: u64, refill_per_sec: u64, now: SimTime) -> Self {
+        TokenBucket {
+            capacity,
+            refill_per_sec,
+            scaled_tokens: capacity.saturating_mul(SCALE),
+            last: now,
+        }
+    }
+
+    /// Burst capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Refill rate in tokens per second.
+    pub fn refill_per_sec(&self) -> u64 {
+        self.refill_per_sec
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now <= self.last {
+            return;
+        }
+        let elapsed_ns = now.since(self.last).as_nanos();
+        self.last = now;
+        let added = elapsed_ns.saturating_mul(self.refill_per_sec);
+        self.scaled_tokens = self
+            .scaled_tokens
+            .saturating_add(added)
+            .min(self.capacity.saturating_mul(SCALE));
+    }
+
+    /// Whole tokens currently available at `now` (refills first).
+    pub fn available(&mut self, now: SimTime) -> u64 {
+        self.refill(now);
+        self.scaled_tokens / SCALE
+    }
+
+    /// Try to take one token at `now`. Returns `true` when admitted.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.scaled_tokens >= SCALE {
+            self.scaled_tokens -= SCALE;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How long until the next token is available, from `now`. Zero when a
+    /// token is already available; `None` when the refill rate is zero and
+    /// the bucket is empty (it will never refill).
+    pub fn time_to_next(&mut self, now: SimTime) -> Option<SimDuration> {
+        self.refill(now);
+        if self.scaled_tokens >= SCALE {
+            return Some(SimDuration::ZERO);
+        }
+        if self.refill_per_sec == 0 {
+            return None;
+        }
+        let deficit = SCALE - self.scaled_tokens;
+        Some(SimDuration::from_nanos(
+            deficit.div_ceil(self.refill_per_sec),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn burst_then_shed() {
+        let mut b = TokenBucket::new(3, 1, t(0));
+        assert!(b.try_take(t(0)));
+        assert!(b.try_take(t(0)));
+        assert!(b.try_take(t(0)));
+        assert!(!b.try_take(t(0)), "burst exhausted");
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut b = TokenBucket::new(10, 2, t(0));
+        for _ in 0..10 {
+            assert!(b.try_take(t(0)));
+        }
+        assert!(!b.try_take(t(0)));
+        // 1 second at 2/s -> 2 tokens.
+        assert!(b.try_take(t(1)));
+        assert!(b.try_take(t(1)));
+        assert!(!b.try_take(t(1)));
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut b = TokenBucket::new(5, 100, t(0));
+        assert_eq!(b.available(t(1000)), 5);
+    }
+
+    #[test]
+    fn fractional_refill_is_exact() {
+        // 1 token per 4 seconds (0.25/s can't be expressed; use the
+        // ns-exact path: 1/s with a take every 250 ms admits 1 in 4).
+        let mut b = TokenBucket::new(1, 1, t(0));
+        assert!(b.try_take(t(0)));
+        let mut admitted = 0;
+        for ms in (250..=2000).step_by(250) {
+            if b.try_take(SimTime::from_millis(ms)) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 2, "2 whole tokens refill over 2 s at 1/s");
+    }
+
+    #[test]
+    fn time_to_next_token() {
+        let mut b = TokenBucket::new(1, 2, t(0));
+        assert_eq!(b.time_to_next(t(0)), Some(SimDuration::ZERO));
+        assert!(b.try_take(t(0)));
+        // 2 tokens/s -> next token in 500 ms.
+        assert_eq!(b.time_to_next(t(0)), Some(SimDuration::from_millis(500)));
+        let mut dead = TokenBucket::new(1, 0, t(0));
+        assert!(dead.try_take(t(0)));
+        assert_eq!(dead.time_to_next(t(0)), None);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = TokenBucket::new(4, 3, t(0));
+        let mut b = TokenBucket::new(4, 3, t(0));
+        for i in 0..200u64 {
+            let now = SimTime::from_millis(i * 137);
+            assert_eq!(a.try_take(now), b.try_take(now), "step {i}");
+        }
+    }
+}

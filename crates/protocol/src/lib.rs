@@ -26,8 +26,9 @@ pub use auth::TokenRegistry;
 pub use framing::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use http::{HttpError, HttpRequest, HttpResponse, Method};
 pub use message::{
-    AuthToken, DepartureMode, DispatchSpec, Envelope, ExecMode, GpuInfo, GpuStat, JobId,
-    KillReason, Message, NodeUid, WorkloadState, WorkloadStatus, PROTOCOL_VERSION,
+    AuthToken, Control, DepartureMode, DispatchSpec, Envelope, ExecMode, FreeSlice, GpuInfo,
+    GpuStat, JobId, KillReason, Message, NodeUid, UserId, Work, WorkloadState, WorkloadStatus,
+    PROTOCOL_VERSION,
 };
 pub use transport::{FramedTransport, TransportError};
 pub use wire::{WireError, WireReader, WireWriter};
@@ -80,6 +81,15 @@ mod proptests {
             })
     }
 
+    fn arb_free_slice() -> impl Strategy<Value = FreeSlice> {
+        (0u8..16, any::<u64>(), 0u8..10, 0u8..10).prop_map(|(count, mem, maj, min)| FreeSlice {
+            count,
+            mem_bytes: mem,
+            cc_major: maj,
+            cc_minor: min,
+        })
+    }
+
     fn arb_message() -> impl Strategy<Value = Message> {
         prop_oneof![
             (
@@ -105,19 +115,19 @@ mod proptests {
                 any::<u32>()
             )
                 .prop_map(|(machine_id, hostname, gpus, agent_version)| {
-                    Message::Register {
+                    Message::Control(Control::Register {
                         machine_id,
                         hostname,
                         gpus,
                         agent_version,
-                    }
+                    })
                 }),
             (any::<u64>(), any::<[u8; 16]>(), any::<u32>()).prop_map(|(n, t, p)| {
-                Message::RegisterAck {
+                Message::Control(Control::RegisterAck {
                     node: NodeUid(n),
                     token: AuthToken(t),
                     heartbeat_period_ms: p,
-                }
+                })
             }),
             (
                 any::<u64>(),
@@ -127,13 +137,13 @@ mod proptests {
                 proptest::collection::vec(arb_status(), 0..6)
             )
                 .prop_map(|(n, seq, accepting, gpu_stats, workloads)| {
-                    Message::Heartbeat {
+                    Message::Control(Control::Heartbeat {
                         node: NodeUid(n),
                         seq,
                         accepting,
                         gpu_stats,
                         workloads,
-                    }
+                    })
                 }),
             (
                 any::<u64>(),
@@ -142,16 +152,16 @@ mod proptests {
                     Just(DepartureMode::Emergency)
                 ]
             )
-                .prop_map(|(n, mode)| Message::DepartureNotice {
+                .prop_map(|(n, mode)| Message::Control(Control::DepartureNotice {
                     node: NodeUid(n),
                     mode
-                }),
+                })),
             (any::<u64>(), any::<bool>(), "[ -~]{0,60}").prop_map(|(j, accepted, reason)| {
-                Message::DispatchReply {
+                Message::Work(Work::DispatchReply {
                     job: JobId(j),
                     accepted,
                     reason,
-                }
+                })
             }),
             (
                 any::<u64>(),
@@ -159,16 +169,37 @@ mod proptests {
                 any::<u64>(),
                 proptest::collection::vec(any::<u64>(), 0..5)
             )
-                .prop_map(|(j, seq, bytes, nodes)| Message::CheckpointDone {
-                    job: JobId(j),
-                    seq,
-                    transfer_bytes: bytes,
-                    stored_on: nodes.into_iter().map(NodeUid).collect(),
-                }),
-            (arb_status(), proptest::option::of(any::<i32>()))
-                .prop_map(|(status, exit_code)| Message::WorkloadUpdate { status, exit_code }),
+                .prop_map(|(j, seq, bytes, nodes)| Message::Work(
+                    Work::CheckpointDone {
+                        job: JobId(j),
+                        seq,
+                        transfer_bytes: bytes,
+                        stored_on: nodes.into_iter().map(NodeUid).collect(),
+                    }
+                )),
+            (arb_status(), proptest::option::of(any::<i32>())).prop_map(|(status, exit_code)| {
+                Message::Work(Work::WorkloadUpdate { status, exit_code })
+            }),
             (any::<u16>(), "[ -~]{0,80}")
-                .prop_map(|(code, detail)| Message::Error { code, detail }),
+                .prop_map(|(code, detail)| Message::Control(Control::Error { code, detail })),
+            (
+                any::<u64>(),
+                proptest::collection::vec(arb_free_slice(), 0..6),
+                any::<u32>()
+            )
+                .prop_map(|(n, free_slices, deadline_ms)| Message::Work(
+                    Work::WorkRequest {
+                        node: NodeUid(n),
+                        free_slices,
+                        deadline_ms,
+                    }
+                )),
+            (any::<u64>(), any::<u32>()).prop_map(|(n, retry_after_ms)| {
+                Message::Work(Work::GrantNack {
+                    node: NodeUid(n),
+                    retry_after_ms,
+                })
+            }),
         ]
     }
 

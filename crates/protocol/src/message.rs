@@ -24,6 +24,18 @@ pub struct NodeUid(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
+/// Platform-wide submitting-user identifier. The fair-share admission
+/// front door keys pending-queue order and quota accounting by
+/// `(user, priority)`; at million-user scale this is the unit the
+/// weighted max-min share is computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+impl UserId {
+    /// The anonymous/system user (default for internal submissions).
+    pub const SYSTEM: UserId = UserId(0);
+}
+
 /// 128-bit bearer token issued at registration.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AuthToken(pub [u8; 16]);
@@ -167,11 +179,30 @@ pub struct DispatchSpec {
     pub restore_from_seq: Option<u64>,
     /// Priority class (higher = more urgent).
     pub priority: u8,
+    /// Submitting user (fair-share admission accounting).
+    pub user: UserId,
 }
 
-/// The control-plane message set.
+/// One class of free capacity in a [`Work::WorkRequest`] offer: `count`
+/// interchangeable GPUs, each with `mem_bytes` of free VRAM at the given
+/// compute capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreeSlice {
+    /// Number of free GPUs of this shape.
+    pub count: u8,
+    /// Free VRAM per GPU, in bytes.
+    pub mem_bytes: u64,
+    /// Compute capability major.
+    pub cc_major: u8,
+    /// Compute capability minor.
+    pub cc_minor: u8,
+}
+
+/// Node-membership and platform-status traffic: registration, liveness,
+/// departure, provider pausing, and protocol errors. Everything here is
+/// about *nodes joining/leaving/reporting*, never about a specific job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Message {
+pub enum Control {
     /// Agent → coordinator: join the platform.
     Register {
         /// Self-generated machine identifier string.
@@ -219,12 +250,33 @@ pub enum Message {
         /// Graceful (with grace window) or emergency.
         mode: DepartureMode,
     },
-    /// Coordinator → agent: place this job.
+    /// Agent → coordinator: provider paused/unpaused new allocations.
+    PauseScheduling {
+        /// Node.
+        node: NodeUid,
+        /// Paused?
+        paused: bool,
+    },
+    /// Either direction: protocol-level error report.
+    Error {
+        /// Numeric code (HTTP-inspired).
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Job-placement and workload-lifecycle traffic: push-mode dispatch, the
+/// pull-mode request/grant marketplace, kills, checkpoints, and workload
+/// status. Everything here names a job or offers capacity to run one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Work {
+    /// Coordinator → agent: place this job (push mode).
     Dispatch {
         /// Full job spec.
         spec: DispatchSpec,
     },
-    /// Agent → coordinator: dispatch outcome.
+    /// Agent → coordinator: dispatch/grant outcome.
     DispatchReply {
         /// Job.
         job: JobId,
@@ -263,20 +315,60 @@ pub enum Message {
         /// Exit code if terminal.
         exit_code: Option<i32>,
     },
-    /// Agent → coordinator: provider paused/unpaused new allocations.
-    PauseScheduling {
-        /// Node.
+    /// Agent → coordinator (pull mode): "I have capacity — give me work."
+    /// Emitted on capacity-freeing events: boot, job end, interruption
+    /// recovery. The offer stands until `deadline_ms` elapses or the
+    /// coordinator answers with grants/nack.
+    WorkRequest {
+        /// Offering node.
         node: NodeUid,
-        /// Paused?
-        paused: bool,
+        /// Free capacity, one entry per distinct GPU shape.
+        free_slices: Vec<FreeSlice>,
+        /// Offer validity window from receipt, in milliseconds.
+        deadline_ms: u32,
     },
-    /// Either direction: protocol-level error report.
-    Error {
-        /// Numeric code (HTTP-inspired).
-        code: u16,
-        /// Human-readable detail.
-        detail: String,
+    /// Coordinator → agent (pull mode): a job granted against the node's
+    /// standing offer. The agent answers with [`Work::DispatchReply`],
+    /// exactly like a push-mode dispatch.
+    WorkGrant {
+        /// Full job spec.
+        spec: DispatchSpec,
+        /// Lease: the grant lapses if the job has not started within this
+        /// many milliseconds (the coordinator's offer-timeout mirror).
+        lease_ms: u32,
     },
+    /// Coordinator → agent (pull mode): nothing matched the node's offer.
+    GrantNack {
+        /// The node whose offer went unmatched.
+        node: NodeUid,
+        /// Hint: don't re-offer for this many milliseconds.
+        retry_after_ms: u32,
+    },
+}
+
+/// The control-plane message set, grouped by concern: [`Control`] carries
+/// node membership/status traffic, [`Work`] carries job placement and
+/// lifecycle traffic (including the pull-mode request/grant marketplace).
+/// Wire tags are flat across both groups, so the encoding of every
+/// pre-existing variant is unchanged by the grouping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Node membership / platform status.
+    Control(Control),
+    /// Job placement / workload lifecycle.
+    Work(Work),
+}
+
+impl From<Control> for Message {
+    fn from(c: Control) -> Message {
+        Message::Control(c)
+    }
+}
+
+impl From<Work> for Message {
+    fn from(w: Work) -> Message {
+        Message::Work(w)
+    }
 }
 
 /// Sender uid placeholder for not-yet-registered nodes.
@@ -556,6 +648,7 @@ impl DispatchSpec {
             None => w.put_u8(0),
         }
         w.put_u8(self.priority);
+        w.put_u64(self.user.0);
     }
 
     fn decode(r: &mut WireReader) -> Result<Self, WireError> {
@@ -594,6 +687,7 @@ impl DispatchSpec {
             }
         };
         let priority = r.get_u8()?;
+        let user = UserId(r.get_u64()?);
         Ok(DispatchSpec {
             job,
             image_repo,
@@ -608,15 +702,34 @@ impl DispatchSpec {
             state_bytes_hint,
             restore_from_seq,
             priority,
+            user,
         })
     }
 }
 
-impl Message {
-    /// Encode the message body (without envelope header).
-    pub fn encode(&self, w: &mut WireWriter) {
+impl FreeSlice {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(self.count);
+        w.put_u64(self.mem_bytes);
+        w.put_u8(self.cc_major);
+        w.put_u8(self.cc_minor);
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(FreeSlice {
+            count: r.get_u8()?,
+            mem_bytes: r.get_u64()?,
+            cc_major: r.get_u8()?,
+            cc_minor: r.get_u8()?,
+        })
+    }
+}
+
+impl Control {
+    /// Encode the variant with its flat wire tag.
+    fn encode(&self, w: &mut WireWriter) {
         match self {
-            Message::Register {
+            Control::Register {
                 machine_id,
                 hostname,
                 gpus,
@@ -631,7 +744,7 @@ impl Message {
                 }
                 w.put_u32(*agent_version);
             }
-            Message::RegisterAck {
+            Control::RegisterAck {
                 node,
                 token,
                 heartbeat_period_ms,
@@ -641,7 +754,7 @@ impl Message {
                 w.put_fixed(&token.0);
                 w.put_u32(*heartbeat_period_ms);
             }
-            Message::Heartbeat {
+            Control::Heartbeat {
                 node,
                 seq,
                 accepting,
@@ -661,71 +774,22 @@ impl Message {
                     s.encode(w);
                 }
             }
-            Message::HeartbeatAck { node, seq } => {
+            Control::HeartbeatAck { node, seq } => {
                 w.put_u8(0x04);
                 w.put_u64(node.0);
                 w.put_u64(*seq);
             }
-            Message::DepartureNotice { node, mode } => {
+            Control::DepartureNotice { node, mode } => {
                 w.put_u8(0x05);
                 w.put_u64(node.0);
                 mode.encode(w);
             }
-            Message::Dispatch { spec } => {
-                w.put_u8(0x06);
-                spec.encode(w);
-            }
-            Message::DispatchReply {
-                job,
-                accepted,
-                reason,
-            } => {
-                w.put_u8(0x07);
-                w.put_u64(job.0);
-                w.put_bool(*accepted);
-                w.put_str(reason);
-            }
-            Message::Kill { job, reason } => {
-                w.put_u8(0x08);
-                w.put_u64(job.0);
-                w.put_u8(reason.tag());
-            }
-            Message::CheckpointRequest { job } => {
-                w.put_u8(0x09);
-                w.put_u64(job.0);
-            }
-            Message::CheckpointDone {
-                job,
-                seq,
-                transfer_bytes,
-                stored_on,
-            } => {
-                w.put_u8(0x0A);
-                w.put_u64(job.0);
-                w.put_u64(*seq);
-                w.put_u64(*transfer_bytes);
-                w.put_count(stored_on.len());
-                for n in stored_on {
-                    w.put_u64(n.0);
-                }
-            }
-            Message::WorkloadUpdate { status, exit_code } => {
-                w.put_u8(0x0B);
-                status.encode(w);
-                match exit_code {
-                    Some(c) => {
-                        w.put_u8(1);
-                        w.put_i32(*c);
-                    }
-                    None => w.put_u8(0),
-                }
-            }
-            Message::PauseScheduling { node, paused } => {
+            Control::PauseScheduling { node, paused } => {
                 w.put_u8(0x0C);
                 w.put_u64(node.0);
                 w.put_bool(*paused);
             }
-            Message::Error { code, detail } => {
+            Control::Error { code, detail } => {
                 w.put_u8(0x0D);
                 w.put_u16(*code);
                 w.put_str(detail);
@@ -733,9 +797,8 @@ impl Message {
         }
     }
 
-    /// Decode a message body.
-    pub fn decode(r: &mut WireReader) -> Result<Message, WireError> {
-        let tag = r.get_u8()?;
+    /// Decode the body for a tag already known to belong to this group.
+    fn decode_body(tag: u8, r: &mut WireReader) -> Result<Self, WireError> {
         Ok(match tag {
             0x01 => {
                 let machine_id = r.get_str()?;
@@ -745,14 +808,14 @@ impl Message {
                 for _ in 0..n {
                     gpus.push(GpuInfo::decode(r)?);
                 }
-                Message::Register {
+                Control::Register {
                     machine_id,
                     hostname,
                     gpus,
                     agent_version: r.get_u32()?,
                 }
             }
-            0x02 => Message::RegisterAck {
+            0x02 => Control::RegisterAck {
                 node: NodeUid(r.get_u64()?),
                 token: AuthToken(r.get_fixed::<16>()?),
                 heartbeat_period_ms: r.get_u32()?,
@@ -771,7 +834,7 @@ impl Message {
                 for _ in 0..n {
                     workloads.push(WorkloadStatus::decode(r)?);
                 }
-                Message::Heartbeat {
+                Control::Heartbeat {
                     node,
                     seq,
                     accepting,
@@ -779,27 +842,130 @@ impl Message {
                     workloads,
                 }
             }
-            0x04 => Message::HeartbeatAck {
+            0x04 => Control::HeartbeatAck {
                 node: NodeUid(r.get_u64()?),
                 seq: r.get_u64()?,
             },
-            0x05 => Message::DepartureNotice {
+            0x05 => Control::DepartureNotice {
                 node: NodeUid(r.get_u64()?),
                 mode: DepartureMode::decode(r)?,
             },
-            0x06 => Message::Dispatch {
+            0x0C => Control::PauseScheduling {
+                node: NodeUid(r.get_u64()?),
+                paused: r.get_bool()?,
+            },
+            0x0D => Control::Error {
+                code: r.get_u16()?,
+                detail: r.get_str()?,
+            },
+            t => {
+                return Err(WireError::InvalidTag {
+                    context: "Control",
+                    tag: t,
+                })
+            }
+        })
+    }
+}
+
+impl Work {
+    /// Encode the variant with its flat wire tag.
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Work::Dispatch { spec } => {
+                w.put_u8(0x06);
+                spec.encode(w);
+            }
+            Work::DispatchReply {
+                job,
+                accepted,
+                reason,
+            } => {
+                w.put_u8(0x07);
+                w.put_u64(job.0);
+                w.put_bool(*accepted);
+                w.put_str(reason);
+            }
+            Work::Kill { job, reason } => {
+                w.put_u8(0x08);
+                w.put_u64(job.0);
+                w.put_u8(reason.tag());
+            }
+            Work::CheckpointRequest { job } => {
+                w.put_u8(0x09);
+                w.put_u64(job.0);
+            }
+            Work::CheckpointDone {
+                job,
+                seq,
+                transfer_bytes,
+                stored_on,
+            } => {
+                w.put_u8(0x0A);
+                w.put_u64(job.0);
+                w.put_u64(*seq);
+                w.put_u64(*transfer_bytes);
+                w.put_count(stored_on.len());
+                for n in stored_on {
+                    w.put_u64(n.0);
+                }
+            }
+            Work::WorkloadUpdate { status, exit_code } => {
+                w.put_u8(0x0B);
+                status.encode(w);
+                match exit_code {
+                    Some(c) => {
+                        w.put_u8(1);
+                        w.put_i32(*c);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            Work::WorkRequest {
+                node,
+                free_slices,
+                deadline_ms,
+            } => {
+                w.put_u8(0x0E);
+                w.put_u64(node.0);
+                w.put_count(free_slices.len());
+                for s in free_slices {
+                    s.encode(w);
+                }
+                w.put_u32(*deadline_ms);
+            }
+            Work::WorkGrant { spec, lease_ms } => {
+                w.put_u8(0x0F);
+                spec.encode(w);
+                w.put_u32(*lease_ms);
+            }
+            Work::GrantNack {
+                node,
+                retry_after_ms,
+            } => {
+                w.put_u8(0x10);
+                w.put_u64(node.0);
+                w.put_u32(*retry_after_ms);
+            }
+        }
+    }
+
+    /// Decode the body for a tag already known to belong to this group.
+    fn decode_body(tag: u8, r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(match tag {
+            0x06 => Work::Dispatch {
                 spec: DispatchSpec::decode(r)?,
             },
-            0x07 => Message::DispatchReply {
+            0x07 => Work::DispatchReply {
                 job: JobId(r.get_u64()?),
                 accepted: r.get_bool()?,
                 reason: r.get_str()?,
             },
-            0x08 => Message::Kill {
+            0x08 => Work::Kill {
                 job: JobId(r.get_u64()?),
                 reason: KillReason::from_tag(r.get_u8()?)?,
             },
-            0x09 => Message::CheckpointRequest {
+            0x09 => Work::CheckpointRequest {
                 job: JobId(r.get_u64()?),
             },
             0x0A => {
@@ -811,7 +977,7 @@ impl Message {
                 for _ in 0..n {
                     stored_on.push(NodeUid(r.get_u64()?));
                 }
-                Message::CheckpointDone {
+                Work::CheckpointDone {
                     job,
                     seq,
                     transfer_bytes,
@@ -830,16 +996,57 @@ impl Message {
                         })
                     }
                 };
-                Message::WorkloadUpdate { status, exit_code }
+                Work::WorkloadUpdate { status, exit_code }
             }
-            0x0C => Message::PauseScheduling {
+            0x0E => {
+                let node = NodeUid(r.get_u64()?);
+                let n = r.get_count()?;
+                let mut free_slices = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    free_slices.push(FreeSlice::decode(r)?);
+                }
+                Work::WorkRequest {
+                    node,
+                    free_slices,
+                    deadline_ms: r.get_u32()?,
+                }
+            }
+            0x0F => Work::WorkGrant {
+                spec: DispatchSpec::decode(r)?,
+                lease_ms: r.get_u32()?,
+            },
+            0x10 => Work::GrantNack {
                 node: NodeUid(r.get_u64()?),
-                paused: r.get_bool()?,
+                retry_after_ms: r.get_u32()?,
             },
-            0x0D => Message::Error {
-                code: r.get_u16()?,
-                detail: r.get_str()?,
-            },
+            t => {
+                return Err(WireError::InvalidTag {
+                    context: "Work",
+                    tag: t,
+                })
+            }
+        })
+    }
+}
+
+impl Message {
+    /// Encode the message body (without envelope header). The tag space is
+    /// flat across [`Control`] and [`Work`], so grouping never shows on the
+    /// wire.
+    pub fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Message::Control(c) => c.encode(w),
+            Message::Work(wk) => wk.encode(w),
+        }
+    }
+
+    /// Decode a message body, dispatching on the flat tag to the owning
+    /// group.
+    pub fn decode(r: &mut WireReader) -> Result<Message, WireError> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            0x01..=0x05 | 0x0C | 0x0D => Message::Control(Control::decode_body(tag, r)?),
+            0x06..=0x0B | 0x0E..=0x10 => Message::Work(Work::decode_body(tag, r)?),
             t => {
                 return Err(WireError::InvalidTag {
                     context: "Message",
@@ -892,18 +1099,19 @@ mod tests {
 
     #[test]
     fn register_roundtrip() {
-        let msg = Message::Register {
+        let msg: Message = Control::Register {
             machine_id: "ws-3-d34db33f".into(),
             hostname: "ws-3".into(),
             gpus: vec![gpunion_gpu::GpuModel::Rtx3090.into()],
             agent_version: 10203,
-        };
+        }
+        .into();
         assert_eq!(roundtrip(msg.clone()), msg);
     }
 
     #[test]
     fn heartbeat_roundtrip_with_payload() {
-        let msg = Message::Heartbeat {
+        let msg: Message = Control::Heartbeat {
             node: NodeUid(4),
             seq: 12345,
             accepting: true,
@@ -920,13 +1128,14 @@ mod tests {
                 progress: 0.41,
                 checkpoint_seq: 3,
             }],
-        };
+        }
+        .into();
         assert_eq!(roundtrip(msg.clone()), msg);
     }
 
     #[test]
     fn dispatch_roundtrip_full_options() {
-        let msg = Message::Dispatch {
+        let msg: Message = Work::Dispatch {
             spec: DispatchSpec {
                 job: JobId(77),
                 image_repo: "pytorch/pytorch".into(),
@@ -943,14 +1152,16 @@ mod tests {
                 state_bytes_hint: 6 << 30,
                 restore_from_seq: Some(17),
                 priority: 3,
+                user: UserId(4242),
             },
-        };
+        }
+        .into();
         assert_eq!(roundtrip(msg.clone()), msg);
     }
 
     #[test]
     fn interactive_dispatch_roundtrip() {
-        let msg = Message::Dispatch {
+        let msg: Message = Work::Dispatch {
             spec: DispatchSpec {
                 job: JobId(1),
                 image_repo: "jupyter/gpu-notebook".into(),
@@ -965,48 +1176,118 @@ mod tests {
                 state_bytes_hint: 0,
                 restore_from_seq: None,
                 priority: 5,
+                user: UserId::SYSTEM,
             },
-        };
+        }
+        .into();
         assert_eq!(roundtrip(msg.clone()), msg);
     }
 
     #[test]
+    fn pull_marketplace_roundtrips() {
+        let msgs: Vec<Message> = vec![
+            Work::WorkRequest {
+                node: NodeUid(42),
+                free_slices: vec![
+                    FreeSlice {
+                        count: 2,
+                        mem_bytes: 24 << 30,
+                        cc_major: 8,
+                        cc_minor: 6,
+                    },
+                    FreeSlice {
+                        count: 1,
+                        mem_bytes: 80 << 30,
+                        cc_major: 9,
+                        cc_minor: 0,
+                    },
+                ],
+                deadline_ms: 15_000,
+            }
+            .into(),
+            Work::WorkRequest {
+                node: NodeUid(7),
+                free_slices: vec![],
+                deadline_ms: 0,
+            }
+            .into(),
+            Work::WorkGrant {
+                spec: DispatchSpec {
+                    job: JobId(9001),
+                    image_repo: "pytorch/pytorch".into(),
+                    image_tag: "2.3-cuda12".into(),
+                    image_digest: [0x5C; 32],
+                    gpus: 1,
+                    gpu_mem_bytes: 16 << 30,
+                    min_cc: None,
+                    mode: ExecMode::Batch {
+                        entrypoint: vec!["python".into(), "train.py".into()],
+                    },
+                    checkpoint_interval_secs: 600,
+                    storage_nodes: vec![NodeUid(3)],
+                    state_bytes_hint: 1 << 30,
+                    restore_from_seq: None,
+                    priority: 1,
+                    user: UserId(17),
+                },
+                lease_ms: 10_000,
+            }
+            .into(),
+            Work::GrantNack {
+                node: NodeUid(42),
+                retry_after_ms: 2_500,
+            }
+            .into(),
+        ];
+        for msg in msgs {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
     fn all_simple_messages_roundtrip() {
-        let msgs = vec![
-            Message::RegisterAck {
+        let msgs: Vec<Message> = vec![
+            Control::RegisterAck {
                 node: NodeUid(3),
                 token: AuthToken([9; 16]),
                 heartbeat_period_ms: 5000,
-            },
-            Message::HeartbeatAck {
+            }
+            .into(),
+            Control::HeartbeatAck {
                 node: NodeUid(3),
                 seq: 8,
-            },
-            Message::DepartureNotice {
+            }
+            .into(),
+            Control::DepartureNotice {
                 node: NodeUid(3),
                 mode: DepartureMode::Graceful { grace_secs: 120 },
-            },
-            Message::DepartureNotice {
+            }
+            .into(),
+            Control::DepartureNotice {
                 node: NodeUid(3),
                 mode: DepartureMode::Emergency,
-            },
-            Message::DispatchReply {
+            }
+            .into(),
+            Work::DispatchReply {
                 job: JobId(77),
                 accepted: false,
                 reason: "insufficient VRAM".into(),
-            },
-            Message::Kill {
+            }
+            .into(),
+            Work::Kill {
                 job: JobId(8),
                 reason: KillReason::ProviderKillSwitch,
-            },
-            Message::CheckpointRequest { job: JobId(8) },
-            Message::CheckpointDone {
+            }
+            .into(),
+            Work::CheckpointRequest { job: JobId(8) }.into(),
+            Work::CheckpointDone {
                 job: JobId(8),
                 seq: 4,
                 transfer_bytes: 190 << 20,
                 stored_on: vec![NodeUid(2), NodeUid(11)],
-            },
-            Message::WorkloadUpdate {
+            }
+            .into(),
+            Work::WorkloadUpdate {
                 status: WorkloadStatus {
                     job: JobId(8),
                     state: WorkloadState::Completed,
@@ -1014,15 +1295,18 @@ mod tests {
                     checkpoint_seq: 12,
                 },
                 exit_code: Some(0),
-            },
-            Message::PauseScheduling {
+            }
+            .into(),
+            Control::PauseScheduling {
                 node: NodeUid(3),
                 paused: true,
-            },
-            Message::Error {
+            }
+            .into(),
+            Control::Error {
                 code: 401,
                 detail: "bad token".into(),
-            },
+            }
+            .into(),
         ];
         for msg in msgs {
             assert_eq!(roundtrip(msg.clone()), msg);
@@ -1033,7 +1317,7 @@ mod tests {
     fn corrupt_tag_rejected() {
         let env = Envelope::new(
             AuthToken::UNAUTHENTICATED,
-            Message::CheckpointRequest { job: JobId(1) },
+            Work::CheckpointRequest { job: JobId(1) }.into(),
         );
         let mut bytes = env.to_bytes().to_vec();
         bytes[25] = 0xEE; // tag position: 1 version + 8 sender + 16 token
@@ -1047,7 +1331,7 @@ mod tests {
     fn truncation_rejected_at_every_length() {
         let env = Envelope::new(
             AuthToken([3; 16]),
-            Message::Heartbeat {
+            Control::Heartbeat {
                 node: NodeUid(1),
                 seq: 2,
                 accepting: true,
@@ -1059,7 +1343,8 @@ mod tests {
                     power_w: 200.0,
                 }],
                 workloads: vec![],
-            },
+            }
+            .into(),
         );
         let bytes = env.to_bytes();
         for cut in 0..bytes.len() {
@@ -1085,7 +1370,7 @@ mod tests {
     fn wire_size_reasonable() {
         let hb = Envelope::new(
             AuthToken([1; 16]),
-            Message::Heartbeat {
+            Control::Heartbeat {
                 node: NodeUid(1),
                 seq: 1,
                 accepting: true,
@@ -1100,7 +1385,8 @@ mod tests {
                     8
                 ],
                 workloads: vec![],
-            },
+            }
+            .into(),
         );
         let size = hb.wire_size();
         assert!(size > 100 && size < 600, "8-GPU heartbeat is {size} B");

@@ -107,16 +107,17 @@ impl<S: Read + Write> FramedTransport<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{AuthToken, JobId, KillReason, Message};
+    use crate::message::{AuthToken, JobId, KillReason, Work};
     use std::net::{TcpListener, TcpStream};
 
     fn sample(i: u64) -> Envelope {
         Envelope::new(
             AuthToken([i as u8; 16]),
-            Message::Kill {
+            Work::Kill {
                 job: JobId(i),
                 reason: KillReason::UserCancel,
-            },
+            }
+            .into(),
         )
     }
 

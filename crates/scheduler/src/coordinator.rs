@@ -47,10 +47,10 @@
 use crate::directory::{Directory, NodeLiveness};
 use crate::strategy::{Selector, Strategy};
 use gpunion_db::{DbActor, DbActorConfig, JobState, NodeRecord, NodeState, SystemDb, WriteIntent};
-use gpunion_des::{Online, SimDuration, SimTime};
+use gpunion_des::{Online, SimDuration, SimTime, TokenBucket};
 use gpunion_protocol::{
-    AuthToken, DispatchSpec, Envelope, JobId, KillReason, Message, NodeUid, TokenRegistry,
-    WorkloadState,
+    AuthToken, Control, DispatchSpec, Envelope, FreeSlice, JobId, KillReason, Message, NodeUid,
+    TokenRegistry, UserId, Work, WorkloadState,
 };
 use gpunion_telemetry::{labels, Counter, MetricHistogram, Registry};
 use rand::rngs::SmallRng;
@@ -159,6 +159,52 @@ pub enum JobEvent {
     },
 }
 
+/// How placements reach nodes (DESIGN.md §3c).
+///
+/// * `Push` — the coordinator's scheduling pass drains the pending queue
+///   against the capacity index and *pushes* [`Work::Dispatch`] offers at
+///   nodes of its choosing. The pre-marketplace behaviour; the default, and
+///   bit-identical to it.
+/// * `Pull` — agents advertise free capacity with [`Work::WorkRequest`]
+///   offers; the pass drains pending jobs against *offered* capacity and
+///   answers with [`Work::WorkGrant`] leases, falling back to the capacity
+///   index (a plain `Dispatch`) for jobs no live offer can satisfy. On a
+///   quiescent trace where every free node holds a live offer, pull reaches
+///   the same allocation fixpoint as push (property-tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementMode {
+    /// Coordinator-chosen placements pushed at nodes (the default).
+    #[default]
+    Push,
+    /// Worker-pull marketplace: request/grant against standing offers.
+    Pull,
+}
+
+/// Token-bucket admission control on job submissions (the coordinator's
+/// front door). `None` in [`CoordinatorConfig::admission`] — the default —
+/// admits everything, preserving the pre-marketplace invariant that job
+/// submissions are never shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Burst: submissions admitted instantly from a full bucket.
+    pub burst: u64,
+    /// Sustained admission rate, submissions per second.
+    pub rate_per_sec: u64,
+    /// Submissions at or above this priority bypass the bucket entirely —
+    /// critical jobs are never shed, even at overload (ρ > 1).
+    pub critical_priority: u8,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            burst: 64,
+            rate_per_sec: 16,
+            critical_priority: 3,
+        }
+    }
+}
+
 /// Coordinator configuration.
 #[derive(Debug, Clone)]
 pub struct CoordinatorConfig {
@@ -196,6 +242,12 @@ pub struct CoordinatorConfig {
     pub worker_threads: usize,
     /// Database write-queue parameters (service time, inbox bound).
     pub db: DbActorConfig,
+    /// Placement mode: coordinator-push (default) or worker-pull
+    /// marketplace (DESIGN.md §3c).
+    pub placement_mode: PlacementMode,
+    /// Token-bucket admission control on job submissions. `None` (default)
+    /// admits everything — job submissions are never shed.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for CoordinatorConfig {
@@ -214,7 +266,40 @@ impl Default for CoordinatorConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
             db: DbActorConfig::default(),
+            placement_mode: PlacementMode::Push,
+            admission: None,
         }
+    }
+}
+
+/// A node's standing capacity offer (pull mode): what it advertised and
+/// until when the advertisement is trusted.
+#[derive(Debug, Clone)]
+struct Offer {
+    /// Free capacity by GPU shape, as the agent reported it. Advisory —
+    /// the directory's reservation bookkeeping stays authoritative; the
+    /// slices pre-filter grants so a stale offer can't draw a grant its
+    /// shape can no longer cover.
+    slices: Vec<FreeSlice>,
+    /// When the offer lapses (receipt + the agent's deadline).
+    expires: SimTime,
+}
+
+impl Offer {
+    /// Whether the advertised slices could host `spec`: enough GPUs among
+    /// shapes with sufficient VRAM and compute capability.
+    fn matches(&self, spec: &DispatchSpec) -> bool {
+        let mut covered: u32 = 0;
+        for s in &self.slices {
+            let cc_ok = spec
+                .min_cc
+                .map(|(maj, min)| (s.cc_major, s.cc_minor) >= (maj, min))
+                .unwrap_or(true);
+            if cc_ok && s.mem_bytes >= spec.gpu_mem_bytes {
+                covered += s.count as u32;
+            }
+        }
+        covered >= spec.gpus as u32
     }
 }
 
@@ -257,6 +342,54 @@ struct QueuedEnvelope {
     env: CoordEnvelope,
 }
 
+/// One coherent snapshot of the coordinator's observable counters — the
+/// replacement for the family of ad-hoc per-counter getters. Taken with
+/// [`Coordinator::stats`] in a single call, so every field reflects the
+/// same instant (readers previously interleaving getters could observe a
+/// torn view across turns). Telemetry fields reset together on
+/// [`CoordEnvelope::ResetTelemetry`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorStats {
+    /// Jobs not yet terminal (pending, offered, or running).
+    pub live_jobs: usize,
+    /// Envelopes waiting in the inbox right now.
+    pub inbox_depth: usize,
+    /// Deepest the inbox has been since the last telemetry reset.
+    pub inbox_depth_peak: usize,
+    /// Inbox sojourn statistics (enqueue → turn, seconds).
+    pub inbox_sojourn: Online,
+    /// Heartbeat envelopes shed at the inbox bound.
+    pub shed_envelopes: u64,
+    /// Critical envelopes accepted while the inbox was over its bound.
+    pub over_bound_envelopes: u64,
+    /// Turns deferred on database write-queue backpressure.
+    pub deferred_turns: u64,
+    /// Job submissions shed by token-bucket admission control. Criticals
+    /// (priority ≥ [`AdmissionConfig::critical_priority`]) never count
+    /// here — they bypass the bucket.
+    pub admission_shed_jobs: u64,
+    /// Scheduling decision latency statistics (the §5.2 quantity).
+    pub decision_latency: Online,
+    /// Database writes queued but not yet applied.
+    pub db_depth: usize,
+    /// Deepest the database write queue has been since the last reset.
+    pub db_depth_peak: usize,
+    /// Database writes applied to the tables so far.
+    pub db_applied_writes: u64,
+    /// Sheddable database writes dropped at the write-queue bound.
+    pub db_shed_writes: u64,
+    /// Critical database writes admitted while the queue was at bound.
+    pub db_over_bound_writes: u64,
+    /// Database write sojourn statistics (submit → apply, seconds).
+    pub db_sojourn: Online,
+    /// Standing pull-mode capacity offers currently live.
+    pub live_offers: usize,
+    /// Pull-mode [`Work::WorkGrant`]s sent against standing offers.
+    pub grants_sent: u64,
+    /// Pull-mode [`Work::GrantNack`]s sent for offers that lapsed unmatched.
+    pub nacks_sent: u64,
+}
+
 /// The coordinator actor.
 pub struct Coordinator {
     config: CoordinatorConfig,
@@ -270,6 +403,11 @@ pub struct Coordinator {
     /// is at bound: the actor is waiting for a write completion before
     /// taking its next turn (critical-write backpressure).
     stalled: bool,
+    /// Standing capacity offers by node (pull mode), ordered by uid so
+    /// grant matching is deterministic. Empty in push mode.
+    offers: BTreeMap<NodeUid, Offer>,
+    /// Admission token bucket, built from [`CoordinatorConfig::admission`].
+    admission: Option<TokenBucket>,
     /// Ordered by job id so displacement/migrate-back sweeps are
     /// deterministic (golden-output experiments depend on it).
     jobs: BTreeMap<JobId, JobMeta>,
@@ -294,6 +432,12 @@ pub struct Coordinator {
     shed_envelopes: u64,
     over_bound_envelopes: u64,
     deferred_turns: u64,
+    /// Job submissions shed by admission control (non-critical only).
+    admission_shed: u64,
+    /// Pull-mode grants sent against standing offers.
+    grants_sent: u64,
+    /// Pull-mode nacks sent for offers that expired unmatched.
+    nacks_sent: u64,
     rng: SmallRng,
 }
 
@@ -321,6 +465,10 @@ impl Coordinator {
             .ok();
         let db = DbActor::new(config.db, seed ^ 0xD8);
         let dir = Directory::with_shards_workers(config.shard_count, config.worker_threads);
+        let admission = config
+            .admission
+            .as_ref()
+            .map(|a| TokenBucket::new(a.burst, a.rate_per_sec, SimTime::ZERO));
         let mut coord = Coordinator {
             config,
             db,
@@ -329,6 +477,8 @@ impl Coordinator {
             selector,
             inbox: VecDeque::new(),
             stalled: false,
+            offers: BTreeMap::new(),
+            admission,
             jobs: BTreeMap::new(),
             held_jobs: BTreeSet::new(),
             next_job: 1,
@@ -346,6 +496,9 @@ impl Coordinator {
             shed_envelopes: 0,
             over_bound_envelopes: 0,
             deferred_turns: 0,
+            admission_shed: 0,
+            grants_sent: 0,
+            nacks_sent: 0,
             rng: SmallRng::seed_from_u64(seed),
         };
         coord.arm(
@@ -356,6 +509,34 @@ impl Coordinator {
     }
 
     // ---- snapshot accessors (read-only consumers) ----------------------
+
+    /// One coherent snapshot of every observable counter — coordinator
+    /// inbox, scheduling, admission, marketplace, and database write-queue
+    /// telemetry together. This is THE read surface for benches, harnesses,
+    /// and experiment bins; the per-counter getters it replaces are
+    /// deprecated.
+    pub fn stats(&self) -> CoordinatorStats {
+        CoordinatorStats {
+            live_jobs: self.jobs.len(),
+            inbox_depth: self.inbox.len(),
+            inbox_depth_peak: self.inbox_depth_peak,
+            inbox_sojourn: self.inbox_sojourn.clone(),
+            shed_envelopes: self.shed_envelopes,
+            over_bound_envelopes: self.over_bound_envelopes,
+            deferred_turns: self.deferred_turns,
+            admission_shed_jobs: self.admission_shed,
+            decision_latency: self.decision_latency.clone(),
+            db_depth: self.db.depth(),
+            db_depth_peak: self.db.depth_peak(),
+            db_applied_writes: self.db.applied_writes(),
+            db_shed_writes: self.db.shed_writes(),
+            db_over_bound_writes: self.db.over_bound_writes(),
+            db_sojourn: self.db.sojourn().clone(),
+            live_offers: self.offers.len(),
+            grants_sent: self.grants_sent,
+            nacks_sent: self.nacks_sent,
+        }
+    }
 
     /// The node directory (read access for harnesses).
     pub fn directory(&self) -> &Directory {
@@ -375,6 +556,7 @@ impl Coordinator {
     }
 
     /// Scheduling decision latency statistics (the §5.2 quantity).
+    #[deprecated(note = "use Coordinator::stats().decision_latency")]
     pub fn decision_latency(&self) -> &Online {
         &self.decision_latency
     }
@@ -385,16 +567,19 @@ impl Coordinator {
     }
 
     /// Number of jobs not yet terminal.
+    #[deprecated(note = "use Coordinator::stats().live_jobs")]
     pub fn live_jobs(&self) -> usize {
         self.jobs.len()
     }
 
     /// Envelopes waiting in the inbox right now.
+    #[deprecated(note = "use Coordinator::stats().inbox_depth")]
     pub fn inbox_depth(&self) -> usize {
         self.inbox.len()
     }
 
     /// Deepest the inbox has been since the last telemetry reset.
+    #[deprecated(note = "use Coordinator::stats().inbox_depth_peak")]
     pub fn inbox_depth_peak(&self) -> usize {
         self.inbox_depth_peak
     }
@@ -402,17 +587,20 @@ impl Coordinator {
     /// Inbox sojourn statistics (enqueue → turn, in seconds) since the
     /// last telemetry reset. Under critical-write backpressure this is
     /// where the database stall becomes visible to senders.
+    #[deprecated(note = "use Coordinator::stats().inbox_sojourn")]
     pub fn inbox_sojourn(&self) -> &Online {
         &self.inbox_sojourn
     }
 
     /// Heartbeat envelopes shed at the inbox bound.
+    #[deprecated(note = "use Coordinator::stats().shed_envelopes")]
     pub fn shed_envelopes(&self) -> u64 {
         self.shed_envelopes
     }
 
     /// Critical envelopes accepted while the inbox was over its bound
     /// (never shed — counted so saturation is observable).
+    #[deprecated(note = "use Coordinator::stats().over_bound_envelopes")]
     pub fn over_bound_envelopes(&self) -> u64 {
         self.over_bound_envelopes
     }
@@ -420,8 +608,18 @@ impl Coordinator {
     /// Turns deferred because the database write queue was at bound for
     /// critical intents (envelope stalls, timer re-arms, and mid-pass
     /// stops all count).
+    #[deprecated(note = "use Coordinator::stats().deferred_turns")]
     pub fn deferred_turns(&self) -> u64 {
         self.deferred_turns
+    }
+
+    /// Route a user's fair-share weight to the database (one critical
+    /// write through the same bounded queue as every other mutation).
+    /// Weights only matter under
+    /// [`gpunion_db::QueueDiscipline::WeightedFairShare`].
+    pub fn set_user_weight(&mut self, now: SimTime, user: UserId, weight: u64) {
+        self.db
+            .submit(now, WriteIntent::SetUserWeight { user, weight });
     }
 
     /// The emergent database write latency right now: residual write-queue
@@ -465,6 +663,17 @@ impl Coordinator {
         if self.envelope_sheddable(&env) && self.inbox.len() >= self.config.inbox_capacity {
             self.shed_envelopes += 1;
             return SendOutcome::Shed;
+        }
+        // Token-bucket admission on submissions (off by default). Critical
+        // jobs bypass the bucket entirely — they are never shed, even at
+        // sustained overload; everything else takes a token or bounces.
+        if let (CoordEnvelope::SubmitJob(spec), Some(bucket), Some(cfg)) =
+            (&env, &mut self.admission, &self.config.admission)
+        {
+            if spec.priority < cfg.critical_priority && !bucket.try_take(now) {
+                self.admission_shed += 1;
+                return SendOutcome::Shed;
+            }
         }
         let job = if let CoordEnvelope::SubmitJob(spec) = &mut env {
             let id = JobId(self.next_job);
@@ -588,6 +797,9 @@ impl Coordinator {
                 self.shed_envelopes = 0;
                 self.over_bound_envelopes = 0;
                 self.deferred_turns = 0;
+                self.admission_shed = 0;
+                self.grants_sent = 0;
+                self.nacks_sent = 0;
             }
         }
     }
@@ -658,6 +870,9 @@ impl Coordinator {
                 job,
                 submitted_at: now,
                 priority,
+                user: spec.user,
+                // The weighted max-min currency: requested VRAM × GPUs.
+                demand: spec.gpu_mem_bytes.saturating_mul(spec.gpus as u64),
             },
         );
         self.jobs.insert(
@@ -701,10 +916,11 @@ impl Coordinator {
             self.dir.release(node, job);
             actions.push(CoordAction::Send {
                 to: node,
-                msg: Message::Kill {
+                msg: Work::Kill {
                     job,
                     reason: KillReason::UserCancel,
-                },
+                }
+                .into(),
                 // The kill follows the cancellation transaction.
                 delay: latency,
             });
@@ -761,7 +977,7 @@ impl Coordinator {
     /// Validate and process a network envelope (one actor turn).
     fn handle_envelope(&mut self, now: SimTime, env: Envelope, actions: &mut Vec<CoordAction>) {
         // Register is the only unauthenticated message.
-        if !matches!(env.msg, Message::Register { .. }) {
+        if !matches!(env.msg, Message::Control(Control::Register { .. })) {
             let valid = self.tokens.validate(env.sender, &env.token)
                 // Node-bearing messages must also claim the right sender.
                 && message_source(&env.msg)
@@ -770,10 +986,11 @@ impl Coordinator {
             if !valid {
                 actions.push(CoordAction::Send {
                     to: env.sender,
-                    msg: Message::Error {
+                    msg: Control::Error {
                         code: 401,
                         detail: "invalid token".into(),
-                    },
+                    }
+                    .into(),
                     delay: SimDuration::ZERO,
                 });
                 return;
@@ -785,7 +1002,16 @@ impl Coordinator {
     /// Process an already-authenticated message (one actor turn).
     fn handle_message(&mut self, now: SimTime, msg: Message, actions: &mut Vec<CoordAction>) {
         match msg {
-            Message::Register {
+            Message::Control(c) => self.handle_control(now, c, actions),
+            Message::Work(w) => self.handle_work(now, w, actions),
+        }
+    }
+
+    /// Membership and status traffic: registration, heartbeats,
+    /// departures, pause toggles.
+    fn handle_control(&mut self, now: SimTime, msg: Control, actions: &mut Vec<CoordAction>) {
+        match msg {
+            Control::Register {
                 machine_id,
                 hostname,
                 gpus,
@@ -807,11 +1033,12 @@ impl Coordinator {
                 );
                 actions.push(CoordAction::Send {
                     to: uid,
-                    msg: Message::RegisterAck {
+                    msg: Control::RegisterAck {
                         node: uid,
                         token,
                         heartbeat_period_ms: self.config.heartbeat_period.as_millis() as u32,
-                    },
+                    }
+                    .into(),
                     // The ack leaves once the registration row is durable:
                     // its own write's emergent sojourn time.
                     delay: latency,
@@ -821,7 +1048,7 @@ impl Coordinator {
                 }
                 self.arm_pass(now);
             }
-            Message::Heartbeat {
+            Control::Heartbeat {
                 node,
                 seq,
                 accepting,
@@ -868,11 +1095,61 @@ impl Coordinator {
                 }
                 actions.push(CoordAction::Send {
                     to: node,
-                    msg: Message::HeartbeatAck { node, seq },
+                    msg: Control::HeartbeatAck { node, seq }.into(),
                     delay: SimDuration::ZERO,
                 });
             }
-            Message::DispatchReply {
+            Control::DepartureNotice { node, mode } if self.dir.get(node).is_some() => {
+                self.dir.record_interruption(node, now);
+                match mode {
+                    gpunion_protocol::DepartureMode::Graceful { .. } => {
+                        self.dir.set_liveness(node, NodeLiveness::Departing);
+                        self.db
+                            .submit(now, WriteIntent::SetNodeState(node, NodeState::Departed));
+                        // Jobs will checkpoint; displacement happens when
+                        // the node goes offline (or per CheckpointDone).
+                    }
+                    gpunion_protocol::DepartureMode::Emergency => {
+                        self.node_lost(now, node, actions);
+                    }
+                }
+            }
+            Control::PauseScheduling { node, paused } => {
+                let liveness = self.dir.get(node).map(|e| e.liveness());
+                if liveness.is_some() && liveness != Some(NodeLiveness::Offline) {
+                    self.dir.set_liveness(
+                        node,
+                        if paused {
+                            NodeLiveness::Paused
+                        } else {
+                            NodeLiveness::Active
+                        },
+                    );
+                }
+                self.db.submit(
+                    now,
+                    WriteIntent::SetNodeState(
+                        node,
+                        if paused {
+                            NodeState::Paused
+                        } else {
+                            NodeState::Active
+                        },
+                    ),
+                );
+                if !paused {
+                    self.arm_pass(now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Job placement and lifecycle traffic — including the pull-mode
+    /// request/grant marketplace (DESIGN.md §3c).
+    fn handle_work(&mut self, now: SimTime, msg: Work, actions: &mut Vec<CoordAction>) {
+        match msg {
+            Work::DispatchReply {
                 job,
                 accepted,
                 reason: _,
@@ -926,7 +1203,7 @@ impl Coordinator {
                     self.offer_failed(now, job, node, actions);
                 }
             }
-            Message::WorkloadUpdate { status, exit_code } => {
+            Work::WorkloadUpdate { status, exit_code } => {
                 let job = status.job;
                 match status.state {
                     WorkloadState::Running => {
@@ -965,7 +1242,7 @@ impl Coordinator {
                 }
                 let _ = exit_code;
             }
-            Message::CheckpointDone {
+            Work::CheckpointDone {
                 job,
                 seq,
                 transfer_bytes: _,
@@ -986,10 +1263,11 @@ impl Coordinator {
                         let delay = self.db.write_latency_estimate(now);
                         actions.push(CoordAction::Send {
                             to: node,
-                            msg: Message::Kill {
+                            msg: Work::Kill {
                                 job,
                                 reason: KillReason::SchedulerPreempt,
-                            },
+                            }
+                            .into(),
                             // The preempt order queues behind the current
                             // write backlog like any other transaction.
                             delay,
@@ -997,49 +1275,34 @@ impl Coordinator {
                     }
                 }
             }
-            Message::DepartureNotice { node, mode } if self.dir.get(node).is_some() => {
-                self.dir.record_interruption(node, now);
-                match mode {
-                    gpunion_protocol::DepartureMode::Graceful { .. } => {
-                        self.dir.set_liveness(node, NodeLiveness::Departing);
-                        self.db
-                            .submit(now, WriteIntent::SetNodeState(node, NodeState::Departed));
-                        // Jobs will checkpoint; displacement happens when
-                        // the node goes offline (or per CheckpointDone).
-                    }
-                    gpunion_protocol::DepartureMode::Emergency => {
-                        self.node_lost(now, node, actions);
-                    }
+            Work::WorkRequest {
+                node,
+                free_slices,
+                deadline_ms,
+            } => {
+                // A standing offer replaces any earlier one from the same
+                // node (latest capacity picture wins). Offers from nodes
+                // the directory doesn't know — or can't place on — are
+                // dropped silently; the agent re-offers on its next
+                // capacity change.
+                let placeable = self
+                    .dir
+                    .get(node)
+                    .map(|e| e.liveness() == NodeLiveness::Active)
+                    .unwrap_or(false);
+                if !placeable || free_slices.is_empty() {
+                    return;
                 }
-            }
-            Message::PauseScheduling { node, paused } => {
-                let liveness = self.dir.get(node).map(|e| e.liveness());
-                if liveness.is_some() && liveness != Some(NodeLiveness::Offline) {
-                    self.dir.set_liveness(
-                        node,
-                        if paused {
-                            NodeLiveness::Paused
-                        } else {
-                            NodeLiveness::Active
-                        },
-                    );
-                }
-                self.db.submit(
-                    now,
-                    WriteIntent::SetNodeState(
-                        node,
-                        if paused {
-                            NodeState::Paused
-                        } else {
-                            NodeState::Active
-                        },
-                    ),
+                self.offers.insert(
+                    node,
+                    Offer {
+                        slices: free_slices,
+                        expires: now + SimDuration::from_millis(deadline_ms as u64),
+                    },
                 );
-                if !paused {
-                    self.arm_pass(now);
-                }
+                // Fresh capacity on the market: drain pending against it.
+                self.arm_pass(now);
             }
-            Message::Error { .. } => {}
             _ => {}
         }
     }
@@ -1055,6 +1318,9 @@ impl Coordinator {
         // capacity goes back to the pool and the preference lapses.
         let window = self.config.migrate_back_window;
         self.abandon_holds_where(now, |_, since| now.since(since) > window);
+        // Lapsed capacity offers are nacked here too, so an idle market
+        // (no passes running) still tells agents to re-offer.
+        self.expire_offers(now, actions);
     }
 
     /// A node is gone (heartbeat loss or emergency departure): displace
@@ -1067,6 +1333,9 @@ impl Coordinator {
         }
         self.dir.set_liveness(node, NodeLiveness::Offline);
         self.dir.record_interruption(node, now);
+        // A dead node's standing offer dies with it (no nack: there is no
+        // one left to hear it).
+        self.offers.remove(&node);
         self.db
             .submit(now, WriteIntent::SetNodeState(node, NodeState::Unavailable));
         let displaced: Vec<JobId> = self
@@ -1243,7 +1512,7 @@ impl Coordinator {
                         let delay = self.db.write_latency_estimate(now);
                         actions.push(CoordAction::Send {
                             to: current,
-                            msg: Message::CheckpointRequest { job },
+                            msg: Work::CheckpointRequest { job }.into(),
                             delay,
                         });
                     }
@@ -1271,8 +1540,16 @@ impl Coordinator {
     /// defers (see [`Coordinator::defer_pass`]) rather than over-filling.
     fn scheduling_pass(&mut self, now: SimTime, actions: &mut Vec<CoordAction>) {
         let pending = self.db.state().pending_in_order();
+        // Retire offers that lapsed before this pass could use them, with
+        // a nack so the offering agent knows its request went unmatched.
+        self.expire_offers(now, actions);
 
-        // Phase 1: the preferred-node (migrate-back) fast path.
+        // Phase 1: the preferred-node (migrate-back) fast path. In pull
+        // mode the home node's standing offer is pre-matched below — but a
+        // returning home is claimed with or without one: the hold taken in
+        // `provider_returned` is the offer, made on the provider's behalf
+        // the moment it registered (affinity must not wait for the agent's
+        // first WorkRequest to win the race against the general drain).
         for &job in &pending {
             if self.db.would_block() {
                 self.defer_pass(now);
@@ -1313,11 +1590,31 @@ impl Coordinator {
                 // Swap the hold (if any) for the offer reservation, taken
                 // atomically within this pass by dispatch_offer.
                 self.drop_hold(job);
-                self.dispatch_offer(now, job, pref, actions);
+                let via_offer = self.offers.contains_key(&pref);
+                self.dispatch_offer(now, job, pref, via_offer, actions);
             }
         }
 
-        // Phase 2: drain the rest of the queue against the live index.
+        // Phase 2: drain the rest of the queue. Push mode picks against
+        // the full capacity index. Pull mode drains against *offered*
+        // capacity first — the selector runs with non-offering (and
+        // shape-mismatched) nodes masked out, so strategy order among
+        // offering nodes is identical to push — and falls back to the
+        // full index (a plain Dispatch) for jobs no live offer covers.
+        let pull = self.config.placement_mode == PlacementMode::Pull;
+        // Nodes with no live offer, masked out of the pull-first pick.
+        // Computed once per pass: the offer book only shrinks mid-pass
+        // (grants never add offers), and a node whose offer a grant
+        // consumed is still capacity-checked by its reservation.
+        let unoffered: Vec<NodeUid> = if pull {
+            self.dir
+                .iter()
+                .map(|e| e.uid)
+                .filter(|u| !self.offers.contains_key(u))
+                .collect()
+        } else {
+            Vec::new()
+        };
         for &job in &pending {
             if self.db.would_block() {
                 self.defer_pass(now);
@@ -1339,10 +1636,25 @@ impl Coordinator {
                 // stale holds and re-opens general placement.
                 continue;
             }
-            let Some(target) = self.selector.pick(&self.dir, &meta.spec, &meta.excluded) else {
+            let (target, via_offer) = if pull {
+                let spec = meta.spec.clone();
+                let excluded = meta.excluded.clone();
+                match self.pick_offered(&spec, &excluded, &unoffered) {
+                    Some(t) => (Some(t), true),
+                    // No live offer can host this job: fall back to the
+                    // capacity index, exactly as push mode would place it.
+                    None => (self.selector.pick(&self.dir, &spec, &excluded), false),
+                }
+            } else {
+                (
+                    self.selector.pick(&self.dir, &meta.spec, &meta.excluded),
+                    false,
+                )
+            };
+            let Some(target) = target else {
                 continue; // nothing eligible; stays queued
             };
-            self.dispatch_offer(now, job, target, actions);
+            self.dispatch_offer(now, job, target, via_offer, actions);
         }
 
         // Writes that add pending jobs may still be in flight (submitted
@@ -1353,15 +1665,64 @@ impl Coordinator {
         }
     }
 
+    /// Pull-mode pick: run the configured strategy with every node that
+    /// has no live offer — or whose offered slices can't cover `spec` —
+    /// masked out. Among offering nodes the strategy order is exactly the
+    /// push-mode order, which is what makes pull reach the push fixpoint
+    /// when every free node is on the market.
+    fn pick_offered(
+        &mut self,
+        spec: &DispatchSpec,
+        excluded: &[NodeUid],
+        unoffered: &[NodeUid],
+    ) -> Option<NodeUid> {
+        let mut masked: Vec<NodeUid> = excluded.to_vec();
+        masked.extend_from_slice(unoffered);
+        for (&node, offer) in &self.offers {
+            if !offer.matches(spec) {
+                masked.push(node);
+            }
+        }
+        self.selector.pick(&self.dir, spec, &masked)
+    }
+
+    /// Drop every offer whose validity window has passed, nacking the
+    /// offering node so its agent knows to re-offer (deterministic: the
+    /// book iterates in uid order).
+    fn expire_offers(&mut self, now: SimTime, actions: &mut Vec<CoordAction>) {
+        let expired: Vec<NodeUid> = self
+            .offers
+            .iter()
+            .filter(|(_, o)| o.expires <= now)
+            .map(|(&n, _)| n)
+            .collect();
+        for node in expired {
+            self.offers.remove(&node);
+            self.nacks_sent += 1;
+            actions.push(CoordAction::Send {
+                to: node,
+                msg: Work::GrantNack {
+                    node,
+                    retry_after_ms: self.config.heartbeat_period.as_millis() as u32,
+                }
+                .into(),
+                delay: SimDuration::ZERO,
+            });
+        }
+    }
+
     /// Reserve, dequeue, and send one offer. Bails out (leaving the job
     /// pending, no offer) if the reservation cannot be fully covered —
     /// callers verify candidacy first, so this is a consistency backstop,
-    /// not a placement strategy.
+    /// not a placement strategy. `via_offer` placements answer a standing
+    /// [`Work::WorkRequest`] and go out as [`Work::WorkGrant`] leases; the
+    /// rest are push-style [`Work::Dispatch`]es.
     fn dispatch_offer(
         &mut self,
         now: SimTime,
         job: JobId,
         target: NodeUid,
+        via_offer: bool,
         actions: &mut Vec<CoordAction>,
     ) {
         let spec = self.jobs.get(&job).expect("present").spec.clone();
@@ -1382,9 +1743,19 @@ impl Coordinator {
             now + latency + self.config.offer_timeout,
             CoordTimer::OfferTimeout(job),
         );
+        let msg = if via_offer {
+            self.grants_sent += 1;
+            Work::WorkGrant {
+                spec,
+                lease_ms: self.config.offer_timeout.as_millis() as u32,
+            }
+            .into()
+        } else {
+            Work::Dispatch { spec }.into()
+        };
         actions.push(CoordAction::Send {
             to: target,
-            msg: Message::Dispatch { spec },
+            msg,
             delay: latency,
         });
         actions.push(CoordAction::JobEvent {
@@ -1400,9 +1771,12 @@ impl Coordinator {
 /// Which node a message claims to come from (for token validation).
 fn message_source(msg: &Message) -> Option<NodeUid> {
     match msg {
-        Message::Heartbeat { node, .. }
-        | Message::DepartureNotice { node, .. }
-        | Message::PauseScheduling { node, .. } => Some(*node),
+        Message::Control(
+            Control::Heartbeat { node, .. }
+            | Control::DepartureNotice { node, .. }
+            | Control::PauseScheduling { node, .. },
+        )
+        | Message::Work(Work::WorkRequest { node, .. }) => Some(*node),
         _ => None,
     }
 }
@@ -1418,11 +1792,11 @@ impl Coordinator {
     fn envelope_sheddable(&self, env: &CoordEnvelope) -> bool {
         match env {
             CoordEnvelope::Net(e) => match &e.msg {
-                Message::Heartbeat { node, .. } => !self.heartbeat_revives(*node),
+                Message::Control(Control::Heartbeat { node, .. }) => !self.heartbeat_revives(*node),
                 _ => false,
             },
             CoordEnvelope::Msg(m) => match &**m {
-                Message::Heartbeat { node, .. } => !self.heartbeat_revives(*node),
+                Message::Control(Control::Heartbeat { node, .. }) => !self.heartbeat_revives(*node),
                 _ => false,
             },
             _ => false,
@@ -1438,11 +1812,11 @@ impl Coordinator {
     fn head_turn_writes(&self) -> bool {
         match &self.inbox.front().expect("head peeked by caller").env {
             CoordEnvelope::Net(e) => match &e.msg {
-                Message::Heartbeat { node, .. } => self.heartbeat_revives(*node),
+                Message::Control(Control::Heartbeat { node, .. }) => self.heartbeat_revives(*node),
                 _ => true,
             },
             CoordEnvelope::Msg(m) => match &**m {
-                Message::Heartbeat { node, .. } => self.heartbeat_revives(*node),
+                Message::Control(Control::Heartbeat { node, .. }) => self.heartbeat_revives(*node),
                 _ => true,
             },
             CoordEnvelope::ResetTelemetry => false,

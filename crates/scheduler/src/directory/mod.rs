@@ -503,7 +503,7 @@ impl ShardedDirectory {
 mod tests {
     use super::*;
     use gpunion_gpu::GpuModel;
-    use gpunion_protocol::ExecMode;
+    use gpunion_protocol::{ExecMode, UserId};
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -530,6 +530,7 @@ mod tests {
             state_bytes_hint: 0,
             restore_from_seq: None,
             priority: 1,
+            user: UserId::SYSTEM,
         }
     }
 

@@ -19,7 +19,8 @@ pub mod directory;
 pub mod strategy;
 
 pub use coordinator::{
-    CoordAction, CoordEnvelope, Coordinator, CoordinatorConfig, JobEvent, SendOutcome,
+    AdmissionConfig, CoordAction, CoordEnvelope, Coordinator, CoordinatorConfig, CoordinatorStats,
+    JobEvent, PlacementMode, SendOutcome,
 };
 pub use directory::{Directory, NodeEntry, NodeLiveness, Reliability, ShardedDirectory};
 pub use strategy::{Selector, Strategy};
@@ -30,7 +31,8 @@ mod tests {
     use gpunion_des::{SimDuration, SimTime};
     use gpunion_gpu::GpuModel;
     use gpunion_protocol::{
-        DispatchSpec, ExecMode, GpuStat, JobId, Message, NodeUid, WorkloadState, WorkloadStatus,
+        Control, DispatchSpec, ExecMode, GpuStat, JobId, Message, NodeUid, UserId, Work,
+        WorkloadState, WorkloadStatus,
     };
 
     fn t(s: u64) -> SimTime {
@@ -54,6 +56,7 @@ mod tests {
             state_bytes_hint: 1 << 30,
             restore_from_seq: None,
             priority: 1,
+            user: UserId::SYSTEM,
         }
     }
 
@@ -83,18 +86,19 @@ mod tests {
         let actions = msg(
             coord,
             now,
-            Message::Register {
+            Control::Register {
                 machine_id: machine.into(),
                 hostname: machine.into(),
                 gpus: vec![GpuModel::Rtx3090.into()],
                 agent_version: 1,
-            },
+            }
+            .into(),
         );
         actions
             .iter()
             .find_map(|a| match a {
                 CoordAction::Send {
-                    msg: Message::RegisterAck { node, .. },
+                    msg: Message::Control(Control::RegisterAck { node, .. }),
                     ..
                 } => Some(*node),
                 _ => None,
@@ -118,13 +122,14 @@ mod tests {
         msg(
             coord,
             now,
-            Message::Heartbeat {
+            Control::Heartbeat {
                 node,
                 seq,
                 accepting: true,
                 gpu_stats: stats,
                 workloads: vec![],
-            },
+            }
+            .into(),
         )
     }
 
@@ -144,7 +149,7 @@ mod tests {
         actions.iter().find_map(|a| match a {
             CoordAction::Send {
                 to,
-                msg: Message::Dispatch { spec },
+                msg: Message::Work(Work::Dispatch { spec }),
                 ..
             } => Some((*to, spec.job)),
             _ => None,
@@ -157,7 +162,7 @@ mod tests {
             .filter_map(|a| match a {
                 CoordAction::Send {
                     to,
-                    msg: Message::Dispatch { spec },
+                    msg: Message::Work(Work::Dispatch { spec }),
                     ..
                 } => Some((*to, spec.job)),
                 _ => None,
@@ -187,11 +192,12 @@ mod tests {
         msg(
             &mut coord,
             t(5),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         assert_eq!(coord.job_node(job), Some(node));
         // The allocation row lands once its write's service completes.
@@ -212,11 +218,12 @@ mod tests {
         let actions = msg(
             &mut coord,
             t(5),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: false,
                 reason: "busy".into(),
-            },
+            }
+            .into(),
         );
         assert!(
             find_dispatch(&actions).is_none(),
@@ -238,11 +245,12 @@ mod tests {
         msg(
             &mut coord,
             t(5),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         // Stay alive until t=400 (the actor fires sweeps in time order, so
         // the checkpoint must land before the node goes stale).
@@ -253,12 +261,13 @@ mod tests {
         msg(
             &mut coord,
             t(400),
-            Message::CheckpointDone {
+            Work::CheckpointDone {
                 job,
                 seq: 3,
                 transfer_bytes: 1 << 20,
                 stored_on: vec![],
-            },
+            }
+            .into(),
         );
         // No heartbeats after t=397 ⇒ sweep marks it lost (timeout = 3 × 5 s).
         let actions = drive(&mut coord, t(430));
@@ -290,31 +299,34 @@ mod tests {
         msg(
             &mut coord,
             t(5),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         // Provider announces graceful departure; checkpoint lands; node
         // goes silent.
         msg(
             &mut coord,
             t(10),
-            Message::DepartureNotice {
+            Control::DepartureNotice {
                 node: target,
                 mode: gpunion_protocol::DepartureMode::Graceful { grace_secs: 120 },
-            },
+            }
+            .into(),
         );
         msg(
             &mut coord,
             t(15),
-            Message::CheckpointDone {
+            Work::CheckpointDone {
                 job,
                 seq: 1,
                 transfer_bytes: 1 << 20,
                 stored_on: vec![],
-            },
+            }
+            .into(),
         );
         // Keep the survivor alive while the departed node goes stale; the
         // sweeps (and the re-dispatch they trigger) fire during these
@@ -344,16 +356,17 @@ mod tests {
         msg(
             &mut coord,
             t(5),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         let actions = msg(
             &mut coord,
             t(50),
-            Message::WorkloadUpdate {
+            Work::WorkloadUpdate {
                 status: WorkloadStatus {
                     job,
                     state: WorkloadState::Killed,
@@ -361,7 +374,8 @@ mod tests {
                     checkpoint_seq: 0,
                 },
                 exit_code: Some(137),
-            },
+            }
+            .into(),
         );
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -382,16 +396,17 @@ mod tests {
         msg(
             &mut coord,
             t(5),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         let actions = msg(
             &mut coord,
             t(100),
-            Message::WorkloadUpdate {
+            Work::WorkloadUpdate {
                 status: WorkloadStatus {
                     job,
                     state: WorkloadState::Completed,
@@ -399,7 +414,8 @@ mod tests {
                     checkpoint_seq: 2,
                 },
                 exit_code: Some(0),
-            },
+            }
+            .into(),
         );
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -408,7 +424,7 @@ mod tests {
                 ..
             }
         )));
-        assert_eq!(coord.live_jobs(), 0);
+        assert_eq!(coord.stats().live_jobs, 0);
         // The completion write is fire-and-forget; let it apply.
         drive(&mut coord, t(101));
         assert_eq!(
@@ -430,11 +446,12 @@ mod tests {
         msg(
             &mut coord,
             t(5),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         // Home node dies; job migrates to the other node.
         coord.send(t(10), CoordEnvelope::NodeDeparture(home));
@@ -447,11 +464,12 @@ mod tests {
         msg(
             &mut coord,
             t(13),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         // Keep the surviving node heartbeating while time passes (sweep
         // timers fire inside these turns, as in a real event loop).
@@ -464,7 +482,7 @@ mod tests {
         let actions = msg(
             &mut coord,
             t(300),
-            Message::Register {
+            Control::Register {
                 machine_id: if home == n1 {
                     "m-1".into()
                 } else {
@@ -473,7 +491,8 @@ mod tests {
                 hostname: "back".into(),
                 gpus: vec![GpuModel::Rtx3090.into()],
                 agent_version: 1,
-            },
+            }
+            .into(),
         );
         // Coordinator orders a checkpoint on the current host.
         assert!(
@@ -481,7 +500,7 @@ mod tests {
                 a,
                 CoordAction::Send {
                     to,
-                    msg: Message::CheckpointRequest { job: j },
+                    msg: Message::Work(Work::CheckpointRequest { job: j }),
                     ..
                 } if *to == other && *j == job
             )),
@@ -493,17 +512,18 @@ mod tests {
         let actions = msg(
             &mut coord,
             t(310),
-            Message::CheckpointDone {
+            Work::CheckpointDone {
                 job,
                 seq: 5,
                 transfer_bytes: 1 << 20,
                 stored_on: vec![],
-            },
+            }
+            .into(),
         );
         assert!(actions.iter().any(|a| matches!(
             a,
             CoordAction::Send {
-                msg: Message::Kill { .. },
+                msg: Message::Work(Work::Kill { .. }),
                 ..
             }
         )));
@@ -511,7 +531,7 @@ mod tests {
         msg(
             &mut coord,
             t(311),
-            Message::WorkloadUpdate {
+            Work::WorkloadUpdate {
                 status: WorkloadStatus {
                     job,
                     state: WorkloadState::Killed,
@@ -519,7 +539,8 @@ mod tests {
                     checkpoint_seq: 5,
                 },
                 exit_code: Some(137),
-            },
+            }
+            .into(),
         );
         let mut actions = heartbeat(&mut coord, t(312), home, 1);
         actions.extend(heartbeat(&mut coord, t(312), other, hb_seq));
@@ -527,7 +548,7 @@ mod tests {
         let dispatch_spec = actions.iter().find_map(|a| match a {
             CoordAction::Send {
                 to,
-                msg: Message::Dispatch { spec },
+                msg: Message::Work(Work::Dispatch { spec }),
                 ..
             } if *to == home => Some(spec.clone()),
             _ => None,
@@ -538,11 +559,12 @@ mod tests {
         let actions = msg(
             &mut coord,
             t(316),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -559,20 +581,21 @@ mod tests {
         let node = register(&mut coord, t(1), "m-1");
         let env = gpunion_protocol::Envelope::new(
             gpunion_protocol::AuthToken([0xBB; 16]),
-            Message::Heartbeat {
+            Control::Heartbeat {
                 node,
                 seq: 1,
                 accepting: true,
                 gpu_stats: vec![],
                 workloads: vec![],
-            },
+            }
+            .into(),
         );
         coord.send(t(2), CoordEnvelope::Net(Box::new(env)));
         let actions = coord.advance(t(2));
         assert!(actions.iter().any(|a| matches!(
             a,
             CoordAction::Send {
-                msg: Message::Error { code: 401, .. },
+                msg: Message::Control(Control::Error { code: 401, .. }),
                 ..
             }
         )));
@@ -594,7 +617,7 @@ mod tests {
             for a in actions {
                 if let CoordAction::Send {
                     to,
-                    msg: Message::Dispatch { .. },
+                    msg: Message::Work(Work::Dispatch { .. }),
                     ..
                 } = a
                 {
@@ -647,21 +670,22 @@ mod tests {
         msg(
             &mut coord,
             t(7),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job: j2,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         coord.send(t(8), CoordEnvelope::CancelJob(j2));
         let actions = coord.advance(t(8));
         assert!(actions.iter().any(|a| matches!(
             a,
             CoordAction::Send {
-                msg: Message::Kill {
+                msg: Message::Work(Work::Kill {
                     reason: gpunion_protocol::KillReason::UserCancel,
                     ..
-                },
+                }),
                 ..
             }
         )));
@@ -693,11 +717,12 @@ mod tests {
         msg(
             &mut coord,
             t(5),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job: job_a,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         let other = if home == n1 { n2 } else { n1 };
         let (job_b, _) = submit(&mut coord, t(6), big_spec());
@@ -705,11 +730,12 @@ mod tests {
         msg(
             &mut coord,
             t(8),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job: job_b,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         // Heartbeats report both nodes fully used; a backlog job queues
         // ahead of everything.
@@ -723,24 +749,26 @@ mod tests {
         msg(
             &mut coord,
             t(9),
-            Message::Heartbeat {
+            Control::Heartbeat {
                 node: home,
                 seq: 2,
                 accepting: true,
                 gpu_stats: vec![full],
                 workloads: vec![],
-            },
+            }
+            .into(),
         );
         msg(
             &mut coord,
             t(9),
-            Message::Heartbeat {
+            Control::Heartbeat {
                 node: other,
                 seq: 2,
                 accepting: true,
                 gpu_stats: vec![full],
                 workloads: vec![],
-            },
+            }
+            .into(),
         );
         let (backlog, _) = submit(&mut coord, t(10), big_spec());
         drive(&mut coord, t(11));
@@ -761,12 +789,13 @@ mod tests {
         let mut actions = msg(
             &mut coord,
             t(20),
-            Message::Register {
+            Control::Register {
                 machine_id: machine.into(),
                 hostname: "back".into(),
                 gpus: vec![GpuModel::Rtx3090.into()],
                 agent_version: 1,
-            },
+            }
+            .into(),
         );
         actions.extend(heartbeat(&mut coord, t(21), home, 1));
         actions.extend(drive(&mut coord, t(22)));
@@ -795,11 +824,12 @@ mod tests {
         msg(
             &mut coord,
             t(5),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: false,
                 reason: "busy".into(),
-            },
+            }
+            .into(),
         );
         let actions = drive(&mut coord, t(6));
         let (second, _) = find_dispatch(&actions).expect("second dispatch");
@@ -807,11 +837,12 @@ mod tests {
         msg(
             &mut coord,
             t(7),
-            Message::DispatchReply {
+            Work::DispatchReply {
                 job,
                 accepted: true,
                 reason: String::new(),
-            },
+            }
+            .into(),
         );
         // The hosting node dies; the once-rejecting node is the only one
         // left and must be offered the displaced job.
@@ -837,13 +868,16 @@ mod tests {
             1,
         );
         let hb = |n: u64, s: u64| {
-            Box::new(Message::Heartbeat {
-                node: NodeUid(n),
-                seq: s,
-                accepting: true,
-                gpu_stats: vec![],
-                workloads: vec![],
-            })
+            Box::new(
+                Control::Heartbeat {
+                    node: NodeUid(n),
+                    seq: s,
+                    accepting: true,
+                    gpu_stats: vec![],
+                    workloads: vec![],
+                }
+                .into(),
+            )
         };
         assert!(matches!(
             coord.send(t(1), CoordEnvelope::Msg(hb(1, 1))),
@@ -858,16 +892,16 @@ mod tests {
             SendOutcome::Shed,
             "heartbeat past the bound is shed"
         );
-        assert_eq!(coord.shed_envelopes(), 1);
+        assert_eq!(coord.stats().shed_envelopes, 1);
         // A job submission is critical: admitted past the bound, counted.
         let outcome = coord.send(t(1), CoordEnvelope::SubmitJob(Box::new(spec())));
         assert!(matches!(outcome, SendOutcome::Enqueued { job: Some(_) }));
-        assert_eq!(coord.over_bound_envelopes(), 1);
-        assert_eq!(coord.inbox_depth(), 3);
+        assert_eq!(coord.stats().over_bound_envelopes, 1);
+        assert_eq!(coord.stats().inbox_depth, 3);
         // Draining empties the inbox; the submission survived.
         coord.advance(t(1));
-        assert_eq!(coord.inbox_depth(), 0);
-        assert_eq!(coord.live_jobs(), 1);
+        assert_eq!(coord.stats().inbox_depth, 0);
+        assert_eq!(coord.stats().live_jobs, 1);
     }
 
     /// With the database write queue at bound, the coordinator defers its
@@ -893,16 +927,20 @@ mod tests {
         }
         coord.advance(t(3));
         assert!(
-            coord.inbox_depth() > 0,
+            coord.stats().inbox_depth > 0,
             "the burst cannot be admitted in one turn against a 4-deep queue"
         );
-        assert!(coord.deferred_turns() > 0, "stalls were recorded");
+        assert!(coord.stats().deferred_turns > 0, "stalls were recorded");
         // Let the world run: completions free slots, deferred turns retry.
         drive(&mut coord, t(3600));
-        assert_eq!(coord.inbox_depth(), 0, "every envelope eventually ran");
+        assert_eq!(
+            coord.stats().inbox_depth,
+            0,
+            "every envelope eventually ran"
+        );
         // No submission was lost: every job is tracked (pending, offered,
         // or placed) and every SubmitJob write applied.
-        assert_eq!(coord.live_jobs(), 16);
+        assert_eq!(coord.stats().live_jobs, 16);
         for j in &jobs {
             assert!(coord.db().job(*j).is_some(), "job {j:?} row exists");
         }
@@ -914,7 +952,7 @@ mod tests {
             coord.db_actor().depth_peak()
         );
         assert!(
-            coord.inbox_sojourn().max().unwrap_or(0.0) > 0.0,
+            coord.stats().inbox_sojourn.max().unwrap_or(0.0) > 0.0,
             "backpressure must be visible as inbox sojourn"
         );
     }
@@ -937,15 +975,18 @@ mod tests {
         coord.advance(t(2));
         // Fill the inbox to its bound with a critical envelope.
         coord.send(t(3), CoordEnvelope::SubmitJob(Box::new(spec())));
-        assert_eq!(coord.inbox_depth(), 1);
+        assert_eq!(coord.stats().inbox_depth, 1);
         let hb = |n: NodeUid, s: u64| {
-            Box::new(Message::Heartbeat {
-                node: n,
-                seq: s,
-                accepting: true,
-                gpu_stats: vec![],
-                workloads: vec![],
-            })
+            Box::new(
+                Control::Heartbeat {
+                    node: n,
+                    seq: s,
+                    accepting: true,
+                    gpu_stats: vec![],
+                    workloads: vec![],
+                }
+                .into(),
+            )
         };
         // An ordinary heartbeat (node is fine... here: unknown uid 99)
         // sheds at the bound.
@@ -984,30 +1025,221 @@ mod tests {
         let over_before = coord.db_actor().over_bound_writes();
         coord.send(
             t(3),
-            CoordEnvelope::Msg(Box::new(Message::Heartbeat {
-                node,
-                seq: 9,
-                accepting: true,
-                gpu_stats: vec![],
-                workloads: vec![],
-            })),
+            CoordEnvelope::Msg(Box::new(
+                Control::Heartbeat {
+                    node,
+                    seq: 9,
+                    accepting: true,
+                    gpu_stats: vec![],
+                    workloads: vec![],
+                }
+                .into(),
+            )),
         );
         let actions = coord.advance(t(3));
         assert!(actions.is_empty(), "reviving turn deferred, no ack yet");
-        assert_eq!(coord.inbox_depth(), 1, "heartbeat waits at the head");
-        assert!(coord.deferred_turns() > 0);
+        assert_eq!(coord.stats().inbox_depth, 1, "heartbeat waits at the head");
+        assert!(coord.stats().deferred_turns > 0);
         // Once the queue drains, the turn runs and the node revives. The
         // turn was admitted against a free slot; its own status write may
         // fill that slot before the critical flip (the documented
         // one-turn slack on a 1-deep queue), but the turn itself never
         // started against a full queue.
         drive(&mut coord, t(4));
-        assert_eq!(coord.inbox_depth(), 0);
+        assert_eq!(coord.stats().inbox_depth, 0);
         assert!(coord.db_actor().over_bound_writes() <= over_before + 1);
         assert_eq!(
             coord.directory().get(node).map(|e| e.liveness()),
             Some(NodeLiveness::Active)
         );
+    }
+
+    /// Placements (push `Dispatch` or pull `WorkGrant`) in an action
+    /// stream, normalized to `(node, job)` so the two modes compare.
+    fn all_placements(actions: &[CoordAction]) -> Vec<(NodeUid, JobId)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                CoordAction::Send {
+                    to,
+                    msg: Message::Work(Work::Dispatch { spec } | Work::WorkGrant { spec, .. }),
+                    ..
+                } => Some((*to, spec.job)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Put a standing, generously-shaped offer on the book for `node`.
+    fn offer_all(coord: &mut Coordinator, now: SimTime, node: NodeUid) {
+        msg(
+            coord,
+            now,
+            Work::WorkRequest {
+                node,
+                free_slices: vec![gpunion_protocol::FreeSlice {
+                    count: 8,
+                    mem_bytes: 24 << 30,
+                    cc_major: 8,
+                    cc_minor: 6,
+                }],
+                deadline_ms: 1_000_000_000,
+            }
+            .into(),
+        );
+    }
+
+    #[test]
+    fn pull_mode_grants_offered_capacity_and_falls_back() {
+        let cfg = CoordinatorConfig {
+            placement_mode: PlacementMode::Pull,
+            ..CoordinatorConfig::default()
+        };
+        let mut coord = Coordinator::new(cfg, 1);
+        let node = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), node, 1);
+        // No offer on the book: pull mode falls back to the capacity
+        // index and sends a plain push-style Dispatch.
+        let (job_a, _) = submit(&mut coord, t(3), spec());
+        let actions = drive(&mut coord, t(4));
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                CoordAction::Send {
+                    msg: Message::Work(Work::Dispatch { .. }),
+                    ..
+                }
+            )),
+            "no live offer: fallback is a plain Dispatch"
+        );
+        msg(
+            &mut coord,
+            t(5),
+            Work::DispatchReply {
+                job: job_a,
+                accepted: true,
+                reason: String::new(),
+            }
+            .into(),
+        );
+        // With a live offer, the next placement is a WorkGrant lease.
+        offer_all(&mut coord, t(6), node);
+        let (job_b, _) = submit(&mut coord, t(7), spec());
+        let actions = drive(&mut coord, t(8));
+        let grant = actions.iter().find_map(|a| match a {
+            CoordAction::Send {
+                to,
+                msg: Message::Work(Work::WorkGrant { spec, lease_ms }),
+                ..
+            } => Some((*to, spec.job, *lease_ms)),
+            _ => None,
+        });
+        let (to, granted, lease_ms) = grant.expect("offer answered with a grant");
+        assert_eq!(to, node);
+        assert_eq!(granted, job_b);
+        assert!(lease_ms > 0, "lease carries a validity window");
+        assert_eq!(coord.stats().grants_sent, 1);
+        assert_eq!(coord.stats().live_offers, 1, "offers are standing");
+    }
+
+    #[test]
+    fn stale_offer_expires_with_a_nack() {
+        let cfg = CoordinatorConfig {
+            placement_mode: PlacementMode::Pull,
+            ..CoordinatorConfig::default()
+        };
+        let mut coord = Coordinator::new(cfg, 1);
+        let node = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), node, 1);
+        // A short-deadline offer, then silence past its validity window.
+        let actions = msg(
+            &mut coord,
+            t(3),
+            Work::WorkRequest {
+                node,
+                free_slices: vec![gpunion_protocol::FreeSlice {
+                    count: 1,
+                    mem_bytes: 24 << 30,
+                    cc_major: 8,
+                    cc_minor: 6,
+                }],
+                deadline_ms: 500,
+            }
+            .into(),
+        );
+        assert!(all_placements(&actions).is_empty());
+        assert_eq!(coord.stats().live_offers, 1);
+        let mut actions = heartbeat(&mut coord, t(6), node, 2); // keep the node alive
+        actions.extend(drive(&mut coord, t(12)));
+        let nack = actions.iter().find_map(|a| match a {
+            CoordAction::Send {
+                msg:
+                    Message::Work(Work::GrantNack {
+                        node,
+                        retry_after_ms,
+                    }),
+                ..
+            } => Some((*node, *retry_after_ms)),
+            _ => None,
+        });
+        let (nacked, retry_after_ms) = nack.expect("expired offer is nacked");
+        assert_eq!(nacked, node);
+        assert!(retry_after_ms > 0, "nack carries a retry hint");
+        assert_eq!(coord.stats().live_offers, 0);
+        assert_eq!(coord.stats().nacks_sent, 1);
+    }
+
+    #[test]
+    fn admission_sheds_non_critical_but_never_critical() {
+        let cfg = CoordinatorConfig {
+            admission: Some(AdmissionConfig {
+                burst: 2,
+                rate_per_sec: 1,
+                critical_priority: 3,
+            }),
+            ..CoordinatorConfig::default()
+        };
+        let mut coord = Coordinator::new(cfg, 1);
+        let node = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), node, 1);
+        // ρ > 1: five batch submissions in one instant against a bucket
+        // that holds two.
+        let mut admitted = 0;
+        let mut shed = 0;
+        for _ in 0..5 {
+            match coord.send(t(3), CoordEnvelope::SubmitJob(Box::new(spec()))) {
+                SendOutcome::Enqueued { job: Some(_) } => admitted += 1,
+                SendOutcome::Shed => shed += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(admitted, 2, "burst capacity admits exactly two");
+        assert_eq!(shed, 3, "the overload past the burst is shed");
+        // Critical (interactive-priority) submissions bypass the bucket
+        // even though it is empty: criticals are never dropped.
+        for _ in 0..4 {
+            let outcome = coord.send(
+                t(3),
+                CoordEnvelope::SubmitJob(Box::new(DispatchSpec {
+                    priority: 3,
+                    ..spec()
+                })),
+            );
+            assert!(
+                matches!(outcome, SendOutcome::Enqueued { job: Some(_) }),
+                "critical submissions are never shed: {outcome:?}"
+            );
+        }
+        assert_eq!(coord.stats().admission_shed_jobs, 3);
+        // A second later one token has refilled: one more batch job fits.
+        assert!(matches!(
+            coord.send(t(4), CoordEnvelope::SubmitJob(Box::new(spec()))),
+            SendOutcome::Enqueued { job: Some(_) }
+        ));
+        assert!(matches!(
+            coord.send(t(4), CoordEnvelope::SubmitJob(Box::new(spec()))),
+            SendOutcome::Shed
+        ));
     }
 
     /// Build the op stream for the drive-equivalence proptest: a mixed
@@ -1026,47 +1258,59 @@ mod tests {
             }
             let at = t(now);
             let env = match op % 7 {
-                0 => CoordEnvelope::Msg(Box::new(Message::Register {
-                    machine_id: format!("m-{}", a % 8),
-                    hostname: format!("h-{}", a % 8),
-                    gpus: vec![GpuModel::Rtx3090.into()],
-                    agent_version: 1,
-                })),
-                1 => CoordEnvelope::Msg(Box::new(Message::Heartbeat {
-                    node: NodeUid(a % 10),
-                    seq: b,
-                    accepting: b % 5 != 0,
-                    gpu_stats: vec![GpuStat {
-                        memory_used: (b % 24) << 30,
-                        memory_total: 24 << 30,
-                        utilization: 0.5,
-                        temperature_c: 50.0,
-                        power_w: 200.0,
-                    }],
-                    workloads: vec![],
-                })),
+                0 => CoordEnvelope::Msg(Box::new(
+                    Control::Register {
+                        machine_id: format!("m-{}", a % 8),
+                        hostname: format!("h-{}", a % 8),
+                        gpus: vec![GpuModel::Rtx3090.into()],
+                        agent_version: 1,
+                    }
+                    .into(),
+                )),
+                1 => CoordEnvelope::Msg(Box::new(
+                    Control::Heartbeat {
+                        node: NodeUid(a % 10),
+                        seq: b,
+                        accepting: b % 5 != 0,
+                        gpu_stats: vec![GpuStat {
+                            memory_used: (b % 24) << 30,
+                            memory_total: 24 << 30,
+                            utilization: 0.5,
+                            temperature_c: 50.0,
+                            power_w: 200.0,
+                        }],
+                        workloads: vec![],
+                    }
+                    .into(),
+                )),
                 2 => CoordEnvelope::SubmitJob(Box::new(DispatchSpec {
                     gpu_mem_bytes: (1 + b % 20) << 30,
                     ..spec()
                 })),
-                3 => CoordEnvelope::Msg(Box::new(Message::DispatchReply {
-                    job: JobId(1 + b % 24),
-                    accepted: a % 2 == 0,
-                    reason: String::new(),
-                })),
-                4 => CoordEnvelope::Msg(Box::new(Message::WorkloadUpdate {
-                    status: WorkloadStatus {
+                3 => CoordEnvelope::Msg(Box::new(
+                    Work::DispatchReply {
                         job: JobId(1 + b % 24),
-                        state: if a % 3 == 0 {
-                            WorkloadState::Killed
-                        } else {
-                            WorkloadState::Completed
+                        accepted: a % 2 == 0,
+                        reason: String::new(),
+                    }
+                    .into(),
+                )),
+                4 => CoordEnvelope::Msg(Box::new(
+                    Work::WorkloadUpdate {
+                        status: WorkloadStatus {
+                            job: JobId(1 + b % 24),
+                            state: if a % 3 == 0 {
+                                WorkloadState::Killed
+                            } else {
+                                WorkloadState::Completed
+                            },
+                            progress: 0.5,
+                            checkpoint_seq: b % 3,
                         },
-                        progress: 0.5,
-                        checkpoint_seq: b % 3,
-                    },
-                    exit_code: None,
-                })),
+                        exit_code: None,
+                    }
+                    .into(),
+                )),
                 5 => CoordEnvelope::CancelJob(JobId(1 + b % 24)),
                 _ => CoordEnvelope::NodeDeparture(NodeUid(a % 10)),
             };
@@ -1120,7 +1364,7 @@ mod tests {
                 one_by_one.db().pending_in_order(),
                 batched.db().pending_in_order()
             );
-            proptest::prop_assert_eq!(one_by_one.live_jobs(), batched.live_jobs());
+            proptest::prop_assert_eq!(one_by_one.stats().live_jobs, batched.stats().live_jobs);
         }
 
         /// Directory sharding is pure mechanism: a coordinator with a
@@ -1163,7 +1407,7 @@ mod tests {
                 reference.db().pending_in_order(),
                 sharded.db().pending_in_order()
             );
-            proptest::prop_assert_eq!(reference.live_jobs(), sharded.live_jobs());
+            proptest::prop_assert_eq!(reference.stats().live_jobs, sharded.stats().live_jobs);
             let uids = |c: &Coordinator| -> Vec<NodeUid> {
                 c.directory().iter().map(|e| e.uid).collect()
             };
@@ -1209,13 +1453,89 @@ mod tests {
                 inline.db().pending_in_order(),
                 four.db().pending_in_order()
             );
-            proptest::prop_assert_eq!(inline.live_jobs(), one.live_jobs());
-            proptest::prop_assert_eq!(inline.live_jobs(), four.live_jobs());
+            proptest::prop_assert_eq!(inline.stats().live_jobs, one.stats().live_jobs);
+            proptest::prop_assert_eq!(inline.stats().live_jobs, four.stats().live_jobs);
             let uids = |c: &Coordinator| -> Vec<NodeUid> {
                 c.directory().iter().map(|e| e.uid).collect()
             };
             proptest::prop_assert_eq!(uids(&inline), uids(&one));
             proptest::prop_assert_eq!(uids(&inline), uids(&four));
+        }
+
+        /// On a quiescent trace where EVERY live node holds a standing,
+        /// generously-shaped offer, pull mode must reach the exact push
+        /// fixpoint: the same `(node, job)` placement stream (grants in
+        /// place of dispatches), the same job→node map, and the same
+        /// pending queue. This is the marketplace's safety argument
+        /// (DESIGN.md §3c): offers only mask nodes out of the selector,
+        /// so a fully-offered fleet degenerates to push.
+        #[test]
+        fn prop_pull_reaches_push_fixpoint_when_all_nodes_offer(
+            nodes in 1usize..6,
+            jobs in proptest::collection::vec(1u64..20, 1..25),
+        ) {
+            let mk = |mode: PlacementMode| {
+                let cfg = CoordinatorConfig {
+                    placement_mode: mode,
+                    // Long heartbeat period: nothing dies mid-trace.
+                    heartbeat_period: SimDuration::from_secs(10_000),
+                    ..CoordinatorConfig::default()
+                };
+                Coordinator::new(cfg, 1)
+            };
+            let mut push = mk(PlacementMode::Push);
+            let mut pull = mk(PlacementMode::Pull);
+            let mut uids = Vec::new();
+            for i in 0..nodes {
+                let a = register(&mut push, t(1), &format!("m-{i}"));
+                let b = register(&mut pull, t(1), &format!("m-{i}"));
+                proptest::prop_assert_eq!(a, b);
+                uids.push(a);
+            }
+            for &n in &uids {
+                heartbeat(&mut push, t(2), n, 1);
+                heartbeat(&mut pull, t(2), n, 1);
+                offer_all(&mut pull, t(2), n);
+            }
+            let mut ids = Vec::new();
+            for (i, &mem_gb) in jobs.iter().enumerate() {
+                let d = DispatchSpec { gpu_mem_bytes: mem_gb << 30, ..spec() };
+                let at = t(3 + i as u64 % 2);
+                let (ja, _) = submit(&mut push, at, d.clone());
+                let (jb, _) = submit(&mut pull, at, d);
+                proptest::prop_assert_eq!(ja, jb);
+                ids.push(ja);
+            }
+            // Settle both worlds in lockstep rounds: drain wakes, compare
+            // the normalized placement streams, accept every offer.
+            let mut now = 6u64;
+            for _round in 0..200 {
+                let pa = all_placements(&drive(&mut push, t(now)));
+                let pb = all_placements(&drive(&mut pull, t(now)));
+                proptest::prop_assert_eq!(&pa, &pb, "placement streams diverged");
+                if pa.is_empty() {
+                    break;
+                }
+                now += 1;
+                for &(_, job) in &pa {
+                    let reply = || Work::DispatchReply {
+                        job,
+                        accepted: true,
+                        reason: String::new(),
+                    };
+                    msg(&mut push, t(now), reply().into());
+                    msg(&mut pull, t(now), reply().into());
+                }
+                now += 1;
+            }
+            proptest::prop_assert_eq!(push.stats().live_jobs, pull.stats().live_jobs);
+            for &job in &ids {
+                proptest::prop_assert_eq!(push.job_node(job), pull.job_node(job));
+            }
+            proptest::prop_assert_eq!(
+                push.db().pending_in_order(),
+                pull.db().pending_in_order()
+            );
         }
     }
 }

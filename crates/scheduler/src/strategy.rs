@@ -228,7 +228,7 @@ mod tests {
     use crate::directory::NodeLiveness;
     use gpunion_des::SimTime;
     use gpunion_gpu::GpuModel;
-    use gpunion_protocol::{ExecMode, GpuInfo, JobId};
+    use gpunion_protocol::{ExecMode, GpuInfo, JobId, UserId};
 
     fn t(s: u64) -> SimTime {
         SimTime::from_secs(s)
@@ -251,6 +251,7 @@ mod tests {
             state_bytes_hint: 0,
             restore_from_seq: None,
             priority: 1,
+            user: UserId::SYSTEM,
         }
     }
 

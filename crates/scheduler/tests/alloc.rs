@@ -11,7 +11,7 @@
 
 use gpunion_des::SimTime;
 use gpunion_gpu::GpuModel;
-use gpunion_protocol::{DispatchSpec, ExecMode, GpuInfo, JobId};
+use gpunion_protocol::{DispatchSpec, ExecMode, GpuInfo, JobId, UserId};
 use gpunion_scheduler::{Directory, Selector, Strategy};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,6 +54,7 @@ fn spec() -> DispatchSpec {
         state_bytes_hint: 0,
         restore_from_seq: None,
         priority: 1,
+        user: UserId::SYSTEM,
     }
 }
 

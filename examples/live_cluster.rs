@@ -8,7 +8,7 @@
 //!     cargo run --release --example live_cluster
 
 use gpunion_protocol::{
-    AuthToken, Envelope, FramedTransport, GpuInfo, Message, NodeUid, TokenRegistry,
+    AuthToken, Control, Envelope, FramedTransport, GpuInfo, Message, NodeUid, TokenRegistry,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -38,7 +38,7 @@ fn main() {
             handles.push(std::thread::spawn(move || {
                 let mut t = FramedTransport::new(sock);
                 let env = t.recv().expect("register");
-                let Message::Register { hostname, gpus, .. } = env.msg else {
+                let Message::Control(Control::Register { hostname, gpus, .. }) = env.msg else {
                     panic!("expected Register, got {:?}", env.msg);
                 };
                 println!(
@@ -47,21 +47,21 @@ fn main() {
                 );
                 t.send(&Envelope::new(
                     AuthToken::UNAUTHENTICATED,
-                    Message::RegisterAck {
+                    Message::Control(Control::RegisterAck {
                         node,
                         token,
                         heartbeat_period_ms: 200,
-                    },
+                    }),
                 ))
                 .unwrap();
                 while let Ok(env) = t.recv() {
                     assert_eq!(env.sender, node, "sender principal");
                     assert_eq!(env.token, token, "bearer token");
-                    if let Message::Heartbeat { node, seq, .. } = env.msg {
+                    if let Message::Control(Control::Heartbeat { node, seq, .. }) = env.msg {
                         served.fetch_add(1, Ordering::Relaxed);
                         t.send(&Envelope::new(
                             AuthToken::UNAUTHENTICATED,
-                            Message::HeartbeatAck { node, seq },
+                            Message::Control(Control::HeartbeatAck { node, seq }),
                         ))
                         .unwrap();
                     }
@@ -81,7 +81,7 @@ fn main() {
             let mut t = FramedTransport::new(sock);
             t.send(&Envelope::new(
                 AuthToken::UNAUTHENTICATED,
-                Message::Register {
+                Message::Control(Control::Register {
                     machine_id: format!("live-{i}-deadbeef"),
                     hostname: format!("live-{i}"),
                     gpus: vec![GpuInfo {
@@ -92,11 +92,11 @@ fn main() {
                         fp32_tflops: 35.6,
                     }],
                     agent_version: 1,
-                },
+                }),
             ))
             .unwrap();
             let env = t.recv().expect("ack");
-            let Message::RegisterAck { node, token, .. } = env.msg else {
+            let Message::Control(Control::RegisterAck { node, token, .. }) = env.msg else {
                 panic!("expected RegisterAck");
             };
             println!("[agent live-{i}] registered as {node:?}");
@@ -104,17 +104,20 @@ fn main() {
                 t.send(&Envelope::from_node(
                     node,
                     token,
-                    Message::Heartbeat {
+                    Message::Control(Control::Heartbeat {
                         node,
                         seq,
                         accepting: true,
                         gpu_stats: vec![],
                         workloads: vec![],
-                    },
+                    }),
                 ))
                 .unwrap();
                 let ack = t.recv().expect("hb ack");
-                assert!(matches!(ack.msg, Message::HeartbeatAck { .. }));
+                assert!(matches!(
+                    ack.msg,
+                    Message::Control(Control::HeartbeatAck { .. })
+                ));
             }
             println!("[agent live-{i}] done");
         }));
