@@ -139,6 +139,8 @@ enum Timer {
     CaptureDone(JobId),
     JobComplete(JobId),
     DepartureDeadline,
+    /// Pull mode: re-offer free capacity after a `GrantNack` backoff.
+    ReOffer,
 }
 
 /// The provider agent.
@@ -303,6 +305,7 @@ impl Agent {
             Timer::CaptureDone(job) => self.capture_done(now, job, actions),
             Timer::JobComplete(job) => self.job_complete(now, job, actions),
             Timer::DepartureDeadline => self.departure_deadline_hit(now, actions),
+            Timer::ReOffer => self.offer_capacity(actions),
         }
     }
 
@@ -436,9 +439,18 @@ impl Agent {
             // A grant is a dispatch the agent asked for; admission is
             // identical (the offer may have gone stale under the lease).
             Work::WorkGrant { spec, .. } => self.dispatch(now, spec, registry, actions),
-            Work::GrantNack { .. } => {
-                // Nothing matched our offer; stay quiet until the next
-                // capacity-freeing event re-offers.
+            Work::GrantNack { retry_after_ms, .. } => {
+                // Nothing matched our offer. Honour the coordinator's
+                // backoff hint with a scheduled re-offer so a quiet node
+                // does not wait for its next capacity-freeing event;
+                // coalesce repeated nacks into a single pending timer.
+                if self.config.nack_backoff
+                    && self.config.pull_mode
+                    && !self.timers.values().any(|t| matches!(t, Timer::ReOffer))
+                {
+                    let delay = SimDuration::from_millis(retry_after_ms.max(1) as u64);
+                    self.arm(now + delay, Timer::ReOffer);
+                }
             }
             Work::Kill { job, reason } => self.kill_workload(now, job, reason, actions),
             Work::CheckpointRequest { job } => {

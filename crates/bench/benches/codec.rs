@@ -1,9 +1,12 @@
 //! Criterion micro-bench: protocol codec throughput (heartbeats dominate
-//! control traffic; their encode/decode cost bounds coordinator capacity).
+//! control traffic; their encode/decode cost bounds coordinator capacity),
+//! plus the two hot-path variants the bench gate pins: the allocation-free
+//! `wire_size()` counting walk and the pooled framed encode.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gpunion_protocol::{
-    AuthToken, Control, Envelope, GpuStat, JobId, Message, NodeUid, WorkloadState, WorkloadStatus,
+    AuthToken, BufferPool, Control, Envelope, GpuStat, JobId, Message, NodeUid, WorkloadState,
+    WorkloadStatus,
 };
 
 fn heartbeat(gpus: usize, workloads: usize) -> Envelope {
@@ -44,6 +47,21 @@ fn bench(c: &mut Criterion) {
     g.bench_function("encode_heartbeat_8gpu", |b| b.iter(|| env.to_bytes()));
     g.bench_function("decode_heartbeat_8gpu", |b| {
         b.iter(|| Envelope::from_bytes(&bytes).unwrap())
+    });
+    g.bench_function("wire_size_heartbeat_8gpu", |b| b.iter(|| env.wire_size()));
+    g.bench_function("encode_pooled_heartbeat_8gpu", |b| {
+        let mut pool = BufferPool::new();
+        // Warm the pool so the measured loop reuses one sized buffer.
+        let mut buf = pool.acquire();
+        env.encode_framed_into(&mut buf).unwrap();
+        pool.release(buf);
+        b.iter(|| {
+            let mut buf = pool.acquire();
+            env.encode_framed_into(&mut buf).unwrap();
+            let n = buf.len();
+            pool.release(buf);
+            n
+        })
     });
     g.finish();
 }

@@ -7,8 +7,10 @@
 //! plus the simulated database write-queue figures at 400 nodes, the
 //! coordinator-inbox saturation figures at 500 nodes (ρ = 1.2), and the
 //! semester-scale DES row (6 weeks of 60 s heartbeats + weekly audits at
-//! 400 nodes on the typed-event wheel core, ≈24 M events) — writes
-//! them to `BENCH_scheduler.json` (schema 6), and fails (exit 1) on
+//! 400 nodes on the typed-event wheel core, ≈24 M events) and the
+//! codec hot-path rows (allocation-free `wire_size()` walk and pooled
+//! framed encode of the dominant heartbeat message) — writes
+//! them to `BENCH_scheduler.json` (schema 7), and fails (exit 1) on
 //! regression over the checked-in baseline. Wall-clock rows get
 //! `BENCH_GATE_FACTOR`× headroom (default 2×, absorbing runner-to-runner
 //! hardware variance); the simulated saturation and semester event-count
@@ -46,6 +48,11 @@
 //! * **Semester in single-digit seconds**: the 6-week 400-node row must
 //!   finish within `BENCH_GATE_SEMESTER_SECS` (default 10) wall-clock
 //!   seconds — the absolute bound EXPERIMENTS.md §5.3 quotes.
+//! * **Counting walk beats encode-and-drop**: `wire_size()` — the pure
+//!   arithmetic `CountingSink` walk both Platform delivery paths run per
+//!   simulated message — must cost at most `BENCH_GATE_WIRE_SIZE_FACTOR`×
+//!   (default 0.25×) the old encode-and-drop way of learning a frame's
+//!   length (`to_bytes()` then discard), measured like-for-like in-run.
 //!
 //! Usage:
 //!
@@ -56,9 +63,9 @@
 //! ```
 
 use gpunion_bench::{
-    admission_shed_run, contention_knee_run, loaded_coordinator_sharded, market_grant_run,
-    saturation_run, semester_sweep_heap, semester_sweep_run, warm_actor_pass_ns, PassStats,
-    PASS_JOBS,
+    admission_shed_run, codec_cost_run, contention_knee_run, loaded_coordinator_sharded,
+    market_grant_run, saturation_run, semester_sweep_heap, semester_sweep_run, warm_actor_pass_ns,
+    PassStats, PASS_JOBS,
 };
 use gpunion_des::SimTime;
 use std::time::Instant;
@@ -249,13 +256,33 @@ fn main() {
         adm.critical_admitted,
         adm.critical_offered
     );
+    eprintln!("bench_gate: measuring codec hot path (8-GPU heartbeat, counting walk vs encode)…");
+    let codec = codec_cost_run(15, 10_000);
+    // Counting-walk invariant, in-run so it is hardware-independent: sizing
+    // a frame without materializing it must be far cheaper than the old
+    // encode-and-drop — the tentpole's reason to exist.
+    let wire_factor = env_factor("BENCH_GATE_WIRE_SIZE_FACTOR", 0.25);
+    let wire_ratio = codec.wire_size.min_ns as f64 / codec.encode_drop.min_ns as f64;
+    assert!(
+        wire_ratio <= wire_factor,
+        "wire_size counting walk is {wire_ratio:.2}× the encode-and-drop cost \
+         (bound {wire_factor}×): {} ns vs {} ns (minima)",
+        codec.wire_size.min_ns,
+        codec.encode_drop.min_ns
+    );
+    eprintln!(
+        "bench_gate: codec ok — wire_size {} ns is {wire_ratio:.2}× encode-and-drop \
+         ({} ns), pooled framed encode {} ns, bound {wire_factor}× (minima)",
+        codec.wire_size.min_ns, codec.encode_drop.min_ns, codec.encode_pooled.min_ns
+    );
 
     let json = format!(
-        "{{\n  \"schema\": 6,\n  \"pass_ns_400\": {},\n  \"pass_ns_10k\": {},\n  \
+        "{{\n  \"schema\": 7,\n  \"pass_ns_400\": {},\n  \"pass_ns_10k\": {},\n  \
          \"pass_ns_100k_sharded\": {},\n  \"pass_ns_100k_actor\": {},\n  \
          \"scale_shards\": {SCALE_SHARDS},\n  \
          \"grant_ns_1m_queue\": {},\n  \"admit_ns_1m_queue\": {},\n  \
          \"admission_batch_shed_60s\": {},\n  \
+         \"wire_size_ns\": {},\n  \"encode_ns_pooled\": {},\n  \
          \"db_write_latency_ms_400\": {:.3},\n  \"db_queue_depth_peak_400\": {},\n  \
          \"inbox_sojourn_ms_sat500\": {:.6},\n  \"deferred_turns_sat500\": {},\n  \
          \"semester_events_400\": {},\n  \"semester_wall_ms_400\": {:.3}\n}}\n",
@@ -266,6 +293,8 @@ fn main() {
         market.grant_ns,
         market.admit_ns,
         adm.batch_shed,
+        codec.wire_size.median_ns,
+        codec.encode_pooled.median_ns,
         knee.measured_latency_ms,
         knee.peak_queue_depth,
         sat.inbox_sojourn_ms_mean,
@@ -298,6 +327,8 @@ fn main() {
         ("pass_ns_100k_actor", pactor.median_ns as f64),
         ("grant_ns_1m_queue", market.grant_ns as f64),
         ("admit_ns_1m_queue", market.admit_ns as f64),
+        ("wire_size_ns", codec.wire_size.median_ns as f64),
+        ("encode_ns_pooled", codec.encode_pooled.median_ns as f64),
         ("semester_wall_ms_400", sem.wall_ms),
     ] {
         let Some(base) = json_f64(&baseline, key) else {

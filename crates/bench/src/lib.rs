@@ -880,6 +880,101 @@ pub fn admission_shed_run(seconds: u64) -> AdmissionRow {
     row
 }
 
+/// One row of the codec micro-measurement behind the schema-7 gate: the
+/// per-message cost of sizing and encoding the dominant control message (an
+/// 8-GPU, 4-workload heartbeat) three ways.
+#[derive(Debug, Clone, Copy)]
+pub struct CodecRow {
+    /// `Envelope::wire_size()` — the allocation-free counting walk paid by
+    /// every simulated send.
+    pub wire_size: PassStats,
+    /// `Envelope::to_bytes()` and drop — the old wire-sizing cost, and the
+    /// denominator of the gate's ≤ 0.25× ratio assert.
+    pub encode_drop: PassStats,
+    /// Pooled framed encode (`encode_framed_into` against a warm
+    /// [`gpunion_protocol::BufferPool`] buffer) — the live transport path.
+    pub encode_pooled: PassStats,
+}
+
+/// Measure the codec hot path: `passes` samples, each timing `iters`
+/// back-to-back operations on the same heartbeat envelope (amortizing the
+/// clock reads), reduced per-operation through [`PassStats`].
+pub fn codec_cost_run(passes: usize, iters: usize) -> CodecRow {
+    use gpunion_protocol::{
+        AuthToken, BufferPool, Envelope, GpuStat, WorkloadState, WorkloadStatus,
+    };
+    let env = Envelope::from_node(
+        NodeUid(3),
+        AuthToken([7; 16]),
+        Message::Control(Control::Heartbeat {
+            node: NodeUid(3),
+            seq: 12345,
+            accepting: true,
+            gpu_stats: vec![
+                GpuStat {
+                    memory_used: 10 << 30,
+                    memory_total: 24 << 30,
+                    utilization: 0.93,
+                    temperature_c: 71.0,
+                    power_w: 330.0,
+                };
+                8
+            ],
+            workloads: vec![
+                WorkloadStatus {
+                    job: JobId(9),
+                    state: WorkloadState::Running,
+                    progress: 0.41,
+                    checkpoint_seq: 3,
+                };
+                4
+            ],
+        }),
+    );
+    let expect = env.to_bytes().len();
+    let iters = iters.max(1) as u64;
+    let per_op = |total_ns: u128| (total_ns as u64 / iters).max(1);
+
+    let mut pool = BufferPool::new();
+    // Warm the pool outside every timed window.
+    let mut buf = pool.acquire();
+    env.encode_framed_into(&mut buf).expect("heartbeat fits");
+    pool.release(buf);
+
+    let mut wire_size = Vec::with_capacity(passes);
+    let mut encode_drop = Vec::with_capacity(passes);
+    let mut encode_pooled = Vec::with_capacity(passes);
+    for _ in 0..passes.max(1) {
+        let t0 = Instant::now();
+        let mut total = 0usize;
+        for _ in 0..iters {
+            total += env.wire_size() as usize;
+        }
+        wire_size.push(per_op(t0.elapsed().as_nanos()));
+        assert_eq!(total, expect * iters as usize, "counting walk drifted");
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let bytes = env.to_bytes();
+            assert_eq!(bytes.len(), expect);
+        }
+        encode_drop.push(per_op(t0.elapsed().as_nanos()));
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut buf = pool.acquire();
+            env.encode_framed_into(&mut buf).expect("heartbeat fits");
+            pool.release(buf);
+        }
+        encode_pooled.push(per_op(t0.elapsed().as_nanos()));
+    }
+    CodecRow {
+        wire_size: PassStats::from_samples(wire_size),
+        encode_drop: PassStats::from_samples(encode_drop),
+        encode_pooled: PassStats::from_samples(encode_pooled),
+    }
+}
+
 #[cfg(test)]
 mod golden {
     use super::net_traffic_run;

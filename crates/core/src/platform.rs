@@ -678,7 +678,9 @@ impl Platform {
                 NetEvent::Delivered { to, payload, .. } => match payload {
                     Payload::Ctrl(env) => {
                         if to == self.coordinator_addr {
-                            self.deliver_to_coordinator(now, *env);
+                            // The box rides through to the coordinator's
+                            // inbox untouched — no realloc per delivery.
+                            self.deliver_to_coordinator(now, env);
                         } else {
                             self.deliver_to_agent(now, to, *env);
                         }
@@ -706,14 +708,13 @@ impl Platform {
         }
     }
 
-    fn deliver_to_coordinator(&mut self, now: SimTime, env: Envelope) {
+    fn deliver_to_coordinator(&mut self, now: SimTime, env: Box<Envelope>) {
         if let Message::Work(Work::CheckpointDone { job, .. }) = &env.msg {
             self.stats.last_checkpoint.insert(*job, now);
         }
         // Enqueue only: the coordinator is an actor — its turn runs inside
         // the pump's `advance` call, which returns the actions to route.
-        self.coordinator
-            .send(now, CoordEnvelope::Net(Box::new(env)));
+        self.coordinator.send(now, CoordEnvelope::Net(env));
     }
 
     fn deliver_to_agent(&mut self, now: SimTime, addr: NodeId, env: Envelope) {

@@ -5,31 +5,43 @@
 //! zero heap traffic at steady state: payloads recycle slab slots, wheel
 //! entries recycle arena nodes through intrusive per-slot lists, and
 //! periodic timers re-arm the same box. This test pins that with a counting
-//! global
-//! allocator (same idiom as `scheduler/tests/alloc.rs`): warm the
-//! capacities up, then assert ZERO allocations over a measured window that
-//! covers level-0 inserts, multi-level cascades, cancels with slot reuse,
-//! and periodic re-arms. It lives alone in its own test binary so no
-//! concurrent test can perturb the counter.
+//! global allocator (same idiom as `scheduler/tests/alloc.rs` and
+//! `protocol/tests/alloc.rs`): warm the capacities up, then assert ZERO
+//! allocations over a measured window that covers level-0 inserts,
+//! multi-level cascades, cancels with slot reuse, and periodic re-arms.
+//! The counter is **per thread** (const-initialized TLS, so reading it
+//! never recurses into the allocator): the libtest harness's main thread
+//! lazily initializes channel state while it blocks waiting for a test,
+//! and a process-global counter intermittently catches that bookkeeping
+//! inside a measured window. The `Sim` under test is single-threaded, so
+//! the calling thread's count is the whole story.
 
 use gpunion_des::{Sim, SimDuration, SimTime, TypedEvent};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static LOCAL_ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Allocations charged to the calling thread so far.
+fn allocations() -> usize {
+    LOCAL_ALLOCATIONS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // `try_with` so allocations during TLS teardown are not a panic.
+        let _ = LOCAL_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = LOCAL_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -95,9 +107,9 @@ fn warm_typed_schedule_fire_path_does_not_allocate() {
 
     // Measured window: the same steady-state traffic must touch the
     // allocator exactly zero times.
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = allocations();
     drive(&mut sim, &mut w, nodes, 8);
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = allocations();
     assert_eq!(
         after - before,
         0,
@@ -119,9 +131,9 @@ fn warm_periodic_rearm_does_not_allocate() {
     });
     sim.run_until(&mut w, SimTime::from_secs(50));
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = allocations();
     sim.run_until(&mut w, SimTime::from_secs(100));
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = allocations();
     assert_eq!(
         after - before,
         0,

@@ -50,6 +50,55 @@ pub fn encode_frame(payload: &[u8]) -> Bytes {
     out.freeze()
 }
 
+/// A small free-list of reusable frame-encode buffers.
+///
+/// The pooled-encode path acquires a `BytesMut`, writes one
+/// `[len][payload]` frame into it via `Envelope::encode_framed_into`, hands
+/// the bytes to the stream, and releases the buffer once the frame is fully
+/// written — so a warm sender (steady message sizes) performs zero heap
+/// allocations per frame. Buffers keep their capacity across cycles;
+/// `release` caps the free list so a burst cannot pin memory forever.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<BytesMut>,
+    max_pooled: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+impl BufferPool {
+    /// Pool retaining at most 8 idle buffers (plenty for one transport).
+    pub fn new() -> Self {
+        BufferPool {
+            free: Vec::new(),
+            max_pooled: 8,
+        }
+    }
+
+    /// Take a cleared buffer, reusing a pooled one when available.
+    pub fn acquire(&mut self) -> BytesMut {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool (frame completion). Contents are
+    /// cleared; capacity is retained for the next frame.
+    pub fn release(&mut self, mut buf: BytesMut) {
+        if self.free.len() < self.max_pooled {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Idle buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
 /// Incremental frame decoder.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
@@ -186,6 +235,25 @@ mod tests {
     fn encoding_oversized_panics() {
         let huge = vec![0u8; (MAX_FRAME_LEN + 1) as usize];
         encode_frame(&huge);
+    }
+
+    #[test]
+    fn pool_recycles_capacity_and_caps_free_list() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.acquire();
+        buf.put_slice(&[0u8; 512]);
+        let cap = buf.capacity();
+        pool.release(buf);
+        assert_eq!(pool.pooled(), 1);
+        let again = pool.acquire();
+        assert!(again.is_empty(), "released buffers come back cleared");
+        assert_eq!(again.capacity(), cap, "capacity survives the cycle");
+        pool.release(again);
+        // The free list never grows past its cap.
+        for _ in 0..32 {
+            pool.release(BytesMut::new());
+        }
+        assert!(pool.pooled() <= 8);
     }
 
     proptest::proptest! {

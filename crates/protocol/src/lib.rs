@@ -23,7 +23,7 @@ pub mod transport;
 pub mod wire;
 
 pub use auth::TokenRegistry;
-pub use framing::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_LEN};
+pub use framing::{encode_frame, BufferPool, FrameDecoder, FrameError, MAX_FRAME_LEN};
 pub use http::{HttpError, HttpRequest, HttpResponse, Method};
 pub use message::{
     AuthToken, Control, DepartureMode, DispatchSpec, Envelope, ExecMode, FreeSlice, GpuInfo,
@@ -31,7 +31,7 @@ pub use message::{
     PROTOCOL_VERSION,
 };
 pub use transport::{FramedTransport, TransportError};
-pub use wire::{WireError, WireReader, WireWriter};
+pub use wire::{CountingSink, WireError, WireReader, WireSink, WireWriter};
 
 #[cfg(test)]
 mod proptests {
@@ -90,7 +90,68 @@ mod proptests {
         })
     }
 
-    fn arb_message() -> impl Strategy<Value = Message> {
+    fn arb_exec_mode() -> impl Strategy<Value = ExecMode> {
+        prop_oneof![
+            proptest::collection::vec("[a-z0-9=. -]{1,16}", 0..5)
+                .prop_map(|entrypoint| ExecMode::Batch { entrypoint }),
+            (1024u16..40_000).prop_map(|port| ExecMode::Interactive { port }),
+        ]
+    }
+
+    fn arb_dispatch_spec() -> impl Strategy<Value = DispatchSpec> {
+        (
+            (
+                any::<u64>(),
+                "[a-z0-9/-]{1,24}",
+                "[a-z0-9.-]{1,12}",
+                any::<[u8; 32]>(),
+                1u8..9,
+                any::<u64>(),
+                proptest::option::of((0u8..10, 0u8..10)),
+            ),
+            (
+                arb_exec_mode(),
+                any::<u32>(),
+                proptest::collection::vec(any::<u64>(), 0..5),
+                any::<u64>(),
+                proptest::option::of(any::<u64>()),
+                any::<u8>(),
+                any::<u64>(),
+            ),
+        )
+            .prop_map(
+                |(
+                    (job, image_repo, image_tag, image_digest, gpus, gpu_mem_bytes, min_cc),
+                    (
+                        mode,
+                        checkpoint_interval_secs,
+                        storage_nodes,
+                        state_bytes_hint,
+                        restore_from_seq,
+                        priority,
+                        user,
+                    ),
+                )| DispatchSpec {
+                    job: JobId(job),
+                    image_repo,
+                    image_tag,
+                    image_digest,
+                    gpus,
+                    gpu_mem_bytes,
+                    min_cc,
+                    mode,
+                    checkpoint_interval_secs,
+                    storage_nodes: storage_nodes.into_iter().map(NodeUid).collect(),
+                    state_bytes_hint,
+                    restore_from_seq,
+                    priority,
+                    user: UserId(user),
+                },
+            )
+    }
+
+    /// Every [`Control`] variant.
+    fn arb_control() -> impl Strategy<Value = Control> {
         prop_oneof![
             (
                 "[a-z0-9-]{1,20}",
@@ -115,19 +176,19 @@ mod proptests {
                 any::<u32>()
             )
                 .prop_map(|(machine_id, hostname, gpus, agent_version)| {
-                    Message::Control(Control::Register {
+                    Control::Register {
                         machine_id,
                         hostname,
                         gpus,
                         agent_version,
-                    })
+                    }
                 }),
             (any::<u64>(), any::<[u8; 16]>(), any::<u32>()).prop_map(|(n, t, p)| {
-                Message::Control(Control::RegisterAck {
+                Control::RegisterAck {
                     node: NodeUid(n),
                     token: AuthToken(t),
                     heartbeat_period_ms: p,
-                })
+                }
             }),
             (
                 any::<u64>(),
@@ -137,14 +198,18 @@ mod proptests {
                 proptest::collection::vec(arb_status(), 0..6)
             )
                 .prop_map(|(n, seq, accepting, gpu_stats, workloads)| {
-                    Message::Control(Control::Heartbeat {
+                    Control::Heartbeat {
                         node: NodeUid(n),
                         seq,
                         accepting,
                         gpu_stats,
                         workloads,
-                    })
+                    }
                 }),
+            (any::<u64>(), any::<u64>()).prop_map(|(n, seq)| Control::HeartbeatAck {
+                node: NodeUid(n),
+                seq,
+            }),
             (
                 any::<u64>(),
                 prop_oneof![
@@ -152,65 +217,118 @@ mod proptests {
                     Just(DepartureMode::Emergency)
                 ]
             )
-                .prop_map(|(n, mode)| Message::Control(Control::DepartureNotice {
+                .prop_map(|(n, mode)| Control::DepartureNotice {
                     node: NodeUid(n),
                     mode
-                })),
+                }),
+            (any::<u64>(), any::<bool>()).prop_map(|(n, paused)| Control::PauseScheduling {
+                node: NodeUid(n),
+                paused,
+            }),
+            (any::<u16>(), "[ -~]{0,80}")
+                .prop_map(|(code, detail)| Control::Error { code, detail }),
+        ]
+    }
+
+    /// Every [`Work`] variant.
+    fn arb_work() -> impl Strategy<Value = Work> {
+        prop_oneof![
+            arb_dispatch_spec().prop_map(|spec| Work::Dispatch { spec }),
             (any::<u64>(), any::<bool>(), "[ -~]{0,60}").prop_map(|(j, accepted, reason)| {
-                Message::Work(Work::DispatchReply {
+                Work::DispatchReply {
                     job: JobId(j),
                     accepted,
                     reason,
-                })
+                }
             }),
+            (
+                any::<u64>(),
+                prop_oneof![
+                    Just(KillReason::ProviderKillSwitch),
+                    Just(KillReason::UserCancel),
+                    Just(KillReason::SchedulerPreempt),
+                ]
+            )
+                .prop_map(|(j, reason)| Work::Kill {
+                    job: JobId(j),
+                    reason
+                }),
+            any::<u64>().prop_map(|j| Work::CheckpointRequest { job: JobId(j) }),
             (
                 any::<u64>(),
                 any::<u64>(),
                 any::<u64>(),
                 proptest::collection::vec(any::<u64>(), 0..5)
             )
-                .prop_map(|(j, seq, bytes, nodes)| Message::Work(
-                    Work::CheckpointDone {
-                        job: JobId(j),
-                        seq,
-                        transfer_bytes: bytes,
-                        stored_on: nodes.into_iter().map(NodeUid).collect(),
-                    }
-                )),
-            (arb_status(), proptest::option::of(any::<i32>())).prop_map(|(status, exit_code)| {
-                Message::Work(Work::WorkloadUpdate { status, exit_code })
-            }),
-            (any::<u16>(), "[ -~]{0,80}")
-                .prop_map(|(code, detail)| Message::Control(Control::Error { code, detail })),
+                .prop_map(|(j, seq, bytes, nodes)| Work::CheckpointDone {
+                    job: JobId(j),
+                    seq,
+                    transfer_bytes: bytes,
+                    stored_on: nodes.into_iter().map(NodeUid).collect(),
+                }),
+            (arb_status(), proptest::option::of(any::<i32>()))
+                .prop_map(|(status, exit_code)| { Work::WorkloadUpdate { status, exit_code } }),
             (
                 any::<u64>(),
                 proptest::collection::vec(arb_free_slice(), 0..6),
                 any::<u32>()
             )
-                .prop_map(|(n, free_slices, deadline_ms)| Message::Work(
-                    Work::WorkRequest {
-                        node: NodeUid(n),
-                        free_slices,
-                        deadline_ms,
-                    }
-                )),
-            (any::<u64>(), any::<u32>()).prop_map(|(n, retry_after_ms)| {
-                Message::Work(Work::GrantNack {
+                .prop_map(|(n, free_slices, deadline_ms)| Work::WorkRequest {
                     node: NodeUid(n),
-                    retry_after_ms,
-                })
+                    free_slices,
+                    deadline_ms,
+                }),
+            (arb_dispatch_spec(), any::<u32>())
+                .prop_map(|(spec, lease_ms)| Work::WorkGrant { spec, lease_ms }),
+            (any::<u64>(), any::<u32>()).prop_map(|(n, retry_after_ms)| Work::GrantNack {
+                node: NodeUid(n),
+                retry_after_ms,
             }),
         ]
     }
 
+    fn arb_message() -> impl Strategy<Value = Message> {
+        prop_oneof![
+            arb_control().prop_map(Message::Control),
+            arb_work().prop_map(Message::Work),
+        ]
+    }
+
     proptest! {
-        /// Every message round-trips bit-exactly through the codec.
+        /// Every message round-trips bit-exactly through the codec (decode
+        /// consumes every byte — `from_bytes` ends with `expect_end`).
         #[test]
         fn prop_envelope_roundtrip(msg in arb_message(), token in any::<[u8; 16]>()) {
             let env = Envelope::new(AuthToken(token), msg);
             let bytes = env.to_bytes();
             let back = Envelope::from_bytes(&bytes).unwrap();
             prop_assert_eq!(env, back);
+        }
+
+        /// The allocation-free counting walk agrees with the real encoder
+        /// on every variant: `counting(e) == to_bytes(e).len()`.
+        #[test]
+        fn prop_counting_sink_matches_encode(msg in arb_message(), token in any::<[u8; 16]>()) {
+            let env = Envelope::new(AuthToken(token), msg);
+            let bytes = env.to_bytes();
+            prop_assert_eq!(env.encoded_len(), bytes.len());
+            prop_assert_eq!(env.wire_size() as usize, bytes.len());
+        }
+
+        /// The pooled framed encode emits exactly `[len LE][to_bytes]`, and
+        /// the incremental frame decoder hands the payload back intact.
+        #[test]
+        fn prop_framed_encode_equivalent(msg in arb_message(), token in any::<[u8; 16]>()) {
+            let env = Envelope::new(AuthToken(token), msg);
+            let mut buf = bytes::BytesMut::new();
+            env.encode_framed_into(&mut buf).unwrap();
+            let bytes = env.to_bytes();
+            prop_assert_eq!(&buf[..4], (bytes.len() as u32).to_le_bytes().as_slice());
+            prop_assert_eq!(&buf[4..], bytes.as_ref());
+            let mut d = FrameDecoder::new();
+            d.extend(&buf);
+            let payload = d.next_frame().unwrap().unwrap();
+            prop_assert_eq!(Envelope::from_bytes(&payload).unwrap(), env);
         }
 
         /// Arbitrary garbage never panics the decoder — it errors.

@@ -7,8 +7,9 @@
 //! exit protocol. Wire types are deliberately decoupled from internal types
 //! (scheduler/agent state) — this is the stable boundary of the system.
 
-use crate::wire::{WireError, WireReader, WireWriter};
-use bytes::Bytes;
+use crate::framing::MAX_FRAME_LEN;
+use crate::wire::{CountingSink, WireError, WireReader, WireSink, WireWriter};
+use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -410,14 +411,49 @@ impl Envelope {
         }
     }
 
-    /// Encode to bytes (the payload framed by `framing`).
-    pub fn to_bytes(&self) -> Bytes {
-        let mut w = WireWriter::new();
+    /// One structural walk over the envelope, generic over the sink: the
+    /// same code path emits bytes ([`WireWriter`]) and counts them
+    /// ([`CountingSink`]), so the two can never disagree.
+    pub fn encode<S: WireSink>(&self, w: &mut S) {
         w.put_u8(self.version);
         w.put_u64(self.sender.0);
         w.put_fixed(&self.token.0);
-        self.msg.encode(&mut w);
+        self.msg.encode(w);
+    }
+
+    /// Exact encoded length, computed without allocating or copying.
+    pub fn encoded_len(&self) -> usize {
+        let mut c = CountingSink::new();
+        self.encode(&mut c);
+        c.len()
+    }
+
+    /// Encode to bytes (the payload framed by `framing`). The buffer is
+    /// pre-sized from [`Envelope::encoded_len`]: one allocation, no growth.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut w = WireWriter::with_capacity(self.encoded_len());
+        self.encode(&mut w);
         w.finish()
+    }
+
+    /// Encode one complete `[u32 LE length][payload]` frame into a caller
+    /// (typically pool) owned buffer — the allocation-free transport send
+    /// path. Rejects envelopes whose payload would exceed the protocol's
+    /// [`MAX_FRAME_LEN`] instead of silently truncating the prefix.
+    pub fn encode_framed_into(&self, buf: &mut BytesMut) -> Result<(), WireError> {
+        let n = self.encoded_len();
+        if n as u64 > MAX_FRAME_LEN as u64 {
+            return Err(WireError::LengthOverflow {
+                declared: n as u64,
+                max: MAX_FRAME_LEN as u64,
+            });
+        }
+        buf.reserve(4 + n);
+        buf.put_u32_le(n as u32);
+        let mut w = WireWriter::from_buf(std::mem::take(buf));
+        self.encode(&mut w);
+        *buf = w.into_buf();
+        Ok(())
     }
 
     /// Decode from a complete frame payload.
@@ -436,16 +472,24 @@ impl Envelope {
         })
     }
 
-    /// Size on the wire (used by the simulated network for latency).
+    /// Size on the wire (used by the simulated network for latency) — an
+    /// allocation-free [`CountingSink`] walk, checked instead of silently
+    /// truncated: control messages are bounded well below [`MAX_FRAME_LEN`],
+    /// so anything larger is a protocol bug.
     pub fn wire_size(&self) -> u32 {
-        self.to_bytes().len() as u32
+        let n = self.encoded_len();
+        debug_assert!(
+            n as u64 <= MAX_FRAME_LEN as u64,
+            "control message of {n} B exceeds MAX_FRAME_LEN"
+        );
+        u32::try_from(n).expect("wire size exceeds u32")
     }
 }
 
 // ---- codec ---------------------------------------------------------------
 
 impl GpuInfo {
-    fn encode(&self, w: &mut WireWriter) {
+    fn encode<S: WireSink>(&self, w: &mut S) {
         w.put_str(&self.model_name);
         w.put_u64(self.vram_bytes);
         w.put_u8(self.cc_major);
@@ -465,7 +509,7 @@ impl GpuInfo {
 }
 
 impl GpuStat {
-    fn encode(&self, w: &mut WireWriter) {
+    fn encode<S: WireSink>(&self, w: &mut S) {
         w.put_u64(self.memory_used);
         w.put_u64(self.memory_total);
         w.put_f64(self.utilization);
@@ -515,7 +559,7 @@ impl WorkloadState {
 }
 
 impl WorkloadStatus {
-    fn encode(&self, w: &mut WireWriter) {
+    fn encode<S: WireSink>(&self, w: &mut S) {
         w.put_u64(self.job.0);
         w.put_u8(self.state.tag());
         w.put_f64(self.progress);
@@ -533,7 +577,7 @@ impl WorkloadStatus {
 }
 
 impl DepartureMode {
-    fn encode(&self, w: &mut WireWriter) {
+    fn encode<S: WireSink>(&self, w: &mut S) {
         match self {
             DepartureMode::Graceful { grace_secs } => {
                 w.put_u8(0);
@@ -582,7 +626,7 @@ impl KillReason {
 }
 
 impl ExecMode {
-    fn encode(&self, w: &mut WireWriter) {
+    fn encode<S: WireSink>(&self, w: &mut S) {
         match self {
             ExecMode::Batch { entrypoint } => {
                 w.put_u8(0);
@@ -618,7 +662,7 @@ impl ExecMode {
 }
 
 impl DispatchSpec {
-    fn encode(&self, w: &mut WireWriter) {
+    fn encode<S: WireSink>(&self, w: &mut S) {
         w.put_u64(self.job.0);
         w.put_str(&self.image_repo);
         w.put_str(&self.image_tag);
@@ -708,7 +752,7 @@ impl DispatchSpec {
 }
 
 impl FreeSlice {
-    fn encode(&self, w: &mut WireWriter) {
+    fn encode<S: WireSink>(&self, w: &mut S) {
         w.put_u8(self.count);
         w.put_u64(self.mem_bytes);
         w.put_u8(self.cc_major);
@@ -727,7 +771,7 @@ impl FreeSlice {
 
 impl Control {
     /// Encode the variant with its flat wire tag.
-    fn encode(&self, w: &mut WireWriter) {
+    fn encode<S: WireSink>(&self, w: &mut S) {
         match self {
             Control::Register {
                 machine_id,
@@ -870,7 +914,7 @@ impl Control {
 
 impl Work {
     /// Encode the variant with its flat wire tag.
-    fn encode(&self, w: &mut WireWriter) {
+    fn encode<S: WireSink>(&self, w: &mut S) {
         match self {
             Work::Dispatch { spec } => {
                 w.put_u8(0x06);
@@ -1033,7 +1077,7 @@ impl Message {
     /// Encode the message body (without envelope header). The tag space is
     /// flat across [`Control`] and [`Work`], so grouping never shows on the
     /// wire.
-    pub fn encode(&self, w: &mut WireWriter) {
+    pub fn encode<S: WireSink>(&self, w: &mut S) {
         match self {
             Message::Control(c) => c.encode(w),
             Message::Work(wk) => wk.encode(w),
@@ -1354,6 +1398,38 @@ mod tests {
             );
         }
         assert!(Envelope::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn oversized_envelope_rejected_on_framed_encode() {
+        // Eight max-length model names push the payload past MAX_FRAME_LEN
+        // (4 MiB); the framed encode must refuse rather than truncate the
+        // length prefix.
+        let big = "x".repeat(1 << 20);
+        let env = Envelope::new(
+            AuthToken([1; 16]),
+            Control::Register {
+                machine_id: "m".into(),
+                hostname: "h".into(),
+                gpus: (0..8)
+                    .map(|_| GpuInfo {
+                        model_name: big.clone(),
+                        vram_bytes: 1,
+                        cc_major: 8,
+                        cc_minor: 6,
+                        fp32_tflops: 10.0,
+                    })
+                    .collect(),
+                agent_version: 1,
+            }
+            .into(),
+        );
+        let mut buf = BytesMut::new();
+        assert!(matches!(
+            env.encode_framed_into(&mut buf).unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+        assert!(buf.is_empty(), "nothing written on refusal");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! demonstrating that the control plane is a real network protocol, not a
 //! simulation artifact.
 
-use crate::framing::{encode_frame, FrameDecoder, FrameError};
+use crate::framing::{BufferPool, FrameDecoder, FrameError};
 use crate::message::Envelope;
 use crate::wire::WireError;
 use std::fmt;
@@ -63,6 +63,7 @@ pub struct FramedTransport<S> {
     stream: S,
     decoder: FrameDecoder,
     read_buf: [u8; 8192],
+    pool: BufferPool,
 }
 
 impl<S: Read + Write> FramedTransport<S> {
@@ -72,6 +73,7 @@ impl<S: Read + Write> FramedTransport<S> {
             stream,
             decoder: FrameDecoder::new(),
             read_buf: [0u8; 8192],
+            pool: BufferPool::new(),
         }
     }
 
@@ -80,11 +82,21 @@ impl<S: Read + Write> FramedTransport<S> {
         &self.stream
     }
 
-    /// Send one envelope (blocking until fully written).
+    /// Send one envelope (blocking until fully written). The frame is
+    /// encoded into a transport-owned pooled buffer, reclaimed once the
+    /// frame completes — a warm sender allocates nothing per message.
     pub fn send(&mut self, env: &Envelope) -> Result<(), TransportError> {
-        let frame = encode_frame(&env.to_bytes());
-        self.stream.write_all(&frame)?;
-        self.stream.flush()?;
+        let mut buf = self.pool.acquire();
+        if let Err(e) = env.encode_framed_into(&mut buf) {
+            self.pool.release(buf);
+            return Err(e.into());
+        }
+        let wrote = self
+            .stream
+            .write_all(&buf)
+            .and_then(|()| self.stream.flush());
+        self.pool.release(buf);
+        wrote?;
         Ok(())
     }
 
@@ -107,6 +119,7 @@ impl<S: Read + Write> FramedTransport<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framing::encode_frame;
     use crate::message::{AuthToken, JobId, KillReason, Work};
     use std::net::{TcpListener, TcpStream};
 

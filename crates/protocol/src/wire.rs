@@ -1,10 +1,16 @@
-//! Low-level wire primitives: a growable writer and a checked reader.
+//! Low-level wire primitives: a sink-generic encoder and a checked reader.
 //!
 //! The GPUnion wire format is a compact little-endian binary encoding.
 //! Strings and byte blobs are u32-length-prefixed; collections are
 //! u32-count-prefixed. The reader validates every length against the
 //! remaining buffer before allocating, so a malicious or corrupt frame can
 //! never cause an out-of-bounds read or an unbounded allocation.
+//!
+//! Encoding is abstracted behind the [`WireSink`] trait so one structural
+//! walk over a message serves two purposes: [`WireWriter`] emits bytes into
+//! a `BytesMut`, while [`CountingSink`] only accumulates the byte count —
+//! making `wire_size()` an allocation-free arithmetic walk and letting
+//! `to_bytes()` pre-size its buffer exactly (one allocation, no growth).
 
 use bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -70,6 +76,38 @@ pub const MAX_FIELD_LEN: u64 = 1 << 20;
 /// Maximum element count for any collection field.
 pub const MAX_COLLECTION_LEN: u64 = 65_536;
 
+/// Destination of a structural encode walk.
+///
+/// `encode` impls are written once against this trait; the sink decides
+/// whether bytes are emitted ([`WireWriter`]) or merely counted
+/// ([`CountingSink`]). Both sinks must agree byte-for-byte on every field —
+/// the protocol proptests pin `counting(e) == to_bytes(e).len()` for
+/// arbitrary envelopes.
+pub trait WireSink {
+    /// Write a tag/enum discriminant.
+    fn put_u8(&mut self, v: u8);
+    /// Write a bool as one byte.
+    fn put_bool(&mut self, v: bool);
+    /// Write u16 LE.
+    fn put_u16(&mut self, v: u16);
+    /// Write u32 LE.
+    fn put_u32(&mut self, v: u32);
+    /// Write u64 LE.
+    fn put_u64(&mut self, v: u64);
+    /// Write i32 LE.
+    fn put_i32(&mut self, v: i32);
+    /// Write f64 LE bit pattern.
+    fn put_f64(&mut self, v: f64);
+    /// Write a length-prefixed UTF-8 string.
+    fn put_str(&mut self, s: &str);
+    /// Write a length-prefixed blob.
+    fn put_bytes(&mut self, b: &[u8]);
+    /// Write a fixed-size array without a length prefix.
+    fn put_fixed(&mut self, b: &[u8]);
+    /// Write a collection count prefix.
+    fn put_count(&mut self, n: usize);
+}
+
 /// Encoder over a growable buffer.
 #[derive(Debug, Default)]
 pub struct WireWriter {
@@ -84,9 +122,28 @@ impl WireWriter {
         }
     }
 
+    /// Fresh writer pre-sized for an exactly known encoding (as produced by
+    /// [`CountingSink`]) — one allocation, no growth reallocs.
+    pub fn with_capacity(n: usize) -> Self {
+        WireWriter {
+            buf: BytesMut::with_capacity(n),
+        }
+    }
+
+    /// Wrap an existing (typically pooled) buffer; bytes are appended.
+    pub fn from_buf(buf: BytesMut) -> Self {
+        WireWriter { buf }
+    }
+
     /// Finish and take the encoded bytes.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
+    }
+
+    /// Hand back the underlying buffer (pooled-encode path: the buffer
+    /// returns to its pool instead of being frozen).
+    pub fn into_buf(self) -> BytesMut {
+        self.buf
     }
 
     /// Bytes written so far.
@@ -98,65 +155,131 @@ impl WireWriter {
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
+}
 
-    /// Write a tag/enum discriminant.
-    pub fn put_u8(&mut self, v: u8) {
+impl WireSink for WireWriter {
+    fn put_u8(&mut self, v: u8) {
         self.buf.put_u8(v);
     }
 
-    /// Write a bool as one byte.
-    pub fn put_bool(&mut self, v: bool) {
+    fn put_bool(&mut self, v: bool) {
         self.buf.put_u8(v as u8);
     }
 
-    /// Write u16 LE.
-    pub fn put_u16(&mut self, v: u16) {
+    fn put_u16(&mut self, v: u16) {
         self.buf.put_u16_le(v);
     }
 
-    /// Write u32 LE.
-    pub fn put_u32(&mut self, v: u32) {
+    fn put_u32(&mut self, v: u32) {
         self.buf.put_u32_le(v);
     }
 
-    /// Write u64 LE.
-    pub fn put_u64(&mut self, v: u64) {
+    fn put_u64(&mut self, v: u64) {
         self.buf.put_u64_le(v);
     }
 
-    /// Write i32 LE.
-    pub fn put_i32(&mut self, v: i32) {
+    fn put_i32(&mut self, v: i32) {
         self.buf.put_i32_le(v);
     }
 
-    /// Write f64 LE bit pattern.
-    pub fn put_f64(&mut self, v: f64) {
+    fn put_f64(&mut self, v: f64) {
         self.buf.put_f64_le(v);
     }
 
-    /// Write a length-prefixed UTF-8 string.
-    pub fn put_str(&mut self, s: &str) {
+    fn put_str(&mut self, s: &str) {
         debug_assert!((s.len() as u64) <= MAX_FIELD_LEN);
         self.buf.put_u32_le(s.len() as u32);
         self.buf.put_slice(s.as_bytes());
     }
 
-    /// Write a length-prefixed blob.
-    pub fn put_bytes(&mut self, b: &[u8]) {
+    fn put_bytes(&mut self, b: &[u8]) {
         debug_assert!((b.len() as u64) <= MAX_FIELD_LEN);
         self.buf.put_u32_le(b.len() as u32);
         self.buf.put_slice(b);
     }
 
-    /// Write a fixed-size array without a length prefix.
-    pub fn put_fixed(&mut self, b: &[u8]) {
+    fn put_fixed(&mut self, b: &[u8]) {
         self.buf.put_slice(b);
     }
 
-    /// Write a collection count prefix.
-    pub fn put_count(&mut self, n: usize) {
+    fn put_count(&mut self, n: usize) {
         debug_assert!((n as u64) <= MAX_COLLECTION_LEN);
         self.buf.put_u32_le(n as u32);
+    }
+}
+
+/// Allocation-free sink that only accumulates the encoded length. Running
+/// an encode walk into this sink costs O(fields) arithmetic — no buffer,
+/// no copies — which is what makes `Envelope::wire_size()` free enough to
+/// call once per simulated message.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    len: usize,
+}
+
+impl CountingSink {
+    /// Fresh counter at zero.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Bytes the walk would have written.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing was counted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl WireSink for CountingSink {
+    fn put_u8(&mut self, _v: u8) {
+        self.len += 1;
+    }
+
+    fn put_bool(&mut self, _v: bool) {
+        self.len += 1;
+    }
+
+    fn put_u16(&mut self, _v: u16) {
+        self.len += 2;
+    }
+
+    fn put_u32(&mut self, _v: u32) {
+        self.len += 4;
+    }
+
+    fn put_u64(&mut self, _v: u64) {
+        self.len += 8;
+    }
+
+    fn put_i32(&mut self, _v: i32) {
+        self.len += 4;
+    }
+
+    fn put_f64(&mut self, _v: f64) {
+        self.len += 8;
+    }
+
+    fn put_str(&mut self, s: &str) {
+        debug_assert!((s.len() as u64) <= MAX_FIELD_LEN);
+        self.len += 4 + s.len();
+    }
+
+    fn put_bytes(&mut self, b: &[u8]) {
+        debug_assert!((b.len() as u64) <= MAX_FIELD_LEN);
+        self.len += 4 + b.len();
+    }
+
+    fn put_fixed(&mut self, b: &[u8]) {
+        self.len += b.len();
+    }
+
+    fn put_count(&mut self, n: usize) {
+        debug_assert!((n as u64) <= MAX_COLLECTION_LEN);
+        self.len += 4;
     }
 }
 
@@ -383,6 +506,29 @@ mod tests {
             r.expect_end().unwrap_err(),
             WireError::TrailingBytes { count: 1 }
         );
+    }
+
+    #[test]
+    fn counting_sink_matches_writer_on_every_primitive() {
+        fn walk<S: WireSink>(s: &mut S) {
+            s.put_u8(7);
+            s.put_bool(true);
+            s.put_u16(65_000);
+            s.put_u32(4_000_000_000);
+            s.put_u64(u64::MAX - 1);
+            s.put_i32(-42);
+            s.put_f64(3.5);
+            s.put_str("héllo");
+            s.put_bytes(&[1, 2, 3]);
+            s.put_fixed(&[9u8; 16]);
+            s.put_count(12);
+        }
+        let mut w = WireWriter::new();
+        walk(&mut w);
+        let mut c = CountingSink::new();
+        walk(&mut c);
+        assert!(!c.is_empty());
+        assert_eq!(c.len(), w.len());
     }
 
     #[test]

@@ -6,30 +6,43 @@
 //! picks consume. This test pins the warm path — refills, merges, buffer
 //! pops, per-uid candidacy verification, and the wrap-around restart —
 //! to ZERO heap allocations by counting real allocations with a counting
-//! global allocator. It lives alone in its own test binary so no
-//! concurrent test can perturb the counter.
+//! global allocator. The counter is **per thread** (const-initialized TLS,
+//! so reading it never recurses into the allocator): the libtest harness's
+//! main thread lazily initializes channel state while it blocks waiting
+//! for a test, and a process-global counter intermittently catches that
+//! bookkeeping inside a measured window. The directory here runs its shard
+//! actors inline (`with_shards` is `workers = 0`), so the calling thread's
+//! count is the whole story.
 
 use gpunion_des::SimTime;
 use gpunion_gpu::GpuModel;
 use gpunion_protocol::{DispatchSpec, ExecMode, GpuInfo, JobId, UserId};
 use gpunion_scheduler::{Directory, Selector, Strategy};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static LOCAL_ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Allocations charged to the calling thread so far.
+fn allocations() -> usize {
+    LOCAL_ALLOCATIONS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // `try_with` so allocations during TLS teardown are not a panic.
+        let _ = LOCAL_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = LOCAL_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -82,12 +95,12 @@ fn warm_round_robin_gather_does_not_allocate() {
 
     // Measured window: two more full circles of picks — buffer refills,
     // k-way head merges, wrap-around restarts, candidacy checks.
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = allocations();
     let mut hits = 0usize;
     for _ in 0..130 {
         hits += usize::from(sel.pick(&dir, &s, &[]).is_some());
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = allocations();
 
     assert_eq!(hits, 130, "every pick lands on the all-eligible fleet");
     assert_eq!(

@@ -171,6 +171,11 @@ impl BytesMut {
         self.data.reserve(additional);
     }
 
+    /// Total capacity of the underlying storage.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Remove all bytes.
     pub fn clear(&mut self) {
         self.data.clear();
