@@ -9,9 +9,14 @@
 //! semester-scale DES row (6 weeks of 60 s heartbeats + weekly audits at
 //! 400 nodes on the typed-event wheel core, ≈24 M events) and the
 //! codec hot-path rows (allocation-free `wire_size()` walk and pooled
-//! framed encode of the dominant heartbeat message) — writes
-//! them to `BENCH_scheduler.json` (schema 7), and fails (exit 1) on
-//! regression over the checked-in baseline. Wall-clock rows get
+//! framed encode of the dominant heartbeat message) and the parallel
+//! agent-pump storm rows (the lockstep 400-node agent phase inline and
+//! on 4 pump workers, plus its action checksum) — writes
+//! them to `BENCH_scheduler.json` (schema 8), and fails (exit 1) on
+//! regression over the checked-in baseline. The baseline's `schema` key
+//! must match this binary's [`BENCH_SCHEMA`] exactly — a mismatched or
+//! missing version is a hard failure, not a silent row-by-row gate
+//! against renamed numbers. Wall-clock rows get
 //! `BENCH_GATE_FACTOR`× headroom (default 2×, absorbing runner-to-runner
 //! hardware variance); the simulated saturation and semester event-count
 //! rows are deterministic, so they must match the baseline to a 1%
@@ -53,6 +58,13 @@
 //!   simulated message — must cost at most `BENCH_GATE_WIRE_SIZE_FACTOR`×
 //!   (default 0.25×) the old encode-and-drop way of learning a frame's
 //!   length (`to_bytes()` then discard), measured like-for-like in-run.
+//! * **Parallel pump pays for itself**: the lockstep agent phase of the
+//!   400-node storm on 4 pump workers must cost at most
+//!   `BENCH_GATE_PUMP_FACTOR`× (default 0.6×) the inline phase —
+//!   asserted only when ≥ 4 cores are available (a smaller runner
+//!   cannot physically show the speedup, so the check is skipped with a
+//!   note). The two runs' action checksums must match **unconditionally**
+//!   — parallelism may move wall-clock, never behaviour.
 //!
 //! Usage:
 //!
@@ -60,13 +72,17 @@
 //! bench_gate                          # gate against the default baseline
 //! bench_gate --write-baseline <path>  # re-record the baseline (no gate)
 //! bench_gate --baseline <p> --out <p> # explicit paths
+//! bench_gate --profile                # also print the per-event-kind
+//!                                     # breakdown of the semester sweep
 //! ```
 
 use gpunion_bench::{
-    admission_shed_run, codec_cost_run, contention_knee_run, loaded_coordinator_sharded,
-    market_grant_run, saturation_run, semester_sweep_heap, semester_sweep_run, warm_actor_pass_ns,
-    PassStats, PASS_JOBS,
+    admission_shed_run, check_baseline_schema, codec_cost_run, contention_knee_run,
+    loaded_coordinator_sharded, market_grant_run, saturation_run, semester_sweep_heap,
+    semester_sweep_profile, semester_sweep_run, warm_actor_pass_ns, PassStats, BENCH_SCHEMA,
+    PASS_JOBS,
 };
+use gpunion_core::pump_storm_run;
 use gpunion_des::SimTime;
 use std::time::Instant;
 
@@ -75,6 +91,10 @@ const DEFAULT_OUT: &str = "BENCH_scheduler.json";
 /// Shard count of the gated 100k-node rows (the bench default; pick order
 /// is bit-identical at any count, so this only moves cost).
 const SCALE_SHARDS: usize = 16;
+/// Lockstep agent-phase turns of the gated pump-storm rows: enough work
+/// per configuration for the wall-clock ratio to dominate thread wakeup
+/// jitter, short enough to keep the gate interactive.
+const PUMP_TURNS: usize = 600;
 
 /// Env-tunable factor with a default.
 fn env_factor(name: &str, default: f64) -> f64 {
@@ -124,6 +144,7 @@ fn main() {
     let baseline_path = flag("--baseline").unwrap_or_else(|| DEFAULT_BASELINE.into());
     let out_path = flag("--out").unwrap_or_else(|| DEFAULT_OUT.into());
     let write_baseline = flag("--write-baseline");
+    let profile = args.iter().any(|a| a == "--profile");
 
     eprintln!("bench_gate: measuring scheduling pass (400 / 10k / 100k-sharded nodes)…");
     let p400 = pass_ns(400, 1, 31);
@@ -202,6 +223,54 @@ fn main() {
         sem.ns_per_event(),
         sem_heap.ns_per_event()
     );
+    if profile {
+        eprintln!("bench_gate: profiling semester sweep by event kind…");
+        let (prow, fired) = semester_sweep_profile(400, 42);
+        println!(
+            "semester profile ({} events, {:.0} ms):",
+            prow.events, prow.wall_ms
+        );
+        for (kind, count) in &fired {
+            let share = *count as f64 / prow.events as f64 * 100.0;
+            println!("  {kind:>8}: {count:>12} fired ({share:5.1}%)");
+        }
+    }
+    eprintln!(
+        "bench_gate: driving the pump storm (400 nodes, {PUMP_TURNS} lockstep agent \
+         phases, inline vs 4 workers)…"
+    );
+    let (pump_w0_ms, pump_w0_sum) = pump_storm_run(400, PUMP_TURNS, 0);
+    let (pump_w4_ms, pump_w4_sum) = pump_storm_run(400, PUMP_TURNS, 4);
+    // Behavioural identity is unconditional: the parallel pump applies
+    // action batches in due order, so the fold over (addr, batch size)
+    // must be bit-equal regardless of worker count or core count.
+    assert_eq!(
+        pump_w0_sum, pump_w4_sum,
+        "parallel pump storm diverged from the inline run \
+         ({pump_w0_sum:#x} vs {pump_w4_sum:#x})"
+    );
+    let pump_factor = env_factor("BENCH_GATE_PUMP_FACTOR", 0.6);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pump_ratio = pump_w4_ms / pump_w0_ms;
+    if cores >= 4 {
+        assert!(
+            pump_ratio <= pump_factor,
+            "4-worker pump storm is {pump_ratio:.2}× the inline agent phase \
+             (bound {pump_factor}×): {pump_w4_ms:.1} ms vs {pump_w0_ms:.1} ms"
+        );
+        eprintln!(
+            "bench_gate: pump ok — 4-worker storm {pump_w4_ms:.1} ms is {pump_ratio:.2}× \
+             the inline phase ({pump_w0_ms:.1} ms), bound {pump_factor}×, checksum {pump_w0_sum:#x}"
+        );
+    } else {
+        eprintln!(
+            "bench_gate: pump speedup check SKIPPED — {cores} core(s) available, need ≥ 4 \
+             (checksums still matched: {pump_w0_sum:#x}); \
+             ratio was {pump_ratio:.2}× ({pump_w4_ms:.1} ms vs {pump_w0_ms:.1} ms)"
+        );
+    }
     eprintln!("bench_gate: measuring db write queue at 400 nodes…");
     let knee = contention_knee_run(400, 7);
     eprintln!("bench_gate: measuring inbox sojourn under saturation (500 nodes, rho = 1.2)…");
@@ -276,8 +345,11 @@ fn main() {
         codec.wire_size.min_ns, codec.encode_drop.min_ns, codec.encode_pooled.min_ns
     );
 
+    // The checksum row folds the 64-bit action fold to 32 bits so the
+    // flat-JSON f64 round-trip stays exact.
+    let pump_checksum = (pump_w0_sum ^ (pump_w0_sum >> 32)) as u32;
     let json = format!(
-        "{{\n  \"schema\": 7,\n  \"pass_ns_400\": {},\n  \"pass_ns_10k\": {},\n  \
+        "{{\n  \"schema\": {BENCH_SCHEMA},\n  \"pass_ns_400\": {},\n  \"pass_ns_10k\": {},\n  \
          \"pass_ns_100k_sharded\": {},\n  \"pass_ns_100k_actor\": {},\n  \
          \"scale_shards\": {SCALE_SHARDS},\n  \
          \"grant_ns_1m_queue\": {},\n  \"admit_ns_1m_queue\": {},\n  \
@@ -285,7 +357,9 @@ fn main() {
          \"wire_size_ns\": {},\n  \"encode_ns_pooled\": {},\n  \
          \"db_write_latency_ms_400\": {:.3},\n  \"db_queue_depth_peak_400\": {},\n  \
          \"inbox_sojourn_ms_sat500\": {:.6},\n  \"deferred_turns_sat500\": {},\n  \
-         \"semester_events_400\": {},\n  \"semester_wall_ms_400\": {:.3}\n}}\n",
+         \"semester_events_400\": {},\n  \"semester_wall_ms_400\": {:.3},\n  \
+         \"semester_wall_ms_400_w0\": {:.3},\n  \"semester_wall_ms_400_w4\": {:.3},\n  \
+         \"pump_checksum_400\": {}\n}}\n",
         p400.median_ns,
         p10k.median_ns,
         p100k.median_ns,
@@ -300,7 +374,10 @@ fn main() {
         sat.inbox_sojourn_ms_mean,
         sat.deferred_turns,
         sem.events,
-        sem.wall_ms
+        sem.wall_ms,
+        pump_w0_ms,
+        pump_w4_ms,
+        pump_checksum
     );
     let target = write_baseline.clone().unwrap_or_else(|| out_path.clone());
     std::fs::write(&target, &json).unwrap_or_else(|e| panic!("write {target}: {e}"));
@@ -318,6 +395,12 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Hard schema gate: comparing rows across schema versions gates
+    // renamed or re-scoped numbers against each other — refuse outright.
+    if let Err(e) = check_baseline_schema(&baseline, BENCH_SCHEMA) {
+        eprintln!("bench_gate: {baseline_path}: {e}");
+        std::process::exit(1);
+    }
     let factor = env_factor("BENCH_GATE_FACTOR", 2.0);
     let mut failed = false;
     for (key, measured) in [
@@ -330,6 +413,8 @@ fn main() {
         ("wire_size_ns", codec.wire_size.median_ns as f64),
         ("encode_ns_pooled", codec.encode_pooled.median_ns as f64),
         ("semester_wall_ms_400", sem.wall_ms),
+        ("semester_wall_ms_400_w0", pump_w0_ms),
+        ("semester_wall_ms_400_w4", pump_w4_ms),
     ] {
         let Some(base) = json_f64(&baseline, key) else {
             eprintln!("bench_gate: baseline missing {key}; failing");
@@ -359,6 +444,7 @@ fn main() {
         ("deferred_turns_sat500", sat.deferred_turns as f64),
         ("admission_batch_shed_60s", adm.batch_shed as f64),
         ("semester_events_400", sem.events as f64),
+        ("pump_checksum_400", f64::from(pump_checksum)),
     ] {
         let Some(base) = json_f64(&baseline, key) else {
             eprintln!("bench_gate: baseline missing {key}; failing");

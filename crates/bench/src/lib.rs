@@ -34,6 +34,38 @@ use gpunion_workload::{
 };
 use std::time::Instant;
 
+/// Schema version of `BENCH_scheduler.json`. Bumped whenever the gate's
+/// row set changes shape; `bench_gate` refuses to compare against a
+/// baseline recorded at any other version (see [`check_baseline_schema`]).
+pub const BENCH_SCHEMA: u64 = 8;
+
+/// Hard schema check for a bench baseline: the baseline JSON must carry a
+/// `"schema"` key equal to `expected`, else the gate comparison is
+/// meaningless (rows may have been renamed, re-scoped, or re-scaled) and
+/// the caller must hard-fail rather than gate against stale numbers.
+pub fn check_baseline_schema(baseline: &str, expected: u64) -> Result<(), String> {
+    let pat = "\"schema\":";
+    let Some(start) = baseline.find(pat) else {
+        return Err(format!(
+            "baseline has no \"schema\" key; re-record it (expected schema {expected})"
+        ));
+    };
+    let rest = baseline[start + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    match rest[..end].parse::<u64>() {
+        Ok(found) if found == expected => Ok(()),
+        Ok(found) => Err(format!(
+            "baseline is schema {found}, binary expects schema {expected}; \
+             re-record the baseline (`bench_gate --write-baseline <path>`)"
+        )),
+        Err(_) => Err(format!(
+            "baseline \"schema\" value is not an integer (expected schema {expected})"
+        )),
+    }
+}
+
 /// The §4 network-traffic experiment, fully run: the scenario (for
 /// accounting access), the horizon end, and the backbone capacity.
 pub struct NetTrafficRun {
@@ -653,6 +685,13 @@ impl TypedEvent<FleetWorld> for FleetEvent {
             }
         }
     }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            FleetEvent::Beat(_) => "beat",
+            FleetEvent::Audit(_) => "audit",
+        }
+    }
 }
 
 /// The exact event count a semester run executes — asserted by both the
@@ -706,6 +745,47 @@ pub fn semester_sweep_run(nodes: u32, days: u64) -> SemesterRow {
     );
     assert_eq!(w.beats + w.audits, row.events, "every event counted once");
     row
+}
+
+/// [`semester_sweep_run`] with per-event-kind profiling switched on:
+/// returns the measured row plus the fired-counter breakdown
+/// (`beat`/`audit`, see [`TypedEvent::kind`]). Kept separate from the
+/// gated row because snapshotting adds a map update per event — profile
+/// wall-clock is indicative, not comparable to the gate's.
+pub fn semester_sweep_profile(nodes: u32, days: u64) -> (SemesterRow, Vec<(&'static str, u64)>) {
+    assert!(nodes < 60_000, "stagger must stay under one beat period");
+    let mut w = FleetWorld::default();
+    let mut sim: Sim<FleetWorld, FleetEvent> = Sim::new();
+    sim.profile_events();
+    for i in 0..nodes {
+        sim.schedule_typed_at(semester_stagger(i), FleetEvent::Beat(i));
+        sim.schedule_typed_at(
+            semester_stagger(i) + SimDuration::from_days(7),
+            FleetEvent::Audit(i),
+        );
+    }
+    let horizon = SimTime::from_secs(days * 86_400);
+    let t0 = Instant::now();
+    sim.run_until(&mut w, horizon);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let row = SemesterRow {
+        nodes,
+        days,
+        events: sim.events_executed(),
+        wall_ms,
+    };
+    assert_eq!(
+        row.events,
+        semester_expected_events(nodes, days),
+        "profiled semester sweep executed a different event count"
+    );
+    let fired = sim.fired_by_kind();
+    assert_eq!(
+        fired.iter().map(|(_, n)| n).sum::<u64>(),
+        row.events,
+        "per-kind counters must account for every executed event"
+    );
+    (row, fired)
 }
 
 /// The pre-tentpole cost model: the same fleet on the boxed-closure
@@ -1153,5 +1233,46 @@ mod golden {
         // 8 days of 60 s beats plus the one audit that fits: 11 521/node.
         assert_eq!(typed.events, 16 * (8 * 1_440 + 1));
         assert!(typed.ns_per_event() > 0.0);
+    }
+
+    /// The `--profile` breakdown accounts for every executed event and
+    /// splits exactly as the closed form predicts: beats dominate, audits
+    /// are one per node per started week.
+    #[test]
+    fn semester_profile_splits_beats_from_audits() {
+        let (row, fired) = super::semester_sweep_profile(16, 8);
+        assert_eq!(row.events, 16 * (8 * 1_440 + 1));
+        let count = |kind: &str| {
+            fired
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, n)| *n)
+                .unwrap_or(0)
+        };
+        assert_eq!(count("beat"), 16 * 8 * 1_440, "one beat per node-minute");
+        assert_eq!(count("audit"), 16, "one audit per node in week one");
+        assert_eq!(fired.len(), 2, "no other event kinds fired: {fired:?}");
+    }
+
+    /// The gate must refuse to compare against a baseline recorded at a
+    /// different schema — silently gating renamed or re-scoped rows is
+    /// how the root baseline went stale at schema 6 while the checked-in
+    /// one moved to 7.
+    #[test]
+    fn baseline_schema_mismatch_is_a_hard_failure() {
+        use super::{check_baseline_schema, BENCH_SCHEMA};
+        let current = format!("{{\n  \"schema\": {BENCH_SCHEMA},\n  \"x\": 1\n}}\n");
+        assert!(check_baseline_schema(&current, BENCH_SCHEMA).is_ok());
+        // Stale version: rejected with the version named in the error.
+        let stale = "{\n  \"schema\": 6,\n  \"x\": 1\n}\n";
+        let err = check_baseline_schema(stale, BENCH_SCHEMA).unwrap_err();
+        assert!(err.contains("schema 6"), "{err}");
+        assert!(err.contains(&format!("schema {BENCH_SCHEMA}")), "{err}");
+        // Pre-versioning baseline without the key: also rejected.
+        let unversioned = "{\n  \"x\": 1\n}\n";
+        assert!(check_baseline_schema(unversioned, BENCH_SCHEMA).is_err());
+        // Corrupt value: rejected, not parsed as zero.
+        let corrupt = "{\n  \"schema\": \"seven\"\n}\n";
+        assert!(check_baseline_schema(corrupt, BENCH_SCHEMA).is_err());
     }
 }

@@ -246,6 +246,26 @@ pub fn run_fig3_sharded(
     run_fig3_with(days, events_per_day, config)
 }
 
+/// [`run_fig3`] with `pump_workers` parallel agent-pump workers (0 =
+/// inline). The pump's partition/merge is pure mechanism — batches are
+/// applied in due order, exactly the inline order — so the report must
+/// match [`run_fig3`] bit for bit: the end-to-end leg of the parallel
+/// pump's determinism argument (the platform-level workers-{0,1,4}
+/// proptest is the unit leg).
+pub fn run_fig3_pumped(
+    days: u64,
+    events_per_day: f64,
+    seed: u64,
+    pump_workers: usize,
+) -> Fig3Report {
+    let config = PlatformConfig {
+        seed,
+        pump_workers,
+        ..Default::default()
+    };
+    run_fig3_with(days, events_per_day, config)
+}
+
 fn run_fig3_with(days: u64, events_per_day: f64, config: PlatformConfig) -> Fig3Report {
     let seed = config.seed;
     // 4 workstations: hosts 0,1 are the churning volunteers; 2,3 are the

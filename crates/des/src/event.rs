@@ -43,6 +43,15 @@ pub struct EventId {
 pub trait TypedEvent<W>: Sized {
     /// Consume the event, mutating the world and/or scheduling follow-ups.
     fn fire(self, world: &mut W, sim: &mut Sim<W, Self>);
+
+    /// Static label for per-kind fired counters
+    /// ([`Sim::profile_events`](crate::Sim::profile_events)). The default
+    /// lumps every typed event under one bucket; worlds with hot event
+    /// enums override it per variant so profiles show where the event
+    /// budget goes.
+    fn kind(&self) -> &'static str {
+        "typed"
+    }
 }
 
 /// The uninhabited default event type: `Sim<W>` (no second parameter) is a

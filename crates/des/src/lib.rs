@@ -18,6 +18,7 @@
 
 pub mod event;
 pub mod join;
+pub mod pool;
 pub mod ratelimit;
 pub mod reference;
 pub mod rng;
@@ -28,6 +29,7 @@ mod wheel;
 
 pub use event::{EventId, Never, TypedEvent};
 pub use join::{drain_order, JoinPoint};
+pub use pool::WorkerPool;
 pub use ratelimit::TokenBucket;
 pub use reference::{HeapEventId, HeapSim};
 pub use rng::{chance, exponential, log_normal, RngPool};

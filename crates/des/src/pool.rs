@@ -1,0 +1,205 @@
+//! A pinned worker-thread pool: the scatter half of the scatter–gather
+//! actor pattern shared by the directory shard runtime and the platform's
+//! parallel agent pump.
+//!
+//! ## Shape
+//!
+//! `WorkerPool<T>` owns `count` OS threads, each with its own
+//! Mutex/Condvar-guarded FIFO inbox. A task sent to worker `w` is
+//! processed by that worker in send order — the pool never work-steals,
+//! so "lane `i` is pinned to worker `i % count`" routing gives every
+//! lane a total order over its tasks no matter how threads are
+//! scheduled. The pool itself carries no completion signal: callers pair
+//! it with a [`JoinPoint`](crate::JoinPoint) per lane (the gather half),
+//! marked by the worker body after each task.
+//!
+//! A pool with `count = 0` spawns nothing; callers are expected to keep
+//! an inline degenerate path (apply the task on the producer thread) so
+//! zero-worker runs stay byte-identical to the pre-pool code.
+//!
+//! Dropping the pool enqueues a shutdown marker behind any queued work
+//! and joins every thread, so worker bodies observe all sent tasks.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+enum PoolMsg<T> {
+    Work(T),
+    Shutdown,
+}
+
+/// A worker's inbox: FIFO over every task pinned to it. Single producer
+/// (the owning thread), single consumer (the worker) — the mutex is the
+/// queue's memory fence, never contended for long.
+struct Inbox<T> {
+    q: Mutex<VecDeque<PoolMsg<T>>>,
+    cv: Condvar,
+}
+
+struct Worker<T> {
+    inbox: Arc<Inbox<T>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Pinned worker threads over per-worker FIFO inboxes (0 = no threads).
+pub struct WorkerPool<T: Send + 'static> {
+    workers: Vec<Worker<T>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `count` workers named `name`. `make_body(index)` builds each
+    /// worker's task handler; the handler runs on the worker thread for
+    /// every task sent to that index, in send order.
+    pub fn new<F>(count: usize, name: &str, mut make_body: impl FnMut(usize) -> F) -> Self
+    where
+        F: FnMut(T) + Send + 'static,
+    {
+        let workers = (0..count)
+            .map(|index| {
+                let inbox = Arc::new(Inbox {
+                    q: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                });
+                let handle = {
+                    let inbox = Arc::clone(&inbox);
+                    let mut body = make_body(index);
+                    std::thread::Builder::new()
+                        .name(name.into())
+                        .spawn(move || loop {
+                            let msg = {
+                                let mut q = inbox.q.lock().expect("inbox poisoned");
+                                loop {
+                                    if let Some(m) = q.pop_front() {
+                                        break m;
+                                    }
+                                    q = inbox.cv.wait(q).expect("inbox poisoned");
+                                }
+                            };
+                            match msg {
+                                PoolMsg::Work(task) => body(task),
+                                PoolMsg::Shutdown => return,
+                            }
+                        })
+                        .expect("spawn pool worker")
+                };
+                Worker {
+                    inbox,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        WorkerPool { workers }
+    }
+
+    /// Worker threads in the pool (0 = caller must run tasks inline).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when no threads exist and the caller owns every lane.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Enqueue `task` on worker `index`'s inbox (fire-and-forget; FIFO
+    /// per worker). Panics if the pool is empty or `index` out of range.
+    pub fn send(&self, index: usize, task: T) {
+        let w = &self.workers[index];
+        let mut q = w.inbox.q.lock().expect("inbox poisoned");
+        q.push_back(PoolMsg::Work(task));
+        drop(q);
+        w.inbox.cv.notify_one();
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for WorkerPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            {
+                let mut q = w.inbox.q.lock().expect("inbox poisoned");
+                q.push_back(PoolMsg::Shutdown);
+            }
+            w.inbox.cv.notify_one();
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JoinPoint;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Tasks sent to one worker run in send order; the JoinPoint gather
+    /// protocol observes every task before the counter read.
+    #[test]
+    fn per_worker_fifo_and_join() {
+        let lanes: Arc<Vec<(AtomicU64, JoinPoint)>> = Arc::new(
+            (0..3)
+                .map(|_| (AtomicU64::new(0), JoinPoint::new()))
+                .collect(),
+        );
+        let pool: WorkerPool<(usize, u64)> = WorkerPool::new(2, "pool-test", |_| {
+            let lanes = Arc::clone(&lanes);
+            let mut applied = vec![0u64; lanes.len()];
+            move |(lane, val): (usize, u64)| {
+                // FIFO per lane: values arrive strictly increasing.
+                let prev = lanes[lane].0.swap(val, Ordering::Relaxed);
+                assert!(prev < val, "lane {lane}: {prev} then {val}");
+                applied[lane] += 1;
+                lanes[lane].1.mark(applied[lane]);
+            }
+        });
+        let mut sent = vec![0u64; lanes.len()];
+        for round in 1..=100u64 {
+            for (lane, n) in sent.iter_mut().enumerate() {
+                pool.send(lane % pool.worker_count(), (lane, round));
+                *n += 1;
+            }
+        }
+        for (lane, &n) in sent.iter().enumerate() {
+            lanes[lane].1.wait(n);
+            assert_eq!(lanes[lane].0.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    /// Dropping the pool drains queued work before the threads exit.
+    #[test]
+    fn drop_drains_queued_work() {
+        let hits = Arc::new(AtomicU64::new(0));
+        {
+            let hits = Arc::clone(&hits);
+            let pool: WorkerPool<u64> = WorkerPool::new(1, "pool-drop", move |_| {
+                let hits = Arc::clone(&hits);
+                move |v| {
+                    hits.fetch_add(v, Ordering::Relaxed);
+                }
+            });
+            for v in 1..=64u64 {
+                pool.send(0, v);
+            }
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), (1..=64).sum::<u64>());
+    }
+
+    /// A zero-worker pool is inert: no threads, callers go inline.
+    #[test]
+    fn empty_pool_is_inline_marker() {
+        let pool: WorkerPool<u64> = WorkerPool::new(0, "pool-empty", |_| |_v| {});
+        assert!(pool.is_empty());
+        assert_eq!(pool.worker_count(), 0);
+    }
+}

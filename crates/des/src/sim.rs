@@ -48,6 +48,10 @@ pub struct Sim<W, E = Never> {
     wheel: TimerWheel,
     next_seq: u64,
     executed: u64,
+    /// Per-kind fired counters, `None` (the default) when profiling is
+    /// off — the hot fire path then pays a single branch and no
+    /// bookkeeping.
+    fired: Option<std::collections::BTreeMap<&'static str, u64>>,
 }
 
 impl<W, E: TypedEvent<W>> Default for Sim<W, E> {
@@ -65,7 +69,24 @@ impl<W, E: TypedEvent<W>> Sim<W, E> {
             wheel: TimerWheel::new(),
             next_seq: 0,
             executed: 0,
+            fired: None,
         }
+    }
+
+    /// Start counting fired events by [`TypedEvent::kind`] (plus the
+    /// `"closure"` / `"periodic"` fallback buckets for boxed events).
+    /// Costs one branch per fire when off; a map bump when on.
+    pub fn profile_events(&mut self) {
+        self.fired.get_or_insert_with(Default::default);
+    }
+
+    /// Snapshot of the per-kind fired counts, sorted by kind. Empty
+    /// unless [`Sim::profile_events`] was called.
+    pub fn fired_by_kind(&self) -> Vec<(&'static str, u64)> {
+        self.fired
+            .as_ref()
+            .map(|m| m.iter().map(|(k, v)| (*k, *v)).collect())
+            .unwrap_or_default()
     }
 
     /// Current virtual time.
@@ -234,6 +255,14 @@ impl<W, E: TypedEvent<W>> Sim<W, E> {
             .slab
             .take(ev.slot, ev.gen)
             .expect("liveness checked before firing");
+        if let Some(counts) = &mut self.fired {
+            let kind = match &payload {
+                Payload::Typed(event) => event.kind(),
+                Payload::Once(_) => "closure",
+                Payload::Every { .. } => "periodic",
+            };
+            *counts.entry(kind).or_insert(0) += 1;
+        }
         match payload {
             Payload::Typed(event) => event.fire(world, self),
             Payload::Once(action) => action(world, self),
@@ -441,6 +470,13 @@ mod tests {
     }
 
     impl TypedEvent<TickWorld> for Tick {
+        fn kind(&self) -> &'static str {
+            match self {
+                Tick::Beat => "beat",
+                Tick::Chain { .. } => "chain",
+            }
+        }
+
         fn fire(self, w: &mut TickWorld, sim: &mut Sim<TickWorld, Tick>) {
             match self {
                 Tick::Beat => {
@@ -504,6 +540,42 @@ mod tests {
         sim.run(&mut w);
         assert_eq!(w.beats, 10);
         assert_eq!(w.last.as_nanos(), ((1u64 << 20) + 17) * 10);
+    }
+
+    /// Per-kind fired counters: off by default (empty snapshot), and once
+    /// enabled they bucket typed events by `kind()` and boxed events
+    /// under the closure/periodic fallbacks.
+    #[test]
+    fn fired_counters_bucket_by_kind() {
+        let mut sim: Sim<TickWorld, Tick> = Sim::new();
+        let mut w = TickWorld::default();
+        sim.schedule_typed_at(SimTime::from_nanos(1), Tick::Beat);
+        sim.run(&mut w);
+        assert!(sim.fired_by_kind().is_empty(), "profiling starts off");
+
+        sim.profile_events();
+        sim.schedule_typed_in(SimDuration::from_nanos(1), Tick::Beat);
+        sim.schedule_typed_in(SimDuration::from_nanos(2), Tick::Beat);
+        sim.schedule_typed_in(
+            SimDuration::from_nanos(3),
+            Tick::Chain {
+                hops: 2,
+                step: SimDuration::from_nanos(1),
+            },
+        );
+        sim.schedule_in(SimDuration::from_nanos(4), |_: &mut TickWorld, _| {});
+        sim.schedule_every(SimDuration::from_nanos(5), {
+            let mut left = 2u32;
+            move |_: &mut TickWorld, _| {
+                left -= 1;
+                left > 0
+            }
+        });
+        sim.run(&mut w);
+        assert_eq!(
+            sim.fired_by_kind(),
+            vec![("beat", 2), ("chain", 3), ("closure", 1), ("periodic", 2)]
+        );
     }
 
     /// Events at the `SimTime::MAX` horizon live in the far-future overflow

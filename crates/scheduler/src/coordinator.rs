@@ -326,6 +326,11 @@ struct JobMeta {
     migrating_back: bool,
     retries: u32,
     submitted_at: SimTime,
+    /// Absolute expiry of the pull-mode [`Work::WorkGrant`] lease this job
+    /// runs under, renewed by every heartbeat from the hosting node that
+    /// reports the workload. `None` for push-mode placements (no lease).
+    /// The heartbeat sweep revokes grants whose lease lapsed.
+    lease: Option<SimTime>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -388,6 +393,9 @@ pub struct CoordinatorStats {
     pub grants_sent: u64,
     /// Pull-mode [`Work::GrantNack`]s sent for offers that lapsed unmatched.
     pub nacks_sent: u64,
+    /// Pull-mode grants revoked because their lease expired unrenewed
+    /// (no heartbeat from the hosting node reported the workload).
+    pub lease_revocations: u64,
 }
 
 /// The coordinator actor.
@@ -438,6 +446,8 @@ pub struct Coordinator {
     grants_sent: u64,
     /// Pull-mode nacks sent for offers that expired unmatched.
     nacks_sent: u64,
+    /// Pull-mode grants revoked at lease expiry.
+    lease_revocations: u64,
     rng: SmallRng,
 }
 
@@ -499,6 +509,7 @@ impl Coordinator {
             admission_shed: 0,
             grants_sent: 0,
             nacks_sent: 0,
+            lease_revocations: 0,
             rng: SmallRng::seed_from_u64(seed),
         };
         coord.arm(
@@ -535,6 +546,7 @@ impl Coordinator {
             live_offers: self.offers.len(),
             grants_sent: self.grants_sent,
             nacks_sent: self.nacks_sent,
+            lease_revocations: self.lease_revocations,
         }
     }
 
@@ -800,6 +812,7 @@ impl Coordinator {
                 self.admission_shed = 0;
                 self.grants_sent = 0;
                 self.nacks_sent = 0;
+                self.lease_revocations = 0;
             }
         }
     }
@@ -890,6 +903,7 @@ impl Coordinator {
                 migrating_back: false,
                 retries: 0,
                 submitted_at: now,
+                lease: None,
             },
         );
         actions.push(CoordAction::JobEvent {
@@ -1074,8 +1088,14 @@ impl Coordinator {
                     self.provider_returned(now, node, actions);
                 }
                 // Progress bookkeeping from piggybacked workload status.
+                let lease_period = self.config.offer_timeout;
                 for ws in &workloads {
                     if let Some(meta) = self.jobs.get_mut(&ws.job) {
+                        // A heartbeat that reports the workload from its
+                        // hosting node renews the pull-mode grant lease.
+                        if meta.lease.is_some() && meta.current_node == Some(node) {
+                            meta.lease = Some(now + lease_period);
+                        }
                         if ws.checkpoint_seq > 0 {
                             let stored = meta
                                 .latest_checkpoint
@@ -1321,6 +1341,30 @@ impl Coordinator {
         // Lapsed capacity offers are nacked here too, so an idle market
         // (no passes running) still tells agents to re-offer.
         self.expire_offers(now, actions);
+        // Enforce grant leases: a pull-mode placement whose lease lapsed
+        // unrenewed (no heartbeat reported the workload) loses its grant —
+        // the node is told to kill the run and the job requeues.
+        let expired: Vec<(JobId, NodeUid)> = self
+            .jobs
+            .iter()
+            .filter_map(|(job, m)| match (m.lease, m.current_node) {
+                (Some(exp), Some(node)) if exp <= now => Some((*job, node)),
+                _ => None,
+            })
+            .collect();
+        for (job, node) in expired {
+            self.lease_revocations += 1;
+            actions.push(CoordAction::Send {
+                to: node,
+                msg: Work::Kill {
+                    job,
+                    reason: KillReason::SchedulerPreempt,
+                }
+                .into(),
+                delay: SimDuration::ZERO,
+            });
+            self.displace_job(now, job, actions);
+        }
     }
 
     /// A node is gone (heartbeat loss or emergency departure): displace
@@ -1371,6 +1415,7 @@ impl Coordinator {
         let restore_seq = meta.latest_checkpoint.as_ref().map(|(s, _)| *s);
         meta.spec.restore_from_seq = restore_seq;
         meta.migrating_back = false;
+        meta.lease = None;
         // New placement epoch: rejections collected while the job was last
         // being placed say nothing about the post-displacement world. In
         // particular the original node must be offerable again, or
@@ -1446,6 +1491,7 @@ impl Coordinator {
         let Some(meta) = self.jobs.get_mut(&job) else {
             return;
         };
+        meta.lease = None;
         meta.excluded.push(node);
         meta.retries += 1;
         if meta.preferred == Some(node) {
@@ -1745,6 +1791,11 @@ impl Coordinator {
         );
         let msg = if via_offer {
             self.grants_sent += 1;
+            // Start the grant's lease clock at the same instant as the
+            // OfferTimeout timer; the node's first heartbeat reporting the
+            // workload renews it, and the sweep revokes it if none does.
+            self.jobs.get_mut(&job).expect("present").lease =
+                Some(now + latency + self.config.offer_timeout);
             Work::WorkGrant {
                 spec,
                 lease_ms: self.config.offer_timeout.as_millis() as u32,

@@ -10,9 +10,10 @@
 //! `worker_threads = 0` the intent is applied synchronously on the
 //! caller's thread: the exact pre-actor code path, so single-shard
 //! goldens stay byte-stable. With `worker_threads = W ≥ 1`, shard `i` is
-//! pinned to worker `i % W`; each worker drains its inbox FIFO, so every
-//! shard sees its intents in send order no matter how threads are
-//! scheduled.
+//! pinned to worker `i % W` of a [`WorkerPool`] (the machinery shared
+//! with the platform's parallel agent pump); each worker drains its
+//! inbox FIFO, so every shard sees its intents in send order no matter
+//! how threads are scheduled.
 //!
 //! ## The join point
 //!
@@ -44,13 +45,11 @@
 //! dereference.
 
 use super::shard::Shard;
-use gpunion_des::{JoinPoint, SimTime};
+use gpunion_des::{JoinPoint, SimTime, WorkerPool};
 use gpunion_protocol::{GpuStat, JobId, NodeUid};
 use std::cell::UnsafeCell;
-use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 use super::entry::{NodeEntry, NodeLiveness};
 
@@ -169,58 +168,15 @@ impl ShardCell {
     }
 }
 
-enum WorkerMsg {
-    Apply(usize, ShardIntent),
-    Shutdown,
-}
-
-/// A worker's inbox: FIFO over the intents of every shard pinned to it.
-/// Single producer (the coordinator thread), single consumer (the
-/// worker) — the mutex is the queue's memory fence, never contended for
-/// long.
-struct Inbox {
-    q: Mutex<VecDeque<WorkerMsg>>,
-    cv: Condvar,
-}
-
-struct Worker {
-    inbox: Arc<Inbox>,
-    handle: Option<JoinHandle<()>>,
-}
-
-fn worker_loop(cells: Arc<Vec<ShardCell>>, inbox: Arc<Inbox>) {
-    // Per-lane applied counts, worker-local: only this worker applies
-    // intents for its lanes, so the cumulative count is its to keep.
-    let mut applied = vec![0u64; cells.len()];
-    loop {
-        let msg = {
-            let mut q = inbox.q.lock().expect("inbox poisoned");
-            loop {
-                if let Some(m) = q.pop_front() {
-                    break m;
-                }
-                q = inbox.cv.wait(q).expect("inbox poisoned");
-            }
-        };
-        match msg {
-            WorkerMsg::Apply(i, intent) => {
-                // SAFETY: this worker owns lane `i` (pinning is static)
-                // and the producer does not read before quiescence.
-                unsafe { cells[i].apply(intent) };
-                applied[i] += 1;
-                cells[i].join.mark(applied[i]);
-            }
-            WorkerMsg::Shutdown => return,
-        }
-    }
-}
-
-/// The shard lanes plus the worker pool (empty = inline mode).
+/// The shard lanes plus the worker pool (empty = inline mode). The
+/// threads themselves live in a [`WorkerPool`]; each worker's body keeps
+/// the per-lane applied counts (only it applies intents for its lanes)
+/// and marks the lane's join point after every application.
 pub(crate) struct ShardRuntime {
     cells: Arc<Vec<ShardCell>>,
     /// Producer-side cumulative sent count per lane.
     sent: Vec<u64>,
-    workers: Vec<Worker>,
+    pool: WorkerPool<(usize, ShardIntent)>,
     /// The order lanes are joined (and gathered) in. Identity in
     /// production; tests permute it (seeded) to prove merged reads are
     /// independent of reply arrival order.
@@ -232,31 +188,22 @@ impl ShardRuntime {
     pub(crate) fn new(shards: usize, workers: usize) -> Self {
         let shards = shards.max(1);
         let cells: Arc<Vec<ShardCell>> = Arc::new((0..shards).map(|_| ShardCell::new()).collect());
-        let workers = (0..workers.min(shards))
-            .map(|_| {
-                let inbox = Arc::new(Inbox {
-                    q: Mutex::new(VecDeque::new()),
-                    cv: Condvar::new(),
-                });
-                let handle = {
-                    let cells = Arc::clone(&cells);
-                    let inbox = Arc::clone(&inbox);
-                    std::thread::Builder::new()
-                        .name("dir-shard-worker".into())
-                        .spawn(move || worker_loop(cells, inbox))
-                        .expect("spawn shard worker")
-                };
-                Worker {
-                    inbox,
-                    handle: Some(handle),
-                }
-            })
-            .collect();
+        let pool = WorkerPool::new(workers.min(shards), "dir-shard-worker", |_| {
+            let cells = Arc::clone(&cells);
+            let mut applied = vec![0u64; cells.len()];
+            move |(i, intent): (usize, ShardIntent)| {
+                // SAFETY: this worker owns lane `i` (pinning is static)
+                // and the producer does not read before quiescence.
+                unsafe { cells[i].apply(intent) };
+                applied[i] += 1;
+                cells[i].join.mark(applied[i]);
+            }
+        });
         ShardRuntime {
             sent: vec![0; shards],
             drain: (0..shards).collect(),
             cells,
-            workers,
+            pool,
         }
     }
 
@@ -266,11 +213,11 @@ impl ShardRuntime {
 
     /// Worker threads serving the lanes (0 = inline).
     pub(crate) fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.pool.worker_count()
     }
 
     pub(crate) fn is_inline(&self) -> bool {
-        self.workers.is_empty()
+        self.pool.is_empty()
     }
 
     /// The lane join/gather order (a permutation of `0..len`).
@@ -297,19 +244,13 @@ impl ShardRuntime {
     /// applies it on the spot — the degenerate actor.
     pub(crate) fn send(&mut self, i: usize, intent: ShardIntent) {
         self.sent[i] += 1;
-        match self.workers.is_empty() {
+        match self.pool.is_empty() {
             true => {
                 // SAFETY: no workers exist; this thread owns every lane.
                 unsafe { self.cells[i].apply(intent) };
                 self.cells[i].join.mark(self.sent[i]);
             }
-            false => {
-                let w = &self.workers[i % self.workers.len()];
-                let mut q = w.inbox.q.lock().expect("inbox poisoned");
-                q.push_back(WorkerMsg::Apply(i, intent));
-                drop(q);
-                w.inbox.cv.notify_one();
-            }
+            false => self.pool.send(i % self.pool.worker_count(), (i, intent)),
         }
     }
 
@@ -317,7 +258,7 @@ impl ShardRuntime {
     /// counted as one applied intent. Lets borrowing callers (heartbeat
     /// stats) skip the owned-intent copy when no workers exist.
     pub(crate) fn apply_inline<R>(&mut self, i: usize, f: impl FnOnce(&mut Shard) -> R) -> R {
-        assert!(self.workers.is_empty(), "apply_inline with live workers");
+        assert!(self.pool.is_empty(), "apply_inline with live workers");
         self.sent[i] += 1;
         // SAFETY: no workers exist; this thread owns every lane.
         let r = f(unsafe { &mut *self.cells[i].state.get() });
@@ -372,24 +313,9 @@ impl fmt::Debug for ShardRuntime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ShardRuntime")
             .field("shards", &self.cells.len())
-            .field("workers", &self.workers.len())
+            .field("workers", &self.pool.worker_count())
             .field("sent", &self.sent)
             .finish()
-    }
-}
-
-impl Drop for ShardRuntime {
-    fn drop(&mut self) {
-        for w in &mut self.workers {
-            {
-                let mut q = w.inbox.q.lock().expect("inbox poisoned");
-                q.push_back(WorkerMsg::Shutdown);
-            }
-            w.inbox.cv.notify_one();
-            if let Some(h) = w.handle.take() {
-                let _ = h.join();
-            }
-        }
     }
 }
 

@@ -1189,6 +1189,126 @@ mod tests {
         assert_eq!(coord.stats().nacks_sent, 1);
     }
 
+    /// A heartbeat whose workload report includes `job` running on `node`
+    /// — the renewal signal for a pull-mode grant lease.
+    fn heartbeat_with_workload(
+        coord: &mut Coordinator,
+        now: SimTime,
+        node: NodeUid,
+        seq: u64,
+        job: JobId,
+    ) -> Vec<CoordAction> {
+        let stats = vec![GpuStat {
+            memory_used: 8 << 30,
+            memory_total: 24 << 30,
+            utilization: 0.9,
+            temperature_c: 60.0,
+            power_w: 250.0,
+        }];
+        msg(
+            coord,
+            now,
+            Control::Heartbeat {
+                node,
+                seq,
+                accepting: true,
+                gpu_stats: stats,
+                workloads: vec![WorkloadStatus {
+                    job,
+                    state: WorkloadState::Running,
+                    progress: 0.1,
+                    checkpoint_seq: 0,
+                }],
+            }
+            .into(),
+        )
+    }
+
+    #[test]
+    fn grant_lease_expires_when_heartbeats_omit_the_workload() {
+        let cfg = CoordinatorConfig {
+            placement_mode: PlacementMode::Pull,
+            ..CoordinatorConfig::default()
+        };
+        let mut coord = Coordinator::new(cfg, 1);
+        let node = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), node, 1);
+        offer_all(&mut coord, t(2), node);
+        let (job, _) = submit(&mut coord, t(3), spec());
+        let actions = drive(&mut coord, t(4));
+        assert_eq!(all_placements(&actions), vec![(node, job)]);
+        msg(
+            &mut coord,
+            t(4),
+            Work::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            }
+            .into(),
+        );
+        // The node stays alive but its heartbeats never report the
+        // workload (the run died silently): the lease lapses unrenewed
+        // and the first sweep past expiry revokes the grant.
+        let mut actions = heartbeat(&mut coord, t(6), node, 2);
+        actions.extend(heartbeat(&mut coord, t(11), node, 3));
+        actions.extend(drive(&mut coord, t(16)));
+        assert_eq!(coord.stats().lease_revocations, 1);
+        assert!(
+            actions.iter().any(|a| matches!(a,
+                CoordAction::Send {
+                    to,
+                    msg: Message::Work(Work::Kill {
+                        job: j,
+                        reason: gpunion_protocol::KillReason::SchedulerPreempt,
+                    }),
+                    ..
+                } if *to == node && *j == job)),
+            "revocation tells the node to kill the zombie run"
+        );
+        assert!(
+            actions.iter().any(|a| matches!(a,
+                CoordAction::JobEvent {
+                    job: j,
+                    event: JobEvent::Requeued { .. },
+                } if *j == job)),
+            "the revoked job requeues for another placement"
+        );
+    }
+
+    #[test]
+    fn workload_heartbeats_renew_the_grant_lease() {
+        let cfg = CoordinatorConfig {
+            placement_mode: PlacementMode::Pull,
+            ..CoordinatorConfig::default()
+        };
+        let mut coord = Coordinator::new(cfg, 1);
+        let node = register(&mut coord, t(1), "m-1");
+        heartbeat(&mut coord, t(2), node, 1);
+        offer_all(&mut coord, t(2), node);
+        let (job, _) = submit(&mut coord, t(3), spec());
+        let actions = drive(&mut coord, t(4));
+        assert_eq!(all_placements(&actions), vec![(node, job)]);
+        msg(
+            &mut coord,
+            t(4),
+            Work::DispatchReply {
+                job,
+                accepted: true,
+                reason: String::new(),
+            }
+            .into(),
+        );
+        // Heartbeats keep reporting the workload: every beat pushes the
+        // lease out past the next sweep, so the grant is never revoked.
+        heartbeat_with_workload(&mut coord, t(6), node, 2, job);
+        heartbeat_with_workload(&mut coord, t(11), node, 3, job);
+        heartbeat_with_workload(&mut coord, t(16), node, 4, job);
+        drive(&mut coord, t(18));
+        assert_eq!(coord.stats().lease_revocations, 0);
+        assert_eq!(coord.stats().live_jobs, 1, "the run is still placed");
+    }
+
     #[test]
     fn admission_sheds_non_critical_but_never_critical() {
         let cfg = CoordinatorConfig {

@@ -264,3 +264,24 @@ fn fig3_outcomes_identical_under_sharded_actor_directory() {
     );
     assert_eq!(reference.jobs_completed, sharded.jobs_completed);
 }
+
+/// The parallel agent pump is equally invisible end to end: the same fig3
+/// interruption pipeline stepped with two pump worker threads must report
+/// outcomes identical to the serial inline run. Workers only change where
+/// `on_wake` executes; the coordinator applies the resulting action
+/// batches in due order — the inline order — after the join point.
+#[test]
+fn fig3_outcomes_identical_under_parallel_agent_pump() {
+    let reference = gpunion::core::run_fig3(2, 3.0, 7);
+    let pumped = gpunion::core::run_fig3_pumped(2, 3.0, 7, 2);
+    assert!(
+        reference.scheduled.displacements > 0 && reference.temporary.displacements > 0,
+        "the scenario must exercise displacement and migrate-back"
+    );
+    assert_eq!(
+        format!("{reference:?}"),
+        format!("{pumped:?}"),
+        "pump_workers=2 diverged from the serial inline pump"
+    );
+    assert_eq!(reference.jobs_completed, pumped.jobs_completed);
+}
